@@ -1,0 +1,32 @@
+// Ablation for the paper's §V-A3 remark: "datasets as small as 10 MB can
+// exhibit speedups over the baseline cuSZ decoder". Sweeps truncated HACC
+// sizes and reports the optimized gap-array speedup at each size.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace ohd;
+
+int main() {
+  std::printf("Ablation (paper §V-A3): speedup vs dataset size (truncated "
+              "HACC, rel eb 1e-3)\n\n");
+  std::printf("%14s %16s %18s %9s\n", "floats (MiB)", "baseline (GB/s)",
+              "opt. gap (GB/s)", "speedup");
+  for (double scale : {0.01, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    const auto p = bench::prepare(data::make_hacc(scale));
+    const auto base =
+        bench::timed_decode(core::Method::CuszNaive, p.codes, p.alphabet);
+    const auto opt = bench::timed_decode(core::Method::GapArrayOptimized,
+                                         p.codes, p.alphabet);
+    const double g_base = bench::gbps(p.quant_bytes(), base.total());
+    const double g_opt = bench::gbps(p.quant_bytes(), opt.total());
+    std::printf("%14.1f %16.1f %18.1f %8.2fx\n",
+                p.dataset_bytes() / (1024.0 * 1024.0), g_base, g_opt,
+                g_opt / g_base);
+  }
+  std::printf("\nPaper shape to compare against: the speedup persists down "
+              "to small inputs, though fixed\nkernel-launch and tuning "
+              "overheads eat into it as the dataset shrinks.\n");
+  return 0;
+}

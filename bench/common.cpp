@@ -1,0 +1,57 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ohd::bench {
+
+PreparedDataset prepare(data::Field field, double rel_eb) {
+  PreparedDataset p;
+  p.rel_eb = rel_eb;
+  float lo = field.data.empty() ? 0.0f : field.data[0];
+  float hi = lo;
+  for (float v : field.data) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi - lo > 0 ? hi - lo : 1.0;
+  const auto q =
+      sz::lorenzo_quantize(field.data, field.dims, rel_eb * range, 512);
+  p.codes = q.codes;
+  p.alphabet = q.alphabet_size();
+  p.field = std::move(field);
+  return p;
+}
+
+std::vector<PreparedDataset> prepare_suite(double rel_eb) {
+  std::vector<PreparedDataset> out;
+  for (auto& f : data::evaluation_suite(bench_scale())) {
+    out.push_back(prepare(std::move(f), rel_eb));
+  }
+  return out;
+}
+
+core::PhaseTimings timed_decode(core::Method method,
+                                std::span<const std::uint16_t> codes,
+                                std::uint32_t alphabet) {
+  const auto enc = core::encode_for_method(method, codes, alphabet);
+  cudasim::SimContext ctx;
+  const auto result = core::decode(ctx, enc);
+  if (method == core::Method::GapArrayOriginal8Bit) {
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      if (result.symbols[i] != (codes[i] & 0xFF)) {
+        throw std::logic_error("8-bit decode mismatch");
+      }
+    }
+  } else if (!std::equal(codes.begin(), codes.end(),
+                         result.symbols.begin(), result.symbols.end())) {
+    throw std::logic_error("decode mismatch in benchmark");
+  }
+  return result.phases;
+}
+
+double gbps(std::uint64_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / 1e9 / seconds : 0.0;
+}
+
+}  // namespace ohd::bench

@@ -1,0 +1,58 @@
+// Shared helpers for the benchmark harness: dataset preparation (generate ->
+// quantize at the paper's error bound -> encode per method) and throughput
+// reporting in the paper's units (GB/s relative to quantization-code bytes
+// for decode tables, relative to the full dataset for Figures 4/5).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/huffman_codec.hpp"
+#include "data/fields.hpp"
+#include "sz/compressor.hpp"
+#include "sz/lorenzo.hpp"
+#include "util/timer.hpp"
+
+namespace ohd::bench {
+
+/// Dataset scale factor, overridable with OHD_BENCH_SCALE (default 1.0 =>
+/// ~2M elements per dataset, large enough that fixed kernel-launch overheads
+/// do not distort the simulated throughputs; use e.g. 0.1 for a quick pass).
+inline double bench_scale() {
+  if (const char* env = std::getenv("OHD_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+struct PreparedDataset {
+  data::Field field;
+  std::vector<std::uint16_t> codes;  // quantization codes at rel eb
+  std::uint32_t alphabet = 1024;
+  double rel_eb = 1e-3;
+
+  std::uint64_t quant_bytes() const { return codes.size() * 2; }
+  std::uint64_t dataset_bytes() const { return field.bytes(); }
+};
+
+/// Quantizes a dataset at the given relative error bound (paper default
+/// 1e-3).
+PreparedDataset prepare(data::Field field, double rel_eb = 1e-3);
+
+/// All eight datasets at bench scale.
+std::vector<PreparedDataset> prepare_suite(double rel_eb = 1e-3);
+
+/// Decodes `codes` with `method` on a fresh simulated V100; returns the
+/// phase timings and checks the decoded stream matches (throws otherwise).
+core::PhaseTimings timed_decode(core::Method method,
+                                std::span<const std::uint16_t> codes,
+                                std::uint32_t alphabet);
+
+/// GB/s given bytes and simulated seconds (decimal GB, as in the paper).
+double gbps(std::uint64_t bytes, double seconds);
+
+}  // namespace ohd::bench

@@ -1,0 +1,50 @@
+// Reproduces paper Figure 4: end-to-end cuSZ decompression throughput (GB/s
+// relative to the FULL dataset size) with the baseline decoder and the two
+// optimized decoders, assuming device-resident compressed data (the
+// in-memory compression scenario).
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ohd;
+
+int main() {
+  std::printf("Figure 4 reproduction: overall cuSZ decompression throughput "
+              "(GB/s relative to the\nfull dataset; compressed data "
+              "device-resident; rel eb 1e-3)\n\n");
+  const auto scale = bench::bench_scale();
+  const std::vector<core::Method> methods = {core::Method::CuszNaive,
+                                             core::Method::SelfSyncOptimized,
+                                             core::Method::GapArrayOptimized};
+
+  util::Table table("Figure 4: decompression throughput (GB/s)");
+  table.set_columns(
+      {"baseline", "opt. self-sync", "speedup", "opt. gap-array", "speedup"});
+
+  std::vector<double> ss_speedups, gap_speedups;
+  for (auto& field : data::evaluation_suite(scale)) {
+    std::vector<double> gbps;
+    for (core::Method m : methods) {
+      sz::CompressorConfig cfg;
+      cfg.method = m;
+      const auto blob = sz::compress(field.data, field.dims, cfg);
+      cudasim::SimContext ctx;
+      const auto r = sz::decompress(ctx, blob);
+      gbps.push_back(bench::gbps(blob.original_bytes(), r.total_seconds()));
+    }
+    ss_speedups.push_back(gbps[1] / gbps[0]);
+    gap_speedups.push_back(gbps[2] / gbps[0]);
+    table.add_row(field.name,
+                  {util::fmt(gbps[0], 1), util::fmt(gbps[1], 1),
+                   util::fmt_speedup(gbps[1] / gbps[0]), util::fmt(gbps[2], 1),
+                   util::fmt_speedup(gbps[2] / gbps[0])});
+  }
+  table.print();
+  std::printf("\nAverage speedup: opt. self-sync %.2fx (paper 2.08x), "
+              "opt. gap-array %.2fx (paper 2.43x)\n",
+              util::mean(ss_speedups), util::mean(gap_speedups));
+  return 0;
+}

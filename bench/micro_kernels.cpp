@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks of the substrate hot paths: these measure
+// HOST wall time of the functional simulation (useful for keeping the
+// simulator itself fast), not simulated GPU time.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bitio/bit_reader.hpp"
+#include "bitio/bit_writer.hpp"
+#include "cudasim/algorithms.hpp"
+#include "huffman/codebook.hpp"
+#include "huffman/decode_step.hpp"
+#include "huffman/encoder.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ohd;
+
+std::vector<std::uint16_t> skewed_stream(std::size_t n) {
+  util::Xoshiro256 rng(5);
+  std::vector<std::uint16_t> out(n);
+  for (auto& s : out) {
+    std::uint32_t v = 0;
+    while (v + 1 < 1024 && rng.uniform() < 0.7) ++v;
+    s = static_cast<std::uint16_t>(v);
+  }
+  return out;
+}
+
+void BM_CodebookConstruction(benchmark::State& state) {
+  const auto data = skewed_stream(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huffman::Codebook::from_data(data, 1024));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CodebookConstruction)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const auto data = skewed_stream(static_cast<std::size_t>(state.range(0)));
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huffman::encode_plain(data, cb));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_SequentialDecode(benchmark::State& state) {
+  const auto data = skewed_stream(static_cast<std::size_t>(state.range(0)));
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  const auto enc = huffman::encode_plain(data, cb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huffman::decode_sequential(enc, cb));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SequentialDecode)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_BitWriterThroughput(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tokens(1 << 16);
+  for (auto& [v, l] : tokens) {
+    l = static_cast<std::uint32_t>(1 + rng.bounded(24));
+    v = static_cast<std::uint32_t>(rng.bounded(1u << l));
+  }
+  for (auto _ : state) {
+    bitio::BitWriter w;
+    for (const auto& [v, l] : tokens) w.put(v, l);
+    benchmark::DoNotOptimize(w.finish());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens.size());
+}
+BENCHMARK(BM_BitWriterThroughput);
+
+void BM_DevicePrefixSum(benchmark::State& state) {
+  std::vector<std::uint32_t> counts(
+      static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    cudasim::SimContext ctx;
+    benchmark::DoNotOptimize(
+        cudasim::device_exclusive_prefix_sum(ctx, counts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DevicePrefixSum)->Arg(1 << 16);
+
+void BM_DeviceRadixSort(benchmark::State& state) {
+  util::Xoshiro256 rng(9);
+  std::vector<std::uint32_t> keys(static_cast<std::size_t>(state.range(0)));
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.bounded(10));
+  std::vector<std::uint32_t> values(keys.size());
+  for (auto _ : state) {
+    auto k = keys;
+    auto v = values;
+    cudasim::SimContext ctx;
+    cudasim::device_radix_sort_pairs(ctx, k, v, 8);
+    benchmark::DoNotOptimize(k);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeviceRadixSort)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

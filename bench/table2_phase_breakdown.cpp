@@ -1,0 +1,94 @@
+// Reproduces paper Table II: per-phase throughput breakdown (GB/s relative
+// to quantization-code bytes) of the original self-sync, optimized
+// self-sync, and optimized gap-array decoders on all eight datasets.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace ohd;
+
+namespace {
+
+void print_method(const char* title, core::Method method,
+                  const std::vector<bench::PreparedDataset>& suite,
+                  const std::vector<double>& baseline_total_gbps) {
+  util::Table table(title);
+  std::vector<std::string> columns;
+  for (const auto& p : suite) columns.push_back(p.field.name);
+  table.set_columns(columns);
+
+  std::vector<core::PhaseTimings> phases;
+  phases.reserve(suite.size());
+  for (const auto& p : suite) {
+    phases.push_back(bench::timed_decode(method, p.codes, p.alphabet));
+  }
+
+  auto phase_row = [&](const char* label, auto getter) {
+    std::vector<std::string> row;
+    for (std::size_t d = 0; d < suite.size(); ++d) {
+      const double s = getter(phases[d]);
+      row.push_back(s > 0 ? util::fmt(bench::gbps(suite[d].quant_bytes(), s), 1)
+                          : std::string("-"));
+    }
+    table.add_row(label, row);
+  };
+  phase_row("intra-seq. sync.", [](const core::PhaseTimings& p) {
+    return p.intra_sync_s;
+  });
+  phase_row("inter-seq. sync.", [](const core::PhaseTimings& p) {
+    return p.inter_sync_s;
+  });
+  phase_row("get output idx.", [](const core::PhaseTimings& p) {
+    return p.output_index_s;
+  });
+  phase_row("tune shared mem.", [](const core::PhaseTimings& p) {
+    return p.tune_s;
+  });
+  phase_row("decode and write", [](const core::PhaseTimings& p) {
+    return p.decode_write_s;
+  });
+
+  std::vector<std::string> total_row, speedup_row;
+  for (std::size_t d = 0; d < suite.size(); ++d) {
+    const double g =
+        bench::gbps(suite[d].quant_bytes(), phases[d].total());
+    total_row.push_back(util::fmt(g, 1));
+    speedup_row.push_back(util::fmt_speedup(g / baseline_total_gbps[d]));
+  }
+  table.add_row("overall, decode", total_row);
+  table.add_row("speedup vs cuSZ", speedup_row);
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table II reproduction: per-phase decoding breakdown on the "
+              "simulated V100\n(GB/s relative to quantization-code bytes; "
+              "rel eb 1e-3)\n\n");
+  const auto suite = bench::prepare_suite();
+
+  std::vector<double> baseline(suite.size());
+  for (std::size_t d = 0; d < suite.size(); ++d) {
+    const auto phases = bench::timed_decode(core::Method::CuszNaive,
+                                            suite[d].codes, suite[d].alphabet);
+    baseline[d] = bench::gbps(suite[d].quant_bytes(), phases.total());
+  }
+
+  print_method("original self-sync (GB/s per phase)",
+               core::Method::SelfSyncOriginal, suite, baseline);
+  print_method("optimized self-sync (GB/s per phase)",
+               core::Method::SelfSyncOptimized, suite, baseline);
+  print_method("optimized gap array (GB/s per phase)",
+               core::Method::GapArrayOptimized, suite, baseline);
+
+  std::printf("Paper shapes to compare against: the original decoder's "
+              "'decode and write' collapses on\nhigh-ratio datasets "
+              "(CESM/Nyx/Hurricane/RTM/GAMESS); the optimized phases hold "
+              "100+ GB/s;\nthe gap-array decoder skips both sync phases "
+              "entirely.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces paper Table V: decoding throughput (GB/s, relative to the
+// quantization-code size) of the five evaluated methods on the eight
+// datasets, with per-method speedup over the cuSZ baseline and the
+// average-speedup headline numbers (paper: 2.74x opt. self-sync, 3.64x opt.
+// gap-array).
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ohd;
+
+int main() {
+  std::printf("Table V reproduction: decoding throughputs of the five "
+              "evaluated methods\n(simulated V100; GB/s relative to "
+              "quantization-code bytes; rel eb 1e-3)\n\n");
+  const auto suite = bench::prepare_suite();
+
+  const std::vector<core::Method> methods = {
+      core::Method::CuszNaive, core::Method::SelfSyncOriginal,
+      core::Method::SelfSyncOptimized, core::Method::GapArrayOriginal8Bit,
+      core::Method::GapArrayOptimized};
+
+  util::Table table("Table V: decoding throughput (GB/s) and speedup");
+  std::vector<std::string> columns;
+  for (const auto& p : suite) columns.push_back(p.field.name);
+  table.set_columns(columns);
+
+  std::vector<std::string> sizes;
+  for (const auto& p : suite) {
+    sizes.push_back(util::fmt(util::mebibytes(p.dataset_bytes()), 1));
+  }
+  table.add_row("size in mebibyte", sizes);
+
+  std::vector<double> baseline_gbps(suite.size(), 0.0);
+  std::vector<std::vector<double>> speedups(methods.size());
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    std::vector<std::string> row_gbps, row_speedup;
+    for (std::size_t d = 0; d < suite.size(); ++d) {
+      const auto& p = suite[d];
+      const auto phases =
+          bench::timed_decode(methods[m], p.codes, p.alphabet);
+      const std::uint64_t ref_bytes =
+          methods[m] == core::Method::GapArrayOriginal8Bit
+              ? p.codes.size()  // 8-bit codes, as in the paper
+              : p.quant_bytes();
+      const double g = bench::gbps(ref_bytes, phases.total());
+      if (m == 0) baseline_gbps[d] = g;
+      const double speedup = g / baseline_gbps[d];
+      speedups[m].push_back(speedup);
+      row_gbps.push_back(util::fmt(g, 1));
+      row_speedup.push_back(util::fmt_speedup(speedup));
+    }
+    table.add_row(core::method_name(methods[m]) + " GB/s", row_gbps);
+    table.add_row("  speedup", row_speedup);
+  }
+  table.print();
+
+  std::printf("\nAverage speedup over baseline (paper: opt. self-sync 2.74x, "
+              "opt. gap-array 3.64x):\n");
+  for (std::size_t m = 1; m < methods.size(); ++m) {
+    std::printf("  %-22s %.2fx\n", core::method_name(methods[m]).c_str(),
+                util::mean(speedups[m]));
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "bitio/bit_reader.hpp"
+
+namespace ohd::bitio {
+
+std::uint32_t BitReader::peek(std::uint32_t len) const {
+  if (len == 0) return 0;
+  std::uint64_t p = pos_;
+  std::uint32_t out = 0;
+  for (std::uint32_t i = 0; i < len; ++i, ++p) {
+    out <<= 1;
+    if (p < total_bits_) {
+      const std::uint64_t unit = p / 32;
+      const std::uint32_t shift = 31 - static_cast<std::uint32_t>(p % 32);
+      out |= (units_[unit] >> shift) & 1u;
+    }
+  }
+  return out;
+}
+
+}  // namespace ohd::bitio

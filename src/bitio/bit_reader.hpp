@@ -1,0 +1,47 @@
+// MSB-first bit reader over 32-bit units, seekable to any bit offset. This is
+// the exact read primitive the simulated decoder kernels use; it is
+// deliberately branch-light because its cost is charged to the perf model per
+// decoded codeword.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ohd::bitio {
+
+class BitReader {
+public:
+  BitReader(std::span<const std::uint32_t> units, std::uint64_t total_bits)
+      : units_(units), total_bits_(total_bits) {}
+
+  void seek(std::uint64_t bit) { pos_ = bit; }
+  std::uint64_t position() const { return pos_; }
+  std::uint64_t total_bits() const { return total_bits_; }
+  bool exhausted() const { return pos_ >= total_bits_; }
+
+  /// Read one bit; reading past the end yields 0 (padding semantics).
+  std::uint32_t get_bit() {
+    if (pos_ >= total_bits_) {
+      ++pos_;
+      return 0;
+    }
+    const std::uint64_t unit = pos_ / 32;
+    const std::uint32_t shift = 31 - static_cast<std::uint32_t>(pos_ % 32);
+    ++pos_;
+    return (units_[unit] >> shift) & 1u;
+  }
+
+  /// Peek up to `len` (<=32) bits without advancing; missing tail bits read
+  /// as zero.
+  std::uint32_t peek(std::uint32_t len) const;
+
+  /// Advance by `len` bits.
+  void skip(std::uint32_t len) { pos_ += len; }
+
+private:
+  std::span<const std::uint32_t> units_;
+  std::uint64_t total_bits_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace ohd::bitio

@@ -1,0 +1,51 @@
+#include "bitio/bit_writer.hpp"
+
+#include <cassert>
+
+namespace ohd::bitio {
+
+void BitWriter::put(std::uint32_t code, std::uint32_t len) {
+  assert(len <= 32);
+  if (len == 0) return;
+  std::uint32_t pos = static_cast<std::uint32_t>(bit_count_ % 32);
+  const std::uint64_t needed_units = (bit_count_ + len + 31) / 32;
+  if (units_.size() < needed_units) units_.resize(needed_units, 0);
+
+  std::uint64_t unit = bit_count_ / 32;
+  std::uint32_t remaining = len;
+  while (remaining > 0) {
+    const std::uint32_t room = 32 - pos;
+    const std::uint32_t take = remaining < room ? remaining : room;
+    // The `take` most significant of the remaining bits. remaining - take is
+    // always < 32, so the shift is well-defined.
+    const std::uint32_t chunk =
+        (code >> (remaining - take)) &
+        ((take == 32) ? 0xFFFFFFFFu : ((1u << take) - 1u));
+    units_[unit] |= chunk << (room - take);
+    remaining -= take;
+    pos += take;
+    if (pos == 32) {
+      pos = 0;
+      ++unit;
+    }
+  }
+  bit_count_ += len;
+}
+
+void BitWriter::pad_to(std::uint64_t bits) {
+  assert(bits > 0);
+  const std::uint64_t rem = bit_count_ % bits;
+  if (rem == 0) return;
+  std::uint64_t pad = bits - rem;
+  while (pad > 32) {
+    put(0, 32);
+    pad -= 32;
+  }
+  put(0, static_cast<std::uint32_t>(pad));
+}
+
+std::vector<std::uint32_t> BitWriter::finish() {
+  return std::move(units_);
+}
+
+}  // namespace ohd::bitio

@@ -1,0 +1,36 @@
+// MSB-first bit stream writer over 32-bit units — the unit layout that the
+// W&S / Yamamoto decoders (and this reproduction) consume. Bit i of the
+// stream lives in unit i/32 at bit position (31 - i%32).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ohd::bitio {
+
+class BitWriter {
+public:
+  /// Append the lowest `len` bits of `code`, most significant first.
+  /// `len` must be in [0, 32].
+  void put(std::uint32_t code, std::uint32_t len);
+
+  /// Total bits written so far.
+  std::uint64_t bit_count() const { return bit_count_; }
+
+  /// Pad with zero bits to the next multiple of `bits` (e.g. a subsequence
+  /// boundary). Padding bits are counted in bit_count().
+  void pad_to(std::uint64_t bits);
+
+  /// Finish the stream: returns the unit array (zero-padded tail).
+  std::vector<std::uint32_t> finish();
+
+  /// Units written so far without finishing (read-only snapshot semantics:
+  /// the last partial unit is included, zero-padded).
+  const std::vector<std::uint32_t>& units() const { return units_; }
+
+private:
+  std::vector<std::uint32_t> units_;
+  std::uint64_t bit_count_ = 0;
+};
+
+}  // namespace ohd::bitio

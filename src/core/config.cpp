@@ -1,0 +1,19 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+
+namespace ohd::core {
+
+std::uint32_t compute_t_high(const cudasim::DeviceSpec& spec,
+                             std::uint32_t threads_per_block) {
+  // 25% occupancy in resident threads.
+  const std::uint32_t target_threads = spec.max_threads_per_sm / 4;
+  const std::uint32_t blocks_needed =
+      std::max(1u, target_threads / std::max(1u, threads_per_block));
+  // Largest shared allocation per block that still fits `blocks_needed`
+  // blocks on one SM.
+  const std::uint32_t shmem_budget = spec.shmem_per_sm_bytes / blocks_needed;
+  return std::max(1u, shmem_budget / 2048u);
+}
+
+}  // namespace ohd::core

@@ -1,0 +1,69 @@
+// Tunable constants of the decoder implementations and of the simulated cost
+// of their inner loops. The cycle constants are calibrated so the simulated
+// V100 reproduces the throughput regimes of the paper's Table II / Table V
+// (see EXPERIMENTS.md for the calibration procedure).
+#pragma once
+
+#include <cstdint>
+
+#include "cudasim/device_spec.hpp"
+
+namespace ohd::core {
+
+/// Per-operation cycle costs charged by the decoder kernels.
+struct CostModel {
+  // Canonical first-code decoding (W&S / gap-array decoders): cost per bit
+  // examined plus fixed per-codeword bookkeeping.
+  std::uint32_t cycles_per_bit = 2;
+  std::uint32_t cycles_per_symbol = 4;
+
+  // cuSZ's naive decoder walks a serialized Huffman tree one bit at a time
+  // (a DEPENDENT node fetch + branch per bit; the tree stays L1/L2-resident
+  // so no global transactions are charged, but each hop serializes on cache
+  // latency — calibrated against the paper's ~26 GB/s baseline row).
+  std::uint32_t cycles_per_bit_naive = 12;
+  std::uint32_t cycles_per_symbol_naive = 10;
+
+  // Busy-wait iteration cost in the ORIGINAL intra-sequence synchronization
+  // (flag check + barrier participation), and the cost of the optimized
+  // variant's __all_sync vote.
+  std::uint32_t sync_check_cycles = 4;
+  std::uint32_t all_sync_cycles = 2;
+
+  // Fixed per-thread cost of staging one symbol through shared memory in the
+  // optimized decode+write kernel (shared store + index arithmetic).
+  std::uint32_t staged_symbol_cycles = 2;
+  // Per-element cost of the cooperative shared->global copy.
+  std::uint32_t coop_copy_cycles = 1;
+};
+
+/// Geometry and policy knobs of the decoders.
+struct DecoderConfig {
+  // W&S stream geometry (also used by the gap-array decoder): 4 units of 32
+  // bits per subsequence, 128 subsequences (= threads) per sequence (= block),
+  // exactly as in the paper (§III-B, footnote 2).
+  std::uint32_t units_per_subseq = 4;
+  std::uint32_t threads_per_block = 128;
+
+  // cuSZ baseline: symbols per coarse chunk, one thread per chunk.
+  std::uint32_t chunk_symbols = 1024;
+  std::uint32_t naive_block_dim = 256;
+
+  // Shared-memory tuning (Algorithm 2): fixed host-side overhead of the
+  // tuning round trip (histogram readback + kernel argument setup), and the
+  // buffer used for the overflow class (compression ratio > T_high); the
+  // paper found 3584 symbols optimal on V100 (§IV-C).
+  double tuner_fixed_overhead_s = 8e-6;
+  std::uint32_t overflow_buffer_symbols = 3584;
+
+  CostModel cost;
+};
+
+/// The paper's T_high derivation (§IV-C): the largest per-block shared buffer
+/// that still allows >= 25% occupancy, divided by 2048 bytes (the shared
+/// buffer needed per unit compression ratio: one sequence holds 2048 input
+/// bytes, i.e. 1024 u16 symbols at ratio 1).
+std::uint32_t compute_t_high(const cudasim::DeviceSpec& spec,
+                             std::uint32_t threads_per_block);
+
+}  // namespace ohd::core

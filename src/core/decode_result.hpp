@@ -1,0 +1,19 @@
+// Common result type of every decoder: the decoded symbols plus the
+// simulated per-phase timings (Table II rows).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/phase_timings.hpp"
+
+namespace ohd::core {
+
+struct DecodeResult {
+  std::vector<std::uint16_t> symbols;
+  PhaseTimings phases;
+
+  double seconds() const { return phases.total(); }
+};
+
+}  // namespace ohd::core

@@ -1,0 +1,92 @@
+// The decode-and-write phase shared by the self-synchronization and gap-array
+// decoders, in both variants the paper evaluates:
+//
+//  * decode_write_direct — the ORIGINAL scheme: every thread decodes its
+//    subsequence and stores each symbol straight to global memory at its
+//    output index. Warp lanes write to locations ~one subsequence's output
+//    apart, so stores are uncoalesced (one 32-byte transaction per symbol),
+//    which is the §IV-B bottleneck.
+//  * decode_write_staged — the paper's Algorithm 1: decode into a block-local
+//    shared-memory buffer, then cooperatively copy the buffer to global
+//    memory with fully coalesced stores. Iterates when the buffer is smaller
+//    than the block's total output.
+//  * decode_write_tuned — the paper's Algorithm 2 (shmem_tuner.hpp) drives
+//    decode_write_staged with per-compression-ratio-class buffer sizes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/phase_timings.hpp"
+#include "cudasim/exec.hpp"
+#include "huffman/codebook.hpp"
+#include "huffman/encoder.hpp"
+
+namespace ohd::core {
+
+/// Everything the decode+write phase needs, prepared by the synchronization
+/// (self-sync) or counting (gap-array) phases.
+struct WritePlan {
+  const huffman::StreamEncoding* stream = nullptr;
+  const huffman::Codebook* codebook = nullptr;
+
+  /// Validated start bit per subsequence, plus a sentinel entry equal to
+  /// total_bits. Size = num_subseqs + 1.
+  std::span<const std::uint64_t> start_bit;
+  /// Output index per subsequence, plus a sentinel equal to the total symbol
+  /// count. Size = num_subseqs + 1.
+  std::span<const std::uint64_t> out_index;
+
+  /// Simulated device addresses for the coalescing model.
+  std::uint64_t units_addr = 0;
+  std::uint64_t start_bit_addr = 0;
+  std::uint64_t out_index_addr = 0;
+  std::uint64_t out_addr = 0;
+  std::uint64_t table_addr = 0;
+
+  /// Bytes per output symbol: 2 for the multi-byte decoders, 1 for the
+  /// original 8-bit gap-array decoder.
+  std::uint32_t symbol_bytes = 2;
+
+  std::uint32_t num_subseqs() const {
+    return static_cast<std::uint32_t>(start_bit.size() - 1);
+  }
+};
+
+/// Original direct-store decode+write over all subsequences.
+/// `record_table_reads` marks the original implementations, which fetch the
+/// decode tables from global memory per codeword.
+double decode_write_direct(cudasim::SimContext& ctx, const WritePlan& plan,
+                           std::span<std::uint16_t> out,
+                           const DecoderConfig& config,
+                           bool record_table_reads);
+
+/// Algorithm 1 with a fixed shared buffer of `buffer_symbols` u16 entries,
+/// over the given sequences (pass an empty span for "all sequences").
+/// Returns the simulated kernel seconds (body time + launch overhead).
+double decode_write_staged(cudasim::SimContext& ctx, const WritePlan& plan,
+                           std::span<std::uint16_t> out,
+                           const DecoderConfig& config,
+                           std::uint32_t buffer_symbols,
+                           std::span<const std::uint32_t> sequence_ids = {});
+
+/// Result of the Algorithm 2 tuned decode+write.
+struct TunedDecodeResult {
+  double tune_seconds = 0.0;          // classify + histogram + sort + readback
+  double decode_write_seconds = 0.0;  // concurrent per-class kernels
+  std::uint32_t t_high = 0;
+  std::vector<std::uint32_t> class_freq;           // sequences per class
+  std::vector<std::uint32_t> class_buffer_symbols; // buffer chosen per class
+};
+
+/// Algorithm 2: classify each sequence by compression ratio, then launch one
+/// staged kernel per class with a class-specific buffer, on concurrent
+/// streams.
+TunedDecodeResult decode_write_tuned(cudasim::SimContext& ctx,
+                                     const WritePlan& plan,
+                                     std::span<std::uint16_t> out,
+                                     const DecoderConfig& config);
+
+}  // namespace ohd::core

@@ -1,0 +1,38 @@
+// Yamamoto et al.'s gap-array Huffman decoder (§III-C): the encoder stores,
+// per subsequence, the bit offset of the first codeword starting in it, so no
+// synchronization phase is needed. The decoder still needs a counting pass
+// (each thread decodes its subsequence without writing) plus a prefix sum to
+// produce output indices, then the decode+write phase — identical machinery
+// to the self-sync decoder, which is what makes the paper's optimizations
+// (§IV-B/§IV-C) apply to both.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/decode_result.hpp"
+#include "cudasim/exec.hpp"
+#include "huffman/codebook.hpp"
+#include "huffman/encoder.hpp"
+
+namespace ohd::core {
+
+struct GapArrayOptions {
+  bool staged_writes = true;       // §IV-B Algorithm 1
+  bool tune_shared_memory = true;  // §IV-C Algorithm 2
+  std::uint32_t fixed_buffer_symbols = 4096;
+  /// Bytes per symbol written to global memory. The ORIGINAL gap-array
+  /// decoder of [45] is 8-bit only (the paper emulates it by trimming
+  /// quantization codes to one byte); the optimized decoder is multi-byte.
+  std::uint32_t symbol_bytes = 2;
+
+  static GapArrayOptions original_8bit() { return {false, false, 4096, 1}; }
+  static GapArrayOptions optimized() { return {true, true, 4096, 2}; }
+};
+
+DecodeResult decode_gap_array(cudasim::SimContext& ctx,
+                              const huffman::GapEncoding& enc,
+                              const huffman::Codebook& cb,
+                              const DecoderConfig& config = {},
+                              const GapArrayOptions& options =
+                                  GapArrayOptions::optimized());
+
+}  // namespace ohd::core

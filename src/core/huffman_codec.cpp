@@ -1,0 +1,122 @@
+#include "core/huffman_codec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/gap_decoder.hpp"
+#include "core/naive_decoder.hpp"
+#include "core/selfsync_decoder.hpp"
+
+namespace ohd::core {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::CuszNaive: return "baseline cuSZ";
+    case Method::SelfSyncOriginal: return "ori. self-sync";
+    case Method::SelfSyncOptimized: return "opt. self-sync";
+    case Method::GapArrayOriginal8Bit: return "ori. gap-array 8-bit";
+    case Method::GapArrayOptimized: return "opt. gap-array";
+  }
+  return "unknown";
+}
+
+std::uint64_t EncodedStream::compressed_bytes() const {
+  std::uint64_t payload = 0;
+  if (const auto* chunked = std::get_if<huffman::ChunkedEncoding>(&this->payload)) {
+    payload = chunked->payload_bytes();
+  } else if (const auto* plain =
+                 std::get_if<huffman::StreamEncoding>(&this->payload)) {
+    payload = plain->payload_bytes();
+  } else if (const auto* gap = std::get_if<huffman::GapEncoding>(&this->payload)) {
+    payload = gap->payload_bytes();
+  }
+  return payload + codebook.serialized_bytes();
+}
+
+std::uint64_t EncodedStream::quant_code_bytes() const {
+  return num_symbols * (method == Method::GapArrayOriginal8Bit ? 1 : 2);
+}
+
+namespace {
+
+std::vector<std::uint16_t> trim_to_8bit(std::span<const std::uint16_t> codes) {
+  // Most quantization codes concentrate around the radius (the zero-error
+  // code); the paper trims them to one byte for the 8-bit baseline. We keep
+  // the low byte, which preserves the concentration.
+  std::vector<std::uint16_t> out(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(codes[i] & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace
+
+EncodedStream encode_for_method(Method method,
+                                std::span<const std::uint16_t> codes,
+                                std::uint32_t alphabet_size,
+                                const DecoderConfig& config) {
+  EncodedStream enc;
+  enc.method = method;
+  enc.num_symbols = codes.size();
+  huffman::StreamGeometry geometry;
+  geometry.units_per_subseq = config.units_per_subseq;
+  geometry.subseqs_per_seq = config.threads_per_block;
+
+  switch (method) {
+    case Method::CuszNaive: {
+      enc.codebook = huffman::Codebook::from_data(codes, alphabet_size);
+      enc.payload =
+          huffman::encode_chunked(codes, enc.codebook, config.chunk_symbols);
+      break;
+    }
+    case Method::SelfSyncOriginal:
+    case Method::SelfSyncOptimized: {
+      enc.codebook = huffman::Codebook::from_data(codes, alphabet_size);
+      enc.payload = huffman::encode_plain(codes, enc.codebook, geometry);
+      break;
+    }
+    case Method::GapArrayOriginal8Bit: {
+      const std::vector<std::uint16_t> trimmed = trim_to_8bit(codes);
+      enc.codebook = huffman::Codebook::from_data(trimmed, 256);
+      enc.payload = huffman::encode_gap(trimmed, enc.codebook, geometry);
+      break;
+    }
+    case Method::GapArrayOptimized: {
+      enc.codebook = huffman::Codebook::from_data(codes, alphabet_size);
+      enc.payload = huffman::encode_gap(codes, enc.codebook, geometry);
+      break;
+    }
+  }
+  return enc;
+}
+
+DecodeResult decode(cudasim::SimContext& ctx, const EncodedStream& enc,
+                    const DecoderConfig& config) {
+  switch (enc.method) {
+    case Method::CuszNaive:
+      return decode_naive_chunked(
+          ctx, std::get<huffman::ChunkedEncoding>(enc.payload), enc.codebook,
+          config);
+    case Method::SelfSyncOriginal:
+      return decode_selfsync(ctx,
+                             std::get<huffman::StreamEncoding>(enc.payload),
+                             enc.codebook, config, SelfSyncOptions::original());
+    case Method::SelfSyncOptimized:
+      return decode_selfsync(ctx,
+                             std::get<huffman::StreamEncoding>(enc.payload),
+                             enc.codebook, config,
+                             SelfSyncOptions::optimized());
+    case Method::GapArrayOriginal8Bit:
+      return decode_gap_array(ctx, std::get<huffman::GapEncoding>(enc.payload),
+                              enc.codebook, config,
+                              GapArrayOptions::original_8bit());
+    case Method::GapArrayOptimized:
+      return decode_gap_array(ctx, std::get<huffman::GapEncoding>(enc.payload),
+                              enc.codebook, config,
+                              GapArrayOptions::optimized());
+  }
+  throw std::invalid_argument("unknown decode method");
+}
+
+}  // namespace ohd::core

@@ -1,0 +1,64 @@
+// Top-level facade pairing each evaluated decoding method with the encoder
+// layout it requires. This is the entry point the cuSZ pipeline (src/sz) and
+// the benches use; the individual decoders remain available for fine-grained
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+
+#include "core/config.hpp"
+#include "core/decode_result.hpp"
+#include "cudasim/exec.hpp"
+#include "huffman/codebook.hpp"
+#include "huffman/encoder.hpp"
+
+namespace ohd::core {
+
+/// The five decoding solutions of the paper's Tables IV/V.
+enum class Method {
+  CuszNaive,            // baseline cuSZ coarse-grained decoder
+  SelfSyncOriginal,     // Weissenberger & Schmidt, as published
+  SelfSyncOptimized,    // + §IV-A/B/C optimizations
+  GapArrayOriginal8Bit, // Yamamoto et al., 8-bit symbols (paper's emulation)
+  GapArrayOptimized,    // + §IV-B/C optimizations, multi-byte
+};
+
+std::string method_name(Method m);
+
+/// Quantization codes encoded in the layout `method` decodes.
+struct EncodedStream {
+  Method method = Method::GapArrayOptimized;
+  huffman::Codebook codebook;
+  std::variant<huffman::ChunkedEncoding, huffman::StreamEncoding,
+               huffman::GapEncoding>
+      payload;
+  std::uint64_t num_symbols = 0;
+
+  /// Compressed bytes including the serialized codebook and any sidecar
+  /// (chunk offsets, gap array).
+  std::uint64_t compressed_bytes() const;
+  /// Bytes of the uncompressed quantization codes this stream represents
+  /// (paper's Table II/V reference size). The 8-bit method is accounted at
+  /// one byte per code, exactly like the paper, which then doubles its
+  /// compression ratio for comparison.
+  std::uint64_t quant_code_bytes() const;
+};
+
+/// Encodes `codes` (values < alphabet_size) for the given method. For
+/// Method::GapArrayOriginal8Bit the codes are first trimmed to 8 bits
+/// (paper §V-A2: "we estimate its performance by trimming each multi-byte
+/// quantization code to a single byte").
+EncodedStream encode_for_method(Method method,
+                                std::span<const std::uint16_t> codes,
+                                std::uint32_t alphabet_size,
+                                const DecoderConfig& config = {});
+
+/// Decodes with the method's decoder. For GapArrayOriginal8Bit the decoded
+/// symbols are the trimmed 8-bit codes.
+DecodeResult decode(cudasim::SimContext& ctx, const EncodedStream& enc,
+                    const DecoderConfig& config = {});
+
+}  // namespace ohd::core

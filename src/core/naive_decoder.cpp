@@ -1,0 +1,60 @@
+#include "core/naive_decoder.hpp"
+
+#include "bitio/bit_reader.hpp"
+#include "huffman/decode_step.hpp"
+
+namespace ohd::core {
+
+DecodeResult decode_naive_chunked(cudasim::SimContext& ctx,
+                                  const huffman::ChunkedEncoding& enc,
+                                  const huffman::Codebook& cb,
+                                  const DecoderConfig& config) {
+  DecodeResult result;
+  result.symbols.assign(enc.num_symbols, 0);
+  const std::uint32_t num_chunks = enc.num_chunks();
+  if (num_chunks == 0) return result;
+
+  const std::uint64_t units_addr = ctx.reserve_address(enc.units.size() * 4);
+  const std::uint64_t out_addr = ctx.reserve_address(enc.num_symbols * 2);
+  const std::uint64_t meta_addr = ctx.reserve_address(num_chunks * 12);
+
+  const std::uint32_t block_dim = config.naive_block_dim;
+  const std::uint32_t grid = (num_chunks + block_dim - 1) / block_dim;
+  const CostModel& cost = config.cost;
+
+  const auto r = ctx.launch(
+      "naive_decode", {grid, block_dim, 0}, [&](cudasim::BlockCtx& blk) {
+        blk.for_each_thread([&](cudasim::ThreadCtx& t) {
+          const std::uint64_t c = blk.global_tid(t);
+          if (c >= num_chunks) return;
+          t.global_read(meta_addr + c * 12, 12);  // offset + symbol count
+          t.charge(8);
+          bitio::BitReader reader(enc.units, enc.total_bits);
+          reader.seek(enc.chunk_bit_offset[c]);
+          const std::uint64_t out_base =
+              c * static_cast<std::uint64_t>(enc.chunk_symbols);
+          std::uint64_t last_unit = ~0ull;
+          for (std::uint32_t k = 0; k < enc.chunk_num_symbols[c]; ++k) {
+            const std::uint64_t unit = reader.position() / 32;
+            if (unit != last_unit) {
+              t.global_read(units_addr + unit * 4, 4);
+              last_unit = unit;
+            }
+            const huffman::DecodedSymbol d = huffman::decode_one(reader, cb);
+            // Tree-walk decode: a dependent node fetch per bit (the tree is
+            // small and cache-resident, so cycles but no transactions).
+            t.charge(static_cast<std::uint64_t>(d.len) *
+                         cost.cycles_per_bit_naive +
+                     cost.cycles_per_symbol_naive);
+            result.symbols[out_base + k] = d.symbol;
+            // One thread per chunk: warp lanes write one chunk apart, so
+            // stores never coalesce.
+            t.global_write(out_addr + (out_base + k) * 2, 2);
+          }
+        });
+      });
+  result.phases.decode_write_s = r.timing.seconds;
+  return result;
+}
+
+}  // namespace ohd::core

@@ -1,0 +1,22 @@
+// cuSZ's baseline coarse-grained Huffman decoder (§III-A): the stream is
+// split into fixed-symbol-count chunks and each chunk is decoded sequentially
+// by ONE thread, walking the Huffman tree bit by bit. Parallelism is limited
+// to the number of chunks, per-thread work is long and serial, and stores are
+// uncoalesced — the reference point the paper's decoders are measured
+// against.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/decode_result.hpp"
+#include "cudasim/exec.hpp"
+#include "huffman/codebook.hpp"
+#include "huffman/encoder.hpp"
+
+namespace ohd::core {
+
+DecodeResult decode_naive_chunked(cudasim::SimContext& ctx,
+                                  const huffman::ChunkedEncoding& enc,
+                                  const huffman::Codebook& cb,
+                                  const DecoderConfig& config = {});
+
+}  // namespace ohd::core

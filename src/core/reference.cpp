@@ -1,0 +1,90 @@
+#include "core/reference.hpp"
+
+#include <sstream>
+
+#include "bitio/bit_reader.hpp"
+#include "huffman/decode_step.hpp"
+
+namespace ohd::core {
+
+ReferenceSync reference_sync(const huffman::StreamEncoding& enc,
+                             const huffman::Codebook& cb) {
+  ReferenceSync ref;
+  const std::uint64_t subseq_bits = enc.geometry.subseq_bits();
+  const std::uint32_t num_subseqs = enc.num_subseqs();
+  ref.sym_count.assign(num_subseqs, 0);
+  ref.start_bit.assign(num_subseqs + 1, enc.total_bits);
+  ref.symbols.reserve(enc.num_symbols);
+
+  bitio::BitReader reader(enc.units, enc.total_bits);
+  std::uint32_t next_boundary = 0;
+  while (reader.position() < enc.total_bits) {
+    const std::uint64_t pos = reader.position();
+    while (next_boundary < num_subseqs &&
+           static_cast<std::uint64_t>(next_boundary) * subseq_bits <= pos) {
+      ref.start_bit[next_boundary++] = pos;
+    }
+    const huffman::DecodedSymbol d = huffman::decode_one(reader, cb);
+    if (d.valid) {
+      ref.symbols.push_back(d.symbol);
+      if (next_boundary > 0) ++ref.sym_count[next_boundary - 1];
+    }
+  }
+  ref.start_bit[num_subseqs] = enc.total_bits;
+  return ref;
+}
+
+std::string check_sync_against_reference(
+    const ReferenceSync& reference, std::span<const std::uint64_t> start_bit,
+    std::span<const std::uint32_t> sym_count) {
+  std::ostringstream msg;
+  if (start_bit.size() != reference.start_bit.size()) {
+    msg << "start_bit size " << start_bit.size() << " != reference "
+        << reference.start_bit.size();
+    return msg.str();
+  }
+  if (sym_count.size() != reference.sym_count.size()) {
+    msg << "sym_count size " << sym_count.size() << " != reference "
+        << reference.sym_count.size();
+    return msg.str();
+  }
+  for (std::size_t i = 0; i < start_bit.size(); ++i) {
+    if (start_bit[i] != reference.start_bit[i]) {
+      msg << "start_bit[" << i << "] = " << start_bit[i]
+          << ", reference = " << reference.start_bit[i];
+      return msg.str();
+    }
+  }
+  for (std::size_t i = 0; i < sym_count.size(); ++i) {
+    if (sym_count[i] != reference.sym_count[i]) {
+      msg << "sym_count[" << i << "] = " << sym_count[i]
+          << ", reference = " << reference.sym_count[i];
+      return msg.str();
+    }
+  }
+  return {};
+}
+
+std::string check_gap_array(const huffman::GapEncoding& enc,
+                            const huffman::Codebook& cb) {
+  const ReferenceSync ref = reference_sync(enc.stream, cb);
+  const std::uint64_t subseq_bits = enc.stream.geometry.subseq_bits();
+  std::ostringstream msg;
+  if (enc.gaps.size() != ref.sym_count.size()) {
+    msg << "gap array has " << enc.gaps.size() << " entries for "
+        << ref.sym_count.size() << " subsequences";
+    return msg.str();
+  }
+  for (std::size_t g = 0; g < enc.gaps.size(); ++g) {
+    const std::uint64_t target = g * subseq_bits + enc.gaps[g];
+    if (target != ref.start_bit[g]) {
+      msg << "gap[" << g << "] points at bit " << target
+          << ", first codeword of the subsequence is at "
+          << ref.start_bit[g];
+      return msg.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace ohd::core

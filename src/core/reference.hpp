@@ -1,0 +1,44 @@
+// Reference (ground-truth) implementations used to validate the parallel
+// decoders: a sequential decode that tracks subsequence boundaries exactly as
+// the synchronization phases must discover them, and checkers that compare a
+// decoder's internal state against it. Exposed as library API so downstream
+// users can validate custom encoder integrations the same way the test suite
+// does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "huffman/codebook.hpp"
+#include "huffman/encoder.hpp"
+
+namespace ohd::core {
+
+/// Ground truth for a plain stream: per-subsequence validated start bits
+/// (plus the total_bits sentinel) and symbol counts, computed by one
+/// sequential decode pass.
+struct ReferenceSync {
+  std::vector<std::uint64_t> start_bit;
+  std::vector<std::uint32_t> sym_count;
+  std::vector<std::uint16_t> symbols;
+};
+
+ReferenceSync reference_sync(const huffman::StreamEncoding& enc,
+                             const huffman::Codebook& cb);
+
+/// Compares start bits and counts against the reference; returns an empty
+/// string on success, otherwise a human-readable description of the first
+/// mismatch.
+std::string check_sync_against_reference(
+    const ReferenceSync& reference,
+    std::span<const std::uint64_t> start_bit,
+    std::span<const std::uint32_t> sym_count);
+
+/// Validates that a gap array is consistent with the stream: every gap must
+/// point at a codeword boundary of the sequential decode (or at end of
+/// stream for trailing empty subsequences). Returns "" or a description.
+std::string check_gap_array(const huffman::GapEncoding& enc,
+                            const huffman::Codebook& cb);
+
+}  // namespace ohd::core

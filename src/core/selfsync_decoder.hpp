@@ -1,0 +1,58 @@
+// Weißenberger & Schmidt's self-synchronization Huffman decoder (§III-B),
+// with the paper's architectural optimizations (§IV) selectable so benches
+// can evaluate the original and optimized variants and every ablation in
+// between:
+//
+//   phase 1  intra-sequence synchronization  (early_exit toggles §IV-A)
+//   phase 2  inter-sequence synchronization
+//   phase 3  output indices (device prefix sum over per-subsequence counts)
+//   phase 4  decode + write (staged_writes toggles §IV-B's Algorithm 1,
+//            tune_shared_memory toggles §IV-C's Algorithm 2)
+#pragma once
+
+#include "core/config.hpp"
+#include "core/decode_result.hpp"
+#include "cudasim/exec.hpp"
+#include "huffman/codebook.hpp"
+#include "huffman/encoder.hpp"
+
+namespace ohd::core {
+
+struct SelfSyncOptions {
+  bool early_exit = true;          // §IV-A __all_sync early kernel exit
+  bool staged_writes = true;       // §IV-B shared-memory staged decode+write
+  bool tune_shared_memory = true;  // §IV-C online buffer tuning (Algorithm 2)
+  // Buffer used when staged_writes && !tune_shared_memory (Figure 3 sweeps).
+  std::uint32_t fixed_buffer_symbols = 4096;
+
+  static SelfSyncOptions original() { return {false, false, false, 4096}; }
+  static SelfSyncOptions optimized() { return {true, true, true, 4096}; }
+};
+
+/// Synchronization output, exposed for tests and for reuse by benches that
+/// sweep only the decode+write phase (Figure 3 / Table I).
+struct SyncInfo {
+  /// Validated absolute start bit per subsequence, plus sentinel total_bits.
+  std::vector<std::uint64_t> start_bit;
+  /// Symbols starting in each subsequence.
+  std::vector<std::uint32_t> sym_count;
+  double intra_seconds = 0.0;
+  double inter_seconds = 0.0;
+  std::uint32_t inter_iterations = 0;
+};
+
+/// Runs phases 1-2 only.
+SyncInfo selfsync_synchronize(cudasim::SimContext& ctx,
+                              const huffman::StreamEncoding& enc,
+                              const huffman::Codebook& cb,
+                              const DecoderConfig& config, bool early_exit);
+
+/// Full decode.
+DecodeResult decode_selfsync(cudasim::SimContext& ctx,
+                             const huffman::StreamEncoding& enc,
+                             const huffman::Codebook& cb,
+                             const DecoderConfig& config = {},
+                             const SelfSyncOptions& options =
+                                 SelfSyncOptions::optimized());
+
+}  // namespace ohd::core

@@ -1,0 +1,22 @@
+// Byte-level (de)serialization of encoded Huffman streams, so compressed data
+// can be persisted or shipped between encoder and decoder processes. The
+// format is versioned and self-describing; deserialization validates every
+// length against the blob size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/huffman_codec.hpp"
+
+namespace ohd::core {
+
+/// Serializes an encoded stream (method tag + codebook + payload + sidecars).
+std::vector<std::uint8_t> serialize_stream(const EncodedStream& enc);
+
+/// Parses a serialized stream; throws std::invalid_argument on truncation,
+/// bad magic, or inconsistent metadata.
+EncodedStream deserialize_stream(std::span<const std::uint8_t> bytes);
+
+}  // namespace ohd::core

@@ -1,0 +1,100 @@
+// The per-thread subsequence decode primitive shared by the synchronization,
+// counting, and decode+write kernels. Decodes every codeword whose start bit
+// lies in [start, limit), charging the simulated lane for bit examination,
+// per-symbol bookkeeping, input unit fetches (one global read per 32-bit unit
+// crossed), and — for the ORIGINAL decoders, which do not keep the decode
+// tables cache-resident — per-symbol table lookups.
+#pragma once
+
+#include <cstdint>
+
+#include "bitio/bit_reader.hpp"
+#include "core/config.hpp"
+#include "cudasim/exec.hpp"
+#include "huffman/codebook.hpp"
+#include "huffman/decode_step.hpp"
+#include "huffman/encoder.hpp"
+
+namespace ohd::core {
+
+struct SubseqDecodeResult {
+  std::uint64_t end_bit = 0;      // first codeword start >= limit
+  std::uint32_t num_symbols = 0;  // codewords starting in [start, limit)
+};
+
+/// Decodes codewords starting in [start, limit) and invokes
+/// `on_symbol(symbol, k)` for the k-th of them. `units_addr` is the simulated
+/// device address of the unit array (coalescing model); `table_addr` the
+/// address of the decode tables (only charged when record_table_reads).
+template <typename OnSymbol>
+SubseqDecodeResult decode_span(cudasim::ThreadCtx& t,
+                               const huffman::StreamEncoding& enc,
+                               std::uint64_t units_addr,
+                               const huffman::Codebook& cb, std::uint64_t start,
+                               std::uint64_t limit, const CostModel& cost,
+                               bool record_table_reads,
+                               std::uint64_t table_addr, OnSymbol&& on_symbol) {
+  SubseqDecodeResult res;
+  res.end_bit = start;
+  if (start >= limit || start >= enc.total_bits) {
+    res.end_bit = start;
+    return res;
+  }
+
+  bitio::BitReader reader(enc.units, enc.total_bits);
+  reader.seek(start);
+  std::uint64_t last_unit_fetched = ~0ull;
+
+  while (reader.position() < limit && reader.position() < enc.total_bits) {
+    const std::uint64_t sym_start = reader.position();
+    // Fetch every 32-bit unit the codeword may touch (kept in a register in
+    // the real kernel; refetched only when crossing a unit boundary).
+    const std::uint64_t first_unit = sym_start / 32;
+    if (first_unit != last_unit_fetched) {
+      t.global_read(units_addr + first_unit * 4, 4);
+      last_unit_fetched = first_unit;
+    }
+    const huffman::DecodedSymbol d = huffman::decode_one(reader, cb);
+    const std::uint64_t end_unit = (reader.position() - 1) / 32;
+    if (end_unit != last_unit_fetched) {
+      t.global_read(units_addr + end_unit * 4, 4);
+      last_unit_fetched = end_unit;
+    }
+    t.charge(static_cast<std::uint64_t>(d.len) * cost.cycles_per_bit +
+             cost.cycles_per_symbol);
+    if (record_table_reads) {
+      // Two dependent lookups per codeword (length row + symbol entry),
+      // scattered by symbol value.
+      t.global_read(table_addr + d.len * 64, 8);
+      t.global_read(table_addr + 4096 + static_cast<std::uint64_t>(d.symbol) * 2,
+                    2);
+    }
+    if (!d.valid) {
+      // Unassigned prefix: only reachable while desynchronized (or on the
+      // zero padding of an incomplete code). Keep scanning; synchronization
+      // logic treats the consumed bits like any other codeword.
+      res.end_bit = reader.position();
+      continue;
+    }
+    on_symbol(d.symbol, res.num_symbols);
+    ++res.num_symbols;
+    res.end_bit = reader.position();
+  }
+  return res;
+}
+
+/// Count-only variant.
+inline SubseqDecodeResult count_span(cudasim::ThreadCtx& t,
+                                     const huffman::StreamEncoding& enc,
+                                     std::uint64_t units_addr,
+                                     const huffman::Codebook& cb,
+                                     std::uint64_t start, std::uint64_t limit,
+                                     const CostModel& cost,
+                                     bool record_table_reads = false,
+                                     std::uint64_t table_addr = 0) {
+  return decode_span(t, enc, units_addr, cb, start, limit, cost,
+                     record_table_reads, table_addr,
+                     [](std::uint16_t, std::uint32_t) {});
+}
+
+}  // namespace ohd::core

@@ -1,0 +1,35 @@
+// Device-wide primitives standing in for the CUB routines the paper uses:
+// DeviceHistogram (the Gomez-Luna variant used by cuSZ), DeviceScan, and
+// DeviceRadixSort::SortPairs. Each executes functionally on the host and
+// charges a simulated kernel with the primitive's characteristic cost so the
+// "tune shared mem" phase of Table II is timed realistically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cudasim/exec.hpp"
+
+namespace ohd::cudasim {
+
+/// Exclusive prefix sum of `in`, returning a vector one element LONGER than
+/// the input: result[i] = sum of in[0..i), result[n] = total. This matches
+/// how the decoders use output-index arrays (they need the end sentinel).
+std::vector<std::uint64_t> device_exclusive_prefix_sum(
+    SimContext& ctx, std::span<const std::uint32_t> in,
+    const std::string& kernel_name = "prefix_sum");
+
+/// Histogram of `keys` into `num_bins` bins; keys must be < num_bins.
+std::vector<std::uint32_t> device_histogram(
+    SimContext& ctx, std::span<const std::uint32_t> keys,
+    std::uint32_t num_bins, const std::string& kernel_name = "histogram");
+
+/// Key-value radix sort (ascending, stable), CUB DeviceRadixSort::SortPairs
+/// stand-in. `key_bits` bounds the number of radix passes charged.
+void device_radix_sort_pairs(SimContext& ctx, std::vector<std::uint32_t>& keys,
+                             std::vector<std::uint32_t>& values,
+                             std::uint32_t key_bits = 32,
+                             const std::string& kernel_name = "radix_sort");
+
+}  // namespace ohd::cudasim

@@ -1,0 +1,52 @@
+// Typed "device" storage. Data lives in host memory (the simulator executes
+// kernels functionally), but every buffer occupies a distinct simulated
+// address range so that the coalescing model can group warp accesses into
+// 32-byte transactions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cudasim/exec.hpp"
+
+namespace ohd::cudasim {
+
+template <typename T>
+class DeviceBuffer {
+public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(SimContext& ctx, std::size_t count)
+      : data_(count), base_(ctx.reserve_address(count * sizeof(T))) {}
+
+  DeviceBuffer(SimContext& ctx, std::span<const T> host)
+      : data_(host.begin(), host.end()),
+        base_(ctx.reserve_address(host.size() * sizeof(T))) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  /// Simulated byte address of element i (feeds the coalescing model).
+  std::uint64_t addr_of(std::size_t i) const { return base_ + i * sizeof(T); }
+
+  std::uint64_t size_bytes() const { return data_.size() * sizeof(T); }
+
+  /// Move the contents out (ends the buffer's life as device storage).
+  std::vector<T> take() { return std::move(data_); }
+
+private:
+  std::vector<T> data_;
+  std::uint64_t base_ = 0;
+};
+
+}  // namespace ohd::cudasim

@@ -1,0 +1,50 @@
+#include "cudasim/device_spec.hpp"
+
+namespace ohd::cudasim {
+
+DeviceSpec DeviceSpec::v100() {
+  DeviceSpec s;
+  s.name = "Tesla V100-SXM2-32GB";
+  s.num_sms = 80;
+  s.warp_size = 32;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 32;
+  s.warp_schedulers_per_sm = 4;
+  s.clock_ghz = 1.53;
+  // Default shared-memory carveout (64 KiB of the 128 KiB unified L1): this
+  // is the configuration under which the paper derives T_high = 8 (16 KiB
+  // per block at 25% occupancy with 128-thread blocks).
+  s.shmem_per_sm_bytes = 64 * 1024;
+  s.max_shmem_per_block_bytes = 64 * 1024;
+  s.global_bw_gbps = 900.0;
+  s.transaction_bytes = 32;
+  s.mem_issue_cycles = 1;
+  s.warps_for_full_throughput = 28;
+  s.latency_hide_base = 0.45;
+  s.pcie_bw_gbps = 12.0;
+  s.launch_overhead_s = 3.0e-6;
+  return s;
+}
+
+DeviceSpec DeviceSpec::a100() {
+  DeviceSpec s;
+  s.name = "A100-SXM4-40GB";
+  s.num_sms = 108;
+  s.warp_size = 32;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 32;
+  s.warp_schedulers_per_sm = 4;
+  s.clock_ghz = 1.41;
+  s.shmem_per_sm_bytes = 164 * 1024;
+  s.max_shmem_per_block_bytes = 164 * 1024;
+  s.global_bw_gbps = 1555.0;
+  s.transaction_bytes = 32;
+  s.mem_issue_cycles = 1;
+  s.warps_for_full_throughput = 28;
+  s.latency_hide_base = 0.45;
+  s.pcie_bw_gbps = 24.0;
+  s.launch_overhead_s = 3.0e-6;
+  return s;
+}
+
+}  // namespace ohd::cudasim

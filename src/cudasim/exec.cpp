@@ -1,0 +1,150 @@
+#include "cudasim/exec.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ohd::cudasim {
+
+void ThreadCtx::shared_access(std::uint32_t count) {
+  block_.stats_.shared_accesses += count;
+}
+
+void ThreadCtx::global_access(std::uint64_t addr, std::uint32_t bytes,
+                              bool is_write) {
+  // Slot = how many accesses this lane has already made in the current phase;
+  // the k-th access of every lane in the warp coalesces together.
+  const std::uint32_t slot = slot_counter_++;
+  if (slot >= block_.slots_.size()) {
+    block_.slots_.resize(slot + 1);
+  }
+  block_.slots_used_ = std::max(block_.slots_used_, slot + 1);
+  const std::uint64_t first = addr / 32;
+  const std::uint64_t last = (addr + std::max(bytes, 1u) - 1) / 32;
+  for (std::uint64_t seg = first; seg <= last; ++seg) {
+    const bool warp_new = block_.warp_sectors_.insert(seg).second;
+    if (is_write) {
+      // Write-through (V100 global stores bypass L1): every distinct sector
+      // per slot is a memory-system transaction; only intra-slot coalescing
+      // applies.
+      if (!block_.slots_[slot].contains(seg)) {
+        ++block_.stats_.global_transactions;
+      }
+    } else if (warp_new) {
+      // Reads re-touching a sector this warp already holds are L1 hits.
+      ++block_.stats_.global_transactions;
+    }
+    block_.slots_[slot].insert(seg);
+  }
+  block_.stats_.global_bytes_useful += bytes;
+}
+
+BlockCtx::BlockCtx(const DeviceSpec& spec, LaunchConfig cfg,
+                   std::uint32_t block_idx)
+    : spec_(spec), cfg_(cfg), block_idx_(block_idx), shared_(cfg.shmem_bytes) {
+  stats_.grid_dim = cfg.grid_dim;
+  stats_.block_dim = cfg.block_dim;
+  stats_.shmem_per_block = cfg.shmem_bytes;
+}
+
+void BlockCtx::flush_warp(std::uint64_t max_lane_cycles) {
+  // Memory issue cost: every distinct transaction occupies the LSU.
+  // Bandwidth-wise (stats_.global_transactions) a sector already touched by
+  // this warp in the current phase is an L1 hit and is not recounted — this
+  // models the warp-phase working-set reuse of the real kernels (decode
+  // tables, a subsequence's units).
+  std::uint64_t mem_cycles = 0;
+  for (std::uint32_t s = 0; s < slots_used_; ++s) {
+    const std::uint32_t txns = slots_[s].distinct();
+    mem_cycles += static_cast<std::uint64_t>(txns) * spec_.mem_issue_cycles;
+    slots_[s].clear();
+  }
+  slots_used_ = 0;
+  warp_sectors_.clear();
+  phase_warp_max_cycles_ =
+      std::max(phase_warp_max_cycles_, max_lane_cycles + mem_cycles);
+}
+
+void BlockCtx::for_each_thread(const std::function<void(ThreadCtx&)>& f) {
+  const std::uint32_t warp_size = spec_.warp_size;
+  phase_warp_max_cycles_ = 0;
+  std::uint64_t warp_max_lane_cycles = 0;
+  for (std::uint32_t tid = 0; tid < cfg_.block_dim; ++tid) {
+    if (tid != 0 && tid % warp_size == 0) {
+      flush_warp(warp_max_lane_cycles);
+      warp_max_lane_cycles = 0;
+    }
+    ThreadCtx t(*this);
+    t.tid_ = tid;
+    t.warp_size_ = warp_size;
+    f(t);
+    warp_max_lane_cycles = std::max(warp_max_lane_cycles, t.cycles_);
+  }
+  flush_warp(warp_max_lane_cycles);
+  // Barrier: the block's phase costs as much as its slowest warp, and every
+  // warp occupies its scheduler slot for that long.
+  block_cycles_ += phase_warp_max_cycles_;
+  stats_.barriers += 1;
+
+  const std::uint32_t warps_per_block =
+      (cfg_.block_dim + warp_size - 1) / warp_size;
+  stats_.critical_block_cycles_max = block_cycles_;
+  stats_.block_cycles_sum = block_cycles_;
+  stats_.scheduled_warp_cycles = block_cycles_ * warps_per_block;
+}
+
+void BlockCtx::charge_all(std::uint64_t cycles) {
+  block_cycles_ += cycles;
+  const std::uint32_t warps_per_block =
+      (cfg_.block_dim + spec_.warp_size - 1) / spec_.warp_size;
+  stats_.critical_block_cycles_max = block_cycles_;
+  stats_.block_cycles_sum = block_cycles_;
+  stats_.scheduled_warp_cycles = block_cycles_ * warps_per_block;
+}
+
+SimContext::SimContext(DeviceSpec spec) : model_(std::move(spec)) {}
+
+std::uint64_t SimContext::reserve_address(std::uint64_t bytes) {
+  // 512-byte alignment so distinct buffers never share a 32B segment.
+  const std::uint64_t base = next_address_;
+  next_address_ += (bytes + 511) / 512 * 512 + 512;
+  return base;
+}
+
+KernelResult SimContext::run(LaunchConfig cfg, const BlockKernel& body) {
+  KernelStats total;
+  total.grid_dim = cfg.grid_dim;
+  total.block_dim = cfg.block_dim;
+  total.shmem_per_block = cfg.shmem_bytes;
+
+  for (std::uint32_t b = 0; b < cfg.grid_dim; ++b) {
+    BlockCtx block(model_.spec(), cfg, b);
+    body(block);
+    total.merge(block.stats());
+  }
+  KernelResult result;
+  result.stats = total;
+  result.timing = model_.time_kernel(total);
+  return result;
+}
+
+KernelResult SimContext::launch(const std::string& name, LaunchConfig cfg,
+                                const BlockKernel& body) {
+  KernelResult result = run(cfg, body);
+  timeline_.add(name, result.timing.seconds);
+  return result;
+}
+
+KernelResult SimContext::launch_untimed(const std::string& /*name*/,
+                                        LaunchConfig cfg,
+                                        const BlockKernel& body) {
+  return run(cfg, body);
+}
+
+double SimContext::host_to_device(std::uint64_t bytes,
+                                  const std::string& name) {
+  const double seconds = model_.host_to_device_seconds(bytes);
+  timeline_.add(name, seconds);
+  return seconds;
+}
+
+}  // namespace ohd::cudasim

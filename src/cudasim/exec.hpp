@@ -1,0 +1,220 @@
+// Functional execution of CUDA-style kernels on the host, with architectural
+// event recording.
+//
+// Kernels are written *phase-structured*: the body receives a BlockCtx and
+// calls for_each_thread(...) once per barrier-delimited phase. Because the
+// host executes lanes of a phase sequentially, __syncthreads() semantics
+// between consecutive for_each_thread calls hold trivially, while per-lane
+// work inside one call is recorded with SIMT cost semantics (a warp's phase
+// cost is the max over its lanes).
+//
+// Example (a kernel with two phases separated by a barrier):
+//
+//   ctx.launch("scale", {grid, block, shmem}, [&](cudasim::BlockCtx& blk) {
+//     auto* buf = blk.shared_as<float>();
+//     blk.for_each_thread([&](cudasim::ThreadCtx& t) {   // phase 1
+//       buf[t.tid()] = in[blk.global_tid(t)];
+//       t.global_read(in.addr_of(blk.global_tid(t)), 4);
+//       t.charge(4);
+//     });
+//     blk.for_each_thread([&](cudasim::ThreadCtx& t) {   // phase 2
+//       out[blk.global_tid(t)] = 2.f * buf[t.tid()];
+//       t.global_write(out.addr_of(blk.global_tid(t)), 4);
+//       t.charge(4);
+//     });
+//   });
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cudasim/device_spec.hpp"
+#include "cudasim/perf_model.hpp"
+#include "cudasim/timeline.hpp"
+
+namespace ohd::cudasim {
+
+struct LaunchConfig {
+  std::uint32_t grid_dim = 1;
+  std::uint32_t block_dim = 1;
+  std::uint32_t shmem_bytes = 0;
+};
+
+namespace detail {
+
+/// Unique 32-byte segments touched by one warp-wide access slot. Inline
+/// storage: a warp has at most warp_size lanes, each touching at most two
+/// segments for the small scalar accesses our kernels perform.
+class SegmentSet {
+public:
+  void insert(std::uint64_t segment) {
+    min_seg_ = count_ == 0 ? segment : (segment < min_seg_ ? segment : min_seg_);
+    max_seg_ = count_ == 0 ? segment : (segment > max_seg_ ? segment : max_seg_);
+    for (std::uint32_t i = 0; i < count_ && i < kCapacity; ++i) {
+      if (segments_[i] == segment) return;
+    }
+    if (count_ < kCapacity) segments_[count_] = segment;
+    ++count_;  // distinct count saturates at capacity precision
+  }
+  std::uint32_t distinct() const { return count_; }
+  bool contains(std::uint64_t segment) const {
+    for (std::uint32_t i = 0; i < count_ && i < kCapacity; ++i) {
+      if (segments_[i] == segment) return true;
+    }
+    return false;
+  }
+  /// Byte span of the slot's accesses (sector-granular).
+  std::uint64_t span_bytes() const {
+    return count_ == 0 ? 0 : (max_seg_ - min_seg_ + 1) * 32;
+  }
+  void clear() { count_ = 0; }
+
+private:
+  static constexpr std::uint32_t kCapacity = 64;
+  std::uint64_t segments_[kCapacity];
+  std::uint64_t min_seg_ = 0;
+  std::uint64_t max_seg_ = 0;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace detail
+
+class BlockCtx;
+
+/// Per-lane handle given to kernel thread functions.
+class ThreadCtx {
+public:
+  std::uint32_t tid() const { return tid_; }
+  std::uint32_t lane() const { return tid_ % warp_size_; }
+  std::uint32_t warp() const { return tid_ / warp_size_; }
+
+  /// Charge compute cycles to this lane in the current phase.
+  void charge(std::uint64_t cycles) { cycles_ += cycles; }
+
+  /// Record a global-memory read/write of `bytes` at byte address `addr`.
+  /// The k-th access of each lane in a warp is treated as simultaneous for
+  /// coalescing purposes. Reads hitting a sector this warp already touched
+  /// in the current phase are L1 hits; stores are write-through (V100
+  /// semantics) and always cost a sector transaction.
+  void global_read(std::uint64_t addr, std::uint32_t bytes) {
+    global_access(addr, bytes, /*is_write=*/false);
+  }
+  void global_write(std::uint64_t addr, std::uint32_t bytes) {
+    global_access(addr, bytes, /*is_write=*/true);
+  }
+
+  /// Record a shared-memory access (counted; banked conflicts not modelled).
+  void shared_access(std::uint32_t count = 1);
+
+private:
+  friend class BlockCtx;
+  explicit ThreadCtx(BlockCtx& block) : block_(block) {}
+  void global_access(std::uint64_t addr, std::uint32_t bytes, bool is_write);
+
+  BlockCtx& block_;
+  std::uint32_t tid_ = 0;
+  std::uint32_t warp_size_ = 32;
+  std::uint64_t cycles_ = 0;
+  std::uint32_t slot_counter_ = 0;
+};
+
+/// One block's execution context: shared-memory arena plus event recorder.
+class BlockCtx {
+public:
+  BlockCtx(const DeviceSpec& spec, LaunchConfig cfg, std::uint32_t block_idx);
+
+  std::uint32_t block_idx() const { return block_idx_; }
+  std::uint32_t block_dim() const { return cfg_.block_dim; }
+  std::uint32_t grid_dim() const { return cfg_.grid_dim; }
+  std::uint32_t shared_size() const { return cfg_.shmem_bytes; }
+
+  std::byte* shared() { return shared_.data(); }
+  template <typename T>
+  T* shared_as() {
+    return reinterpret_cast<T*>(shared_.data());
+  }
+
+  /// Global thread id for a lane of this block.
+  std::uint64_t global_tid(const ThreadCtx& t) const {
+    return static_cast<std::uint64_t>(block_idx_) * cfg_.block_dim + t.tid();
+  }
+
+  /// Execute one barrier-delimited phase: `f` runs once per thread, in tid
+  /// order; SIMT cost semantics are applied per warp.
+  void for_each_thread(const std::function<void(ThreadCtx&)>& f);
+
+  /// Charge cycles uniformly to every lane of the block without running user
+  /// code (used for fixed-cost steps such as a barrier's own latency).
+  void charge_all(std::uint64_t cycles);
+
+  /// Event totals accumulated so far for this block.
+  const KernelStats& stats() const { return stats_; }
+
+private:
+  friend class ThreadCtx;
+  void flush_warp(std::uint64_t max_lane_cycles);
+
+  const DeviceSpec& spec_;
+  LaunchConfig cfg_;
+  std::uint32_t block_idx_;
+  std::vector<std::byte> shared_;
+
+  // Recording state for the phase currently executing.
+  std::vector<detail::SegmentSet> slots_;
+  std::unordered_set<std::uint64_t> warp_sectors_;  // L1 reuse within a warp
+  std::uint32_t slots_used_ = 0;
+  std::uint64_t phase_warp_max_cycles_ = 0;  // max over finished warps
+  std::uint64_t block_cycles_ = 0;           // sum over finished phases
+  KernelStats stats_;
+};
+
+using BlockKernel = std::function<void(BlockCtx&)>;
+
+/// Result of a simulated launch.
+struct KernelResult {
+  KernelTiming timing;
+  KernelStats stats;
+};
+
+/// Owns the device spec, the performance model, the simulated timeline, and
+/// the device address space used for coalescing analysis.
+class SimContext {
+public:
+  explicit SimContext(DeviceSpec spec = DeviceSpec::v100());
+
+  const DeviceSpec& spec() const { return model_.spec(); }
+  const PerfModel& model() const { return model_; }
+  Timeline& timeline() { return timeline_; }
+  const Timeline& timeline() const { return timeline_; }
+
+  /// Run `body` once per block, record events, convert them to simulated
+  /// time, append that time to the timeline under `name`, and return it.
+  KernelResult launch(const std::string& name, LaunchConfig cfg,
+                      const BlockKernel& body);
+
+  /// Same as launch() but the timing is NOT appended to the timeline; used
+  /// by components that model concurrent streams themselves (Algorithm 2
+  /// launches up to T_high+1 kernels on independent streams).
+  KernelResult launch_untimed(const std::string& name, LaunchConfig cfg,
+                              const BlockKernel& body);
+
+  /// Reserve a device address range of `bytes` for a buffer; returns the base
+  /// address. Addresses only feed the coalescing model.
+  std::uint64_t reserve_address(std::uint64_t bytes);
+
+  /// Simulated host-to-device transfer; appends to the timeline.
+  double host_to_device(std::uint64_t bytes, const std::string& name = "h2d");
+
+private:
+  KernelResult run(LaunchConfig cfg, const BlockKernel& body);
+
+  PerfModel model_;
+  Timeline timeline_;
+  std::uint64_t next_address_ = 1 << 12;
+};
+
+}  // namespace ohd::cudasim

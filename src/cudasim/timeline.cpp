@@ -1,0 +1,23 @@
+#include "cudasim/timeline.hpp"
+
+namespace ohd::cudasim {
+
+void Timeline::add(const std::string& name, double seconds) {
+  entries_.emplace_back(name, seconds);
+  total_ += seconds;
+}
+
+void Timeline::clear() {
+  entries_.clear();
+  total_ = 0.0;
+}
+
+double Timeline::total_with_prefix(const std::string& prefix) const {
+  double sum = 0.0;
+  for (const auto& [name, seconds] : entries_) {
+    if (name.rfind(prefix, 0) == 0) sum += seconds;
+  }
+  return sum;
+}
+
+}  // namespace ohd::cudasim

@@ -1,0 +1,32 @@
+// Accumulates simulated time per named phase of a (de)compression pipeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ohd::cudasim {
+
+class Timeline {
+public:
+  void add(const std::string& name, double seconds);
+  void clear();
+
+  /// Total simulated seconds across all entries.
+  double total() const { return total_; }
+
+  /// Sum of entries whose name starts with `prefix`.
+  double total_with_prefix(const std::string& prefix) const;
+
+  /// All entries in insertion order.
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+private:
+  std::vector<std::pair<std::string, double>> entries_;
+  double total_ = 0.0;
+};
+
+}  // namespace ohd::cudasim

@@ -1,0 +1,89 @@
+#include "data/generic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ohd::data {
+
+using util::Xoshiro256;
+
+std::vector<std::uint16_t> uniform_stream(std::size_t n, std::uint32_t alphabet,
+                                          std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> out(n);
+  for (auto& s : out) s = static_cast<std::uint16_t>(rng.bounded(alphabet));
+  return out;
+}
+
+std::vector<std::uint16_t> geometric_stream(std::size_t n,
+                                            std::uint32_t alphabet,
+                                            double cont, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> out(n);
+  for (auto& s : out) {
+    std::uint32_t v = 0;
+    while (v + 1 < alphabet && rng.uniform() < cont) ++v;
+    s = static_cast<std::uint16_t>(v);
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> zipf_stream(std::size_t n, std::uint32_t alphabet,
+                                       double s, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  // Inverse-CDF sampling over the (finite) Zipf distribution.
+  std::vector<double> cdf(alphabet);
+  double acc = 0.0;
+  for (std::uint32_t k = 0; k < alphabet; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = acc;
+  }
+  std::vector<std::uint16_t> out(n);
+  for (auto& sym : out) {
+    const double u = rng.uniform() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    sym = static_cast<std::uint16_t>(it - cdf.begin());
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> markov_stream(std::size_t n, std::uint32_t alphabet,
+                                         double switch_prob,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> out(n);
+  bool burst = false;
+  const std::uint32_t calm_symbol = alphabet / 2;
+  for (auto& s : out) {
+    if (rng.uniform() < switch_prob) burst = !burst;
+    if (burst) {
+      s = static_cast<std::uint16_t>(rng.bounded(alphabet));
+    } else {
+      // Calm: tight around a single symbol.
+      const long v = static_cast<long>(calm_symbol) +
+                     static_cast<long>(rng.bounded(3)) - 1;
+      s = static_cast<std::uint16_t>(
+          std::clamp<long>(v, 0, static_cast<long>(alphabet) - 1));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> quant_code_stream(std::size_t n,
+                                             std::uint32_t alphabet,
+                                             double sigma,
+                                             std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> out(n);
+  const long center = static_cast<long>(alphabet / 2);
+  for (auto& s : out) {
+    const long v = center + std::lround(rng.normal() * sigma);
+    s = static_cast<std::uint16_t>(
+        std::clamp<long>(v, 1, static_cast<long>(alphabet) - 1));
+  }
+  return out;
+}
+
+}  // namespace ohd::data

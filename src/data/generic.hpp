@@ -1,0 +1,39 @@
+// Generic synthetic symbol-stream generators for tests, property sweeps, and
+// microbenchmarks: distributions chosen to stress specific decoder behaviors
+// (uniform => long codewords / slow self-sync; geometric => realistic skew;
+// zipf => heavy head with long tail; markov => bursty regions with locally
+// varying compressibility, the pattern Algorithm 2 exploits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ohd::data {
+
+std::vector<std::uint16_t> uniform_stream(std::size_t n, std::uint32_t alphabet,
+                                          std::uint64_t seed);
+
+/// P(symbol = k) proportional to (1-p)^k; `cont` = p in (0, 1).
+std::vector<std::uint16_t> geometric_stream(std::size_t n,
+                                            std::uint32_t alphabet,
+                                            double cont, std::uint64_t seed);
+
+/// P(symbol = k) proportional to 1/(k+1)^s.
+std::vector<std::uint16_t> zipf_stream(std::size_t n, std::uint32_t alphabet,
+                                       double s, std::uint64_t seed);
+
+/// Two-state Markov stream: a "calm" state emitting near-constant symbols
+/// and a "burst" state emitting broad symbols, with the given switching
+/// probability. Produces sequences whose local compression ratios differ —
+/// the workload Algorithm 2's per-class kernels target.
+std::vector<std::uint16_t> markov_stream(std::size_t n, std::uint32_t alphabet,
+                                         double switch_prob,
+                                         std::uint64_t seed);
+
+/// Quantization-code-like stream: Gaussian around alphabet/2, clamped to
+/// [1, alphabet-1] (0 is cuSZ's outlier code).
+std::vector<std::uint16_t> quant_code_stream(std::size_t n,
+                                             std::uint32_t alphabet,
+                                             double sigma, std::uint64_t seed);
+
+}  // namespace ohd::data

@@ -1,0 +1,204 @@
+#include "huffman/codebook.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <queue>
+#include <stdexcept>
+
+namespace ohd::huffman {
+
+std::vector<std::uint64_t> symbol_histogram(std::span<const std::uint16_t> data,
+                                            std::uint32_t num_symbols) {
+  std::vector<std::uint64_t> freqs(num_symbols, 0);
+  for (std::uint16_t s : data) {
+    if (s < num_symbols) {
+      ++freqs[s];
+    } else {
+      throw std::out_of_range("symbol exceeds alphabet size");
+    }
+  }
+  return freqs;
+}
+
+namespace {
+
+/// One round of Huffman's algorithm; returns per-symbol depths.
+std::vector<std::uint8_t> build_depths(std::span<const std::uint64_t> freqs) {
+  struct Node {
+    std::uint64_t freq;
+    std::uint32_t order;  // tie-break for determinism
+    std::int32_t left;    // child node indices, -1 for leaves
+    std::int32_t right;
+    std::int32_t symbol;  // leaf symbol, -1 for internal
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(freqs.size() * 2);
+  using HeapItem = std::pair<std::uint64_t, std::uint32_t>;  // (freq, node)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] == 0) continue;
+    const auto idx = static_cast<std::uint32_t>(nodes.size());
+    nodes.push_back({freqs[s], idx, -1, -1, static_cast<std::int32_t>(s)});
+    heap.emplace(freqs[s], idx);
+  }
+
+  std::vector<std::uint8_t> depths(freqs.size(), 0);
+  if (nodes.empty()) return depths;
+  if (nodes.size() == 1) {
+    // Degenerate single-symbol alphabet: emit a 1-bit code so the stream is
+    // still self-delimiting.
+    depths[static_cast<std::size_t>(nodes[0].symbol)] = 1;
+    return depths;
+  }
+
+  while (heap.size() > 1) {
+    const auto [fa, a] = heap.top();
+    heap.pop();
+    const auto [fb, b] = heap.top();
+    heap.pop();
+    const auto idx = static_cast<std::uint32_t>(nodes.size());
+    nodes.push_back({fa + fb, idx, static_cast<std::int32_t>(a),
+                     static_cast<std::int32_t>(b), -1});
+    heap.emplace(fa + fb, idx);
+  }
+
+  // Depth-first traversal assigning depths.
+  struct Frame {
+    std::uint32_t node;
+    std::uint8_t depth;
+  };
+  std::vector<Frame> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[f.node];
+    if (n.symbol >= 0) {
+      depths[static_cast<std::size_t>(n.symbol)] = f.depth;
+      continue;
+    }
+    stack.push_back({static_cast<std::uint32_t>(n.left),
+                     static_cast<std::uint8_t>(f.depth + 1)});
+    stack.push_back({static_cast<std::uint32_t>(n.right),
+                     static_cast<std::uint8_t>(f.depth + 1)});
+  }
+  return depths;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs) {
+  std::vector<std::uint64_t> working(freqs.begin(), freqs.end());
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<std::uint8_t> depths = build_depths(working);
+    const std::uint8_t max_depth =
+        depths.empty() ? 0 : *std::max_element(depths.begin(), depths.end());
+    if (max_depth <= kMaxCodeLen) return depths;
+    // Flatten: halving (with a floor of 1 for occurring symbols) compresses
+    // the dynamic range of frequencies, which shortens the deepest leaves.
+    for (std::size_t s = 0; s < working.size(); ++s) {
+      if (working[s] > 0) working[s] = (working[s] + 1) / 2;
+    }
+  }
+  throw std::runtime_error("huffman_code_lengths failed to satisfy length cap");
+}
+
+Codebook Codebook::from_lengths(std::span<const std::uint8_t> lengths) {
+  Codebook cb;
+  cb.encode_.assign(lengths.size(), Codeword{});
+  cb.max_len_ = 0;
+  for (std::uint8_t l : lengths) {
+    cb.max_len_ = std::max<std::uint32_t>(cb.max_len_, l);
+  }
+  if (cb.max_len_ > kMaxCodeLen) {
+    throw std::invalid_argument("code length exceeds kMaxCodeLen");
+  }
+
+  cb.count_.assign(cb.max_len_ + 1, 0);
+  for (std::uint8_t l : lengths) {
+    if (l > 0) ++cb.count_[l];
+  }
+
+  // Canonical first codes: codes of each length are consecutive, and
+  // first_code[l] = (first_code[l-1] + count[l-1]) << 1.
+  cb.first_code_.assign(cb.max_len_ + 1, 0);
+  cb.offset_.assign(cb.max_len_ + 1, 0);
+  std::uint32_t code = 0;
+  std::uint32_t offset = 0;
+  for (std::uint32_t l = 1; l <= cb.max_len_; ++l) {
+    code = (code + (l > 1 ? cb.count_[l - 1] : 0)) << 1;
+    if (l == 1) code = 0;
+    cb.first_code_[l] = code;
+    cb.offset_[l] = offset;
+    offset += cb.count_[l];
+  }
+
+  // Assign codewords to symbols in (length, symbol) order — the canonical
+  // ordering — and build the code->symbol table.
+  cb.symbols_by_code_.assign(offset, 0);
+  std::vector<std::uint32_t> next_code(cb.first_code_);
+  std::vector<std::uint32_t> next_slot(cb.offset_);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const std::uint8_t l = lengths[s];
+    if (l == 0) continue;
+    cb.encode_[s].bits = next_code[l]++;
+    cb.encode_[s].len = l;
+    cb.symbols_by_code_[next_slot[l]++] = static_cast<std::uint16_t>(s);
+  }
+
+  // Sanity: the code space must not be oversubscribed (Kraft inequality).
+  std::uint64_t kraft = 0;
+  for (std::uint32_t l = 1; l <= cb.max_len_; ++l) {
+    kraft += static_cast<std::uint64_t>(cb.count_[l])
+             << (kMaxCodeLen - l);
+  }
+  if (kraft > (1ull << kMaxCodeLen)) {
+    throw std::invalid_argument("code lengths violate Kraft inequality");
+  }
+  return cb;
+}
+
+Codebook Codebook::from_data(std::span<const std::uint16_t> data,
+                             std::uint32_t num_symbols) {
+  const auto freqs = symbol_histogram(data, num_symbols);
+  return from_lengths(huffman_code_lengths(freqs));
+}
+
+double Codebook::expected_bits_per_symbol(
+    std::span<const std::uint64_t> freqs) const {
+  std::uint64_t total = 0;
+  std::uint64_t bits = 0;
+  for (std::size_t s = 0; s < freqs.size() && s < encode_.size(); ++s) {
+    total += freqs[s];
+    bits += freqs[s] * encode_[s].len;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(bits) / static_cast<double>(total);
+}
+
+std::vector<std::uint8_t> Codebook::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + encode_.size());
+  const std::uint32_t n = alphabet_size();
+  out.push_back(static_cast<std::uint8_t>(n & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((n >> 24) & 0xFF));
+  for (const Codeword& c : encode_) out.push_back(c.len);
+  return out;
+}
+
+Codebook Codebook::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) throw std::invalid_argument("truncated codebook");
+  const std::uint32_t n = static_cast<std::uint32_t>(bytes[0]) |
+                          (static_cast<std::uint32_t>(bytes[1]) << 8) |
+                          (static_cast<std::uint32_t>(bytes[2]) << 16) |
+                          (static_cast<std::uint32_t>(bytes[3]) << 24);
+  if (bytes.size() < 4 + n) throw std::invalid_argument("truncated codebook");
+  std::vector<std::uint8_t> lengths(bytes.begin() + 4, bytes.begin() + 4 + n);
+  return from_lengths(lengths);
+}
+
+}  // namespace ohd::huffman

@@ -1,0 +1,88 @@
+// Huffman codebook construction and canonical code tables.
+//
+// All decoders in this repository decode *canonical* Huffman codes via the
+// first-code method, so a single codeword layout serves the cuSZ baseline,
+// the self-synchronization decoder, and the gap-array decoder, keeping phase
+// comparisons apples-to-apples (paper §IV).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ohd::huffman {
+
+/// Maximum codeword length supported by the decoders. cuSZ caps codeword
+/// length so a codeword always fits one 32-bit unit with room to spare; we
+/// use 24 bits and rebuild with flattened frequencies if the tree exceeds it.
+inline constexpr std::uint32_t kMaxCodeLen = 24;
+
+struct Codeword {
+  std::uint32_t bits = 0;  // right-aligned codeword value
+  std::uint8_t len = 0;    // 0 => symbol does not occur
+};
+
+/// Frequency histogram of a u16 symbol stream over [0, num_symbols).
+std::vector<std::uint64_t> symbol_histogram(std::span<const std::uint16_t> data,
+                                            std::uint32_t num_symbols);
+
+/// Computes optimal prefix-free code lengths (Huffman's algorithm) from
+/// frequencies. Lengths are capped at kMaxCodeLen by iteratively halving
+/// frequencies and rebuilding (the standard practical fix; optimality loss is
+/// negligible for the capped tail). Symbols with zero frequency get length 0.
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs);
+
+/// Canonical Huffman codebook: encode table plus the decode tables used by
+/// every decoder's per-codeword step.
+class Codebook {
+public:
+  /// Builds the canonical codebook from per-symbol code lengths.
+  static Codebook from_lengths(std::span<const std::uint8_t> lengths);
+
+  /// Convenience: histogram + length computation + canonical assignment.
+  static Codebook from_data(std::span<const std::uint16_t> data,
+                            std::uint32_t num_symbols);
+
+  std::uint32_t alphabet_size() const {
+    return static_cast<std::uint32_t>(encode_.size());
+  }
+  const Codeword& code(std::uint16_t symbol) const { return encode_[symbol]; }
+  std::span<const Codeword> encode_table() const { return encode_; }
+
+  /// Canonical decode tables (first-code method):
+  ///   first_code[l] — the smallest codeword value of length l;
+  ///   count[l]      — how many codewords have length l;
+  ///   offset[l]     — index into symbols_by_code of the first such symbol.
+  /// Decoding accumulates bits into `code`; at length l the codeword is valid
+  /// iff code - first_code[l] < count[l].
+  std::span<const std::uint32_t> first_code() const { return first_code_; }
+  std::span<const std::uint32_t> count() const { return count_; }
+  std::span<const std::uint32_t> offset() const { return offset_; }
+  std::span<const std::uint16_t> symbols_by_code() const {
+    return symbols_by_code_;
+  }
+  std::uint32_t max_len() const { return max_len_; }
+
+  /// Average codeword length weighted by `freqs` (bits/symbol); used by
+  /// benches to report expected compression ratios.
+  double expected_bits_per_symbol(std::span<const std::uint64_t> freqs) const;
+
+  /// Serialized size in bytes when stored in a compressed blob (one length
+  /// byte per symbol; canonical codes are reproducible from lengths alone).
+  std::uint64_t serialized_bytes() const { return encode_.size() + 8; }
+
+  /// Serialize / reconstruct (format: u32 alphabet size, then length bytes).
+  std::vector<std::uint8_t> serialize() const;
+  static Codebook deserialize(std::span<const std::uint8_t> bytes);
+
+private:
+  std::vector<Codeword> encode_;
+  std::vector<std::uint32_t> first_code_;   // indexed by length 0..max_len
+  std::vector<std::uint32_t> count_;        // indexed by length
+  std::vector<std::uint32_t> offset_;       // indexed by length
+  std::vector<std::uint16_t> symbols_by_code_;
+  std::uint32_t max_len_ = 0;
+};
+
+}  // namespace ohd::huffman

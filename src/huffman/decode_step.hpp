@@ -1,0 +1,48 @@
+// The single-codeword decode step shared by every decoder in this repository
+// (naive cuSZ, self-synchronization, gap-array). Canonical first-code
+// decoding: accumulate bits MSB-first; at length l the accumulated value is a
+// valid codeword iff code - first_code[l] < count[l].
+#pragma once
+
+#include <cstdint>
+
+#include "bitio/bit_reader.hpp"
+#include "huffman/codebook.hpp"
+
+namespace ohd::huffman {
+
+struct DecodedSymbol {
+  std::uint16_t symbol = 0;
+  std::uint8_t len = 0;  // bits consumed
+  bool valid = false;
+};
+
+/// Decodes one codeword starting at the reader's current position. Always
+/// consumes at least one bit; on an unassigned prefix (possible only for
+/// incomplete codes, e.g. a single-symbol alphabet, or when decoding
+/// desynchronized garbage) consumes max_len bits and returns valid=false.
+inline DecodedSymbol decode_one(bitio::BitReader& reader, const Codebook& cb) {
+  std::uint32_t code = 0;
+  const std::uint32_t max_len = cb.max_len();
+  const auto first_code = cb.first_code();
+  const auto count = cb.count();
+  const auto offset = cb.offset();
+  const auto symbols = cb.symbols_by_code();
+  for (std::uint32_t l = 1; l <= max_len; ++l) {
+    code = (code << 1) | reader.get_bit();
+    const std::uint32_t fc = first_code[l];
+    if (code >= fc && code - fc < count[l]) {
+      DecodedSymbol out;
+      out.symbol = symbols[offset[l] + (code - fc)];
+      out.len = static_cast<std::uint8_t>(l);
+      out.valid = true;
+      return out;
+    }
+  }
+  DecodedSymbol out;
+  out.len = static_cast<std::uint8_t>(max_len == 0 ? 1 : max_len);
+  out.valid = false;
+  return out;
+}
+
+}  // namespace ohd::huffman

@@ -1,0 +1,126 @@
+#include "huffman/encoder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "bitio/bit_reader.hpp"
+#include "bitio/bit_writer.hpp"
+#include "huffman/decode_step.hpp"
+
+namespace ohd::huffman {
+
+namespace {
+
+void append_symbols(bitio::BitWriter& writer,
+                    std::span<const std::uint16_t> data, const Codebook& cb) {
+  for (std::uint16_t s : data) {
+    const Codeword& c = cb.code(s);
+    if (c.len == 0) {
+      throw std::invalid_argument("symbol has no codeword (zero frequency)");
+    }
+    writer.put(c.bits, c.len);
+  }
+}
+
+}  // namespace
+
+StreamEncoding encode_plain(std::span<const std::uint16_t> data,
+                            const Codebook& cb, StreamGeometry geometry) {
+  bitio::BitWriter writer;
+  append_symbols(writer, data, cb);
+  StreamEncoding enc;
+  enc.total_bits = writer.bit_count();
+  enc.num_symbols = data.size();
+  enc.geometry = geometry;
+  writer.pad_to(geometry.seq_bits());
+  enc.units = writer.finish();
+  return enc;
+}
+
+GapEncoding encode_gap(std::span<const std::uint16_t> data, const Codebook& cb,
+                       StreamGeometry geometry) {
+  GapEncoding out;
+  bitio::BitWriter writer;
+  const std::uint64_t subseq_bits = geometry.subseq_bits();
+
+  // Gap computation relies on max code length < subsequence size so that at
+  // most one boundary lies between consecutive codeword starts.
+  assert(kMaxCodeLen < subseq_bits);
+
+  std::uint64_t next_boundary = 0;  // subsequence index whose gap is pending
+  for (std::uint16_t s : data) {
+    const Codeword& c = cb.code(s);
+    if (c.len == 0) {
+      throw std::invalid_argument("symbol has no codeword (zero frequency)");
+    }
+    const std::uint64_t start = writer.bit_count();
+    while (next_boundary * subseq_bits <= start) {
+      const std::uint64_t gap = start - next_boundary * subseq_bits;
+      assert(gap < 256);
+      out.gaps.push_back(static_cast<std::uint8_t>(gap));
+      ++next_boundary;
+    }
+    writer.put(c.bits, c.len);
+  }
+
+  out.stream.total_bits = writer.bit_count();
+  out.stream.num_symbols = data.size();
+  out.stream.geometry = geometry;
+
+  // Boundaries inside the final partial subsequence (or exactly at the end of
+  // the last codeword) have no codeword starting after them: point the gap
+  // just past the last valid bit so their threads decode nothing.
+  const std::uint64_t num_subseqs =
+      (out.stream.total_bits + subseq_bits - 1) / subseq_bits;
+  while (next_boundary < num_subseqs) {
+    const std::uint64_t gap =
+        out.stream.total_bits - next_boundary * subseq_bits;
+    assert(gap < 256);
+    out.gaps.push_back(static_cast<std::uint8_t>(gap));
+    ++next_boundary;
+  }
+
+  writer.pad_to(geometry.seq_bits());
+  out.stream.units = writer.finish();
+  return out;
+}
+
+ChunkedEncoding encode_chunked(std::span<const std::uint16_t> data,
+                               const Codebook& cb,
+                               std::uint32_t chunk_symbols) {
+  if (chunk_symbols == 0) {
+    throw std::invalid_argument("chunk_symbols must be positive");
+  }
+  ChunkedEncoding enc;
+  enc.chunk_symbols = chunk_symbols;
+  enc.num_symbols = data.size();
+
+  bitio::BitWriter writer;
+  for (std::size_t begin = 0; begin < data.size(); begin += chunk_symbols) {
+    const std::size_t end = std::min(data.size(), begin + chunk_symbols);
+    enc.chunk_bit_offset.push_back(writer.bit_count());
+    enc.chunk_num_symbols.push_back(static_cast<std::uint32_t>(end - begin));
+    append_symbols(writer, data.subspan(begin, end - begin), cb);
+    writer.pad_to(32);  // cuSZ chunks are unit-aligned
+  }
+  enc.total_bits = writer.bit_count();
+  enc.units = writer.finish();
+  return enc;
+}
+
+std::vector<std::uint16_t> decode_sequential(const StreamEncoding& enc,
+                                             const Codebook& cb) {
+  std::vector<std::uint16_t> out;
+  out.reserve(enc.num_symbols);
+  bitio::BitReader reader(enc.units, enc.total_bits);
+  while (out.size() < enc.num_symbols) {
+    const DecodedSymbol d = decode_one(reader, cb);
+    if (!d.valid) {
+      throw std::runtime_error("sequential decode hit an unassigned prefix");
+    }
+    out.push_back(d.symbol);
+  }
+  return out;
+}
+
+}  // namespace ohd::huffman

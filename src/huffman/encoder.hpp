@@ -1,0 +1,97 @@
+// The three Huffman encoders used in the evaluation:
+//
+//  * encode_plain   — a single dense bitstream; input for the
+//                     self-synchronization decoder (no encoder cooperation).
+//  * encode_gap     — the same dense bitstream plus Yamamoto et al.'s gap
+//                     array: one byte per subsequence giving the bit offset
+//                     of the first codeword starting at or after the
+//                     subsequence boundary (encoder/decoder coupling).
+//  * encode_chunked — cuSZ's baseline layout: fixed-symbol-count chunks, each
+//                     padded to a unit boundary, decoded coarsely one thread
+//                     per chunk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "huffman/codebook.hpp"
+
+namespace ohd::huffman {
+
+/// Bitstream geometry shared by the fine-grained decoders (W&S layout): a
+/// SUBSEQUENCE is `units_per_subseq` 32-bit units handled by one thread; a
+/// SEQUENCE is `subseqs_per_seq` subsequences handled by one block.
+struct StreamGeometry {
+  std::uint32_t units_per_subseq = 4;  // 128 bits, as in the paper
+  std::uint32_t subseqs_per_seq = 128; // threads per block, as in the paper
+
+  std::uint64_t subseq_bits() const {
+    return static_cast<std::uint64_t>(units_per_subseq) * 32;
+  }
+  std::uint64_t seq_bits() const { return subseq_bits() * subseqs_per_seq; }
+};
+
+struct StreamEncoding {
+  std::vector<std::uint32_t> units;  // padded to a whole number of sequences
+  std::uint64_t total_bits = 0;      // valid codeword bits (before padding)
+  std::uint64_t num_symbols = 0;
+  StreamGeometry geometry;
+
+  std::uint32_t num_subseqs() const {
+    return static_cast<std::uint32_t>(
+        (total_bits + geometry.subseq_bits() - 1) / geometry.subseq_bits());
+  }
+  std::uint32_t num_seqs() const {
+    return (num_subseqs() + geometry.subseqs_per_seq - 1) /
+           geometry.subseqs_per_seq;
+  }
+  std::uint64_t payload_bytes() const { return units.size() * 4; }
+};
+
+StreamEncoding encode_plain(std::span<const std::uint16_t> data,
+                            const Codebook& cb,
+                            StreamGeometry geometry = {});
+
+struct GapEncoding {
+  StreamEncoding stream;
+  /// gaps[i] = bit offset (0..255) from subsequence boundary i to the first
+  /// codeword starting at or after it; if no codeword starts in subsequence
+  /// i, the offset points just past the last valid bit.
+  std::vector<std::uint8_t> gaps;
+
+  std::uint64_t payload_bytes() const {
+    return stream.payload_bytes() + gaps.size();
+  }
+};
+
+GapEncoding encode_gap(std::span<const std::uint16_t> data, const Codebook& cb,
+                       StreamGeometry geometry = {});
+
+struct ChunkedEncoding {
+  std::vector<std::uint32_t> units;            // chunks back to back
+  std::vector<std::uint64_t> chunk_bit_offset; // unit-aligned start of chunk
+  std::vector<std::uint32_t> chunk_num_symbols;
+  std::uint64_t num_symbols = 0;
+  std::uint32_t chunk_symbols = 0;
+  std::uint64_t total_bits = 0;  // including per-chunk alignment padding
+
+  std::uint32_t num_chunks() const {
+    return static_cast<std::uint32_t>(chunk_bit_offset.size());
+  }
+  std::uint64_t payload_bytes() const {
+    // Stream plus the per-chunk offset metadata cuSZ stores.
+    return units.size() * 4 + chunk_bit_offset.size() * 8;
+  }
+};
+
+ChunkedEncoding encode_chunked(std::span<const std::uint16_t> data,
+                               const Codebook& cb,
+                               std::uint32_t chunk_symbols = 1024);
+
+/// Reference sequential decoder (ground truth for tests): decodes
+/// `num_symbols` codewords from a plain stream.
+std::vector<std::uint16_t> decode_sequential(const StreamEncoding& enc,
+                                             const Codebook& cb);
+
+}  // namespace ohd::huffman

@@ -1,0 +1,118 @@
+#include "huffman/length_limited.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ohd::huffman {
+
+std::uint64_t weighted_length(std::span<const std::uint64_t> freqs,
+                              std::span<const std::uint8_t> lengths) {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < freqs.size() && s < lengths.size(); ++s) {
+    total += freqs[s] * lengths[s];
+  }
+  return total;
+}
+
+std::vector<std::uint8_t> package_merge_lengths(
+    std::span<const std::uint64_t> freqs, std::uint32_t max_len) {
+  struct Item {
+    std::uint64_t freq;
+    std::uint32_t symbol;
+  };
+  std::vector<Item> items;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] > 0) {
+      items.push_back({freqs[s], static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+  if (items.empty()) return lengths;
+  if (items.size() == 1) {
+    lengths[items[0].symbol] = 1;
+    return lengths;
+  }
+  const std::size_t n = items.size();
+  if (max_len >= 64 || (max_len < 63 && (1ull << max_len) < n)) {
+    if (max_len >= 64 || (1ull << max_len) < n) {
+      throw std::invalid_argument("max_len cannot accommodate alphabet");
+    }
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.freq < b.freq; });
+
+  // Nodes across all levels. A node is either a leaf (original item) or a
+  // package of two nodes from the level below.
+  struct Node {
+    std::uint64_t weight;
+    std::int32_t left = -1;   // node indices for packages, -1 for leaves
+    std::int32_t right = -1;
+    std::int32_t item = -1;   // index into `items` for leaves
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n * max_len);
+
+  auto make_leaf_list = [&]() {
+    std::vector<std::int32_t> list;
+    list.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back({items[i].freq, -1, -1, static_cast<std::int32_t>(i)});
+      list.push_back(static_cast<std::int32_t>(nodes.size() - 1));
+    }
+    return list;
+  };
+
+  // Level max_len holds only leaves; each shallower level merges fresh
+  // leaves with packages of the level below.
+  std::vector<std::int32_t> prev = make_leaf_list();
+  for (std::uint32_t level = 1; level < max_len; ++level) {
+    std::vector<std::int32_t> packages;
+    packages.reserve(prev.size() / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      nodes.push_back({nodes[prev[i]].weight + nodes[prev[i + 1]].weight,
+                       prev[i], prev[i + 1], -1});
+      packages.push_back(static_cast<std::int32_t>(nodes.size() - 1));
+    }
+    const std::vector<std::int32_t> leaves = make_leaf_list();
+    std::vector<std::int32_t> merged;
+    merged.reserve(leaves.size() + packages.size());
+    std::merge(leaves.begin(), leaves.end(), packages.begin(), packages.end(),
+               std::back_inserter(merged),
+               [&](std::int32_t a, std::int32_t b) {
+                 return nodes[a].weight < nodes[b].weight;
+               });
+    prev = std::move(merged);
+  }
+
+  // The optimal solution takes the 2n-2 cheapest nodes of the final list;
+  // each time a leaf appears, its symbol's code deepens by one.
+  std::vector<std::uint32_t> depth(n, 0);
+  const std::size_t take = 2 * n - 2;
+  if (prev.size() < take) {
+    throw std::invalid_argument("max_len cannot accommodate alphabet");
+  }
+  std::vector<std::int32_t> stack;
+  for (std::size_t i = 0; i < take; ++i) {
+    stack.push_back(prev[i]);
+    while (!stack.empty()) {
+      const Node& node = nodes[stack.back()];
+      stack.pop_back();
+      if (node.item >= 0) {
+        ++depth[static_cast<std::size_t>(node.item)];
+      } else {
+        stack.push_back(node.left);
+        stack.push_back(node.right);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (depth[i] == 0 || depth[i] > max_len) {
+      throw std::logic_error("package-merge produced an invalid depth");
+    }
+    lengths[items[i].symbol] = static_cast<std::uint8_t>(depth[i]);
+  }
+  return lengths;
+}
+
+}  // namespace ohd::huffman

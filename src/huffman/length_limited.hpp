@@ -1,0 +1,26 @@
+// Optimal length-limited prefix codes via the package-merge algorithm
+// (Larmore & Hirschberg 1990). huffman_code_lengths() caps lengths by
+// iterative frequency flattening, which is fast and near-optimal in practice;
+// package_merge_lengths() is the exact optimum under the cap and serves as
+// the reference the heuristic is tested against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ohd::huffman {
+
+/// Returns per-symbol code lengths minimizing sum(freq * len) subject to
+/// len <= max_len for every occurring symbol. Zero-frequency symbols get
+/// length 0. Throws std::invalid_argument if 2^max_len is smaller than the
+/// number of occurring symbols (no prefix code exists).
+std::vector<std::uint8_t> package_merge_lengths(
+    std::span<const std::uint64_t> freqs, std::uint32_t max_len);
+
+/// Weighted total bits of a length assignment (the quantity package-merge
+/// minimizes); shared by tests and benches.
+std::uint64_t weighted_length(std::span<const std::uint64_t> freqs,
+                              std::span<const std::uint8_t> lengths);
+
+}  // namespace ohd::huffman

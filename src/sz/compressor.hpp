@@ -1,0 +1,78 @@
+// The cuSZ-style error-bounded lossy compression pipeline:
+//
+//   compress:   Lorenzo predict + quantize  ->  Huffman encode (per method)
+//   decompress: Huffman decode (per method) ->  reverse Lorenzo
+//
+// Decompression charges the simulated GPU timeline for every stage, which is
+// what the end-to-end experiments (paper Figures 4 and 5) measure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/huffman_codec.hpp"
+#include "cudasim/exec.hpp"
+#include "sz/lorenzo.hpp"
+#include "sz/metrics.hpp"
+
+namespace ohd::sz {
+
+struct CompressorConfig {
+  /// Point-wise error bound relative to the field's value range (the paper
+  /// evaluates at relative eb 1e-3).
+  double rel_error_bound = 1e-3;
+  std::uint32_t radius = 512;
+  core::Method method = core::Method::GapArrayOptimized;
+  core::DecoderConfig decoder;
+};
+
+struct CompressedBlob {
+  Dims dims;
+  double abs_error_bound = 0.0;
+  std::uint32_t radius = 512;
+  core::EncodedStream encoded;           // Huffman-coded quantization codes
+  std::vector<Outlier> outliers;
+
+  std::uint64_t original_bytes() const { return dims.count() * 4; }
+  std::uint64_t quant_code_bytes() const {
+    return encoded.quant_code_bytes();
+  }
+  std::uint64_t compressed_bytes() const {
+    // Huffman payload + codebook + outliers (index+value) + header.
+    return encoded.compressed_bytes() + outliers.size() * 12 + 64;
+  }
+  double ratio() const {
+    return compression_ratio(original_bytes(), compressed_bytes());
+  }
+};
+
+struct DecompressionResult {
+  std::vector<float> data;
+  core::PhaseTimings huffman_phases;
+  double huffman_seconds = 0.0;
+  double reverse_lorenzo_seconds = 0.0;
+  double outlier_scatter_seconds = 0.0;
+  double h2d_seconds = 0.0;  // only when simulate_h2d (Figure 5)
+
+  double total_seconds() const {
+    return huffman_seconds + reverse_lorenzo_seconds +
+           outlier_scatter_seconds + h2d_seconds;
+  }
+};
+
+/// Compresses `data` with the pipeline configured in `config`.
+CompressedBlob compress(std::span<const float> data, const Dims& dims,
+                        const CompressorConfig& config);
+
+/// Decompresses on the simulated GPU. When `simulate_h2d` is set, the
+/// compressed payload is first "copied" host-to-device over the PCIe model
+/// (Figure 5's scenario); otherwise data is assumed device-resident
+/// (in-memory compression, Figure 4).
+DecompressionResult decompress(cudasim::SimContext& ctx,
+                               const CompressedBlob& blob,
+                               const core::DecoderConfig& decoder_config = {},
+                               bool simulate_h2d = false);
+
+}  // namespace ohd::sz

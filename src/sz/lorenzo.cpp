@@ -1,0 +1,156 @@
+#include "sz/lorenzo.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace ohd::sz {
+
+namespace {
+
+/// Lorenzo prediction at (x, y, z) from the already-processed neighbors of a
+/// raster-order scan, over the integer lattice field `f`.
+inline std::int64_t predict(const std::vector<std::int64_t>& f, const Dims& d,
+                            std::size_t x, std::size_t y, std::size_t z) {
+  const std::size_t nx = d.extent[0];
+  const std::size_t ny = d.extent[1];
+  const std::size_t sy = nx;
+  const std::size_t sz = nx * ny;
+  const std::size_t i = x + y * sy + z * sz;
+  auto at = [&](std::size_t dx, std::size_t dy, std::size_t dz) {
+    return f[i - dx - dy * sy - dz * sz];
+  };
+  switch (d.rank) {
+    case 1:
+      return x > 0 ? at(1, 0, 0) : 0;
+    case 2: {
+      const std::int64_t a = x > 0 ? at(1, 0, 0) : 0;
+      const std::int64_t b = y > 0 ? at(0, 1, 0) : 0;
+      const std::int64_t c = (x > 0 && y > 0) ? at(1, 1, 0) : 0;
+      return a + b - c;
+    }
+    case 3: {
+      const std::int64_t fx = x > 0 ? at(1, 0, 0) : 0;
+      const std::int64_t fy = y > 0 ? at(0, 1, 0) : 0;
+      const std::int64_t fz = z > 0 ? at(0, 0, 1) : 0;
+      const std::int64_t fxy = (x > 0 && y > 0) ? at(1, 1, 0) : 0;
+      const std::int64_t fxz = (x > 0 && z > 0) ? at(1, 0, 1) : 0;
+      const std::int64_t fyz = (y > 0 && z > 0) ? at(0, 1, 1) : 0;
+      const std::int64_t fxyz = (x > 0 && y > 0 && z > 0) ? at(1, 1, 1) : 0;
+      return fx + fy + fz - fxy - fxz - fyz + fxyz;
+    }
+    default:
+      throw std::invalid_argument("unsupported rank");
+  }
+}
+
+}  // namespace
+
+// cuSZ-style DUAL-QUANTIZATION (Tian et al. 2020): first snap every value to
+// the error-bound lattice (ival = round(v / 2eb), the only lossy step, error
+// <= eb), then predict EXACTLY on the integer lattice. Because prediction is
+// exact integer arithmetic there is no reconstruction-noise feedback, which
+// is what lets smooth fields quantize to near-constant codes (Nyx-like data
+// reaches ~1 bit/code, as in the paper's Table IV).
+QuantizedField lorenzo_quantize(std::span<const float> data, const Dims& dims,
+                                double abs_error_bound, std::uint32_t radius) {
+  if (data.size() != dims.count()) {
+    throw std::invalid_argument("data size does not match dims");
+  }
+  if (abs_error_bound <= 0.0) {
+    throw std::invalid_argument("error bound must be positive");
+  }
+  if (radius < 2 || radius > 32768) {
+    throw std::invalid_argument("radius out of range");
+  }
+
+  QuantizedField q;
+  q.dims = dims;
+  q.error_bound = abs_error_bound;
+  q.radius = radius;
+  q.codes.assign(data.size(), 0);
+
+  const double ebx2 = 2.0 * abs_error_bound;
+  const auto r = static_cast<std::int64_t>(radius);
+
+  // Pre-quantization to the lattice.
+  std::vector<std::int64_t> lattice(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    lattice[i] = std::llround(static_cast<double>(data[i]) / ebx2);
+  }
+
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < dims.extent[2]; ++z) {
+    for (std::size_t y = 0; y < dims.extent[1]; ++y) {
+      for (std::size_t x = 0; x < dims.extent[0]; ++x, ++i) {
+        const std::int64_t residual =
+            lattice[i] - predict(lattice, dims, x, y, z);
+        const float dequant = static_cast<float>(
+            static_cast<double>(lattice[i]) * ebx2);
+        // The lattice value must reproduce the datum within the bound after
+        // the float cast; the rare half-ulp breach becomes an outlier so the
+        // bound stays strict.
+        const bool representable =
+            std::abs(static_cast<double>(data[i]) - dequant) <=
+            abs_error_bound;
+        if (residual <= -r || residual >= r || !representable) {
+          q.codes[i] = 0;
+          q.outliers.push_back({static_cast<std::uint64_t>(i), data[i]});
+          // Neighbors still predict from this datum's lattice value, exactly
+          // as the decompressor will reconstruct it.
+          lattice[i] = std::llround(static_cast<double>(data[i]) / ebx2);
+        } else {
+          q.codes[i] = static_cast<std::uint16_t>(residual + r);
+        }
+      }
+    }
+  }
+  return q;
+}
+
+std::vector<float> lorenzo_reconstruct(std::span<const std::uint16_t> codes,
+                                       std::span<const Outlier> outliers,
+                                       const Dims& dims,
+                                       double abs_error_bound,
+                                       std::uint32_t radius) {
+  if (codes.size() != dims.count()) {
+    throw std::invalid_argument("codes size does not match dims");
+  }
+  std::vector<float> recon(codes.size(), 0.0f);
+  std::vector<std::int64_t> lattice(codes.size(), 0);
+  const double ebx2 = 2.0 * abs_error_bound;
+  const auto r = static_cast<std::int64_t>(radius);
+
+  std::size_t next_outlier = 0;
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < dims.extent[2]; ++z) {
+    for (std::size_t y = 0; y < dims.extent[1]; ++y) {
+      for (std::size_t x = 0; x < dims.extent[0]; ++x, ++i) {
+        if (codes[i] == 0) {
+          if (next_outlier >= outliers.size() ||
+              outliers[next_outlier].index != i) {
+            throw std::invalid_argument("missing outlier record");
+          }
+          recon[i] = outliers[next_outlier++].value;
+          lattice[i] =
+              std::llround(static_cast<double>(recon[i]) / ebx2);
+        } else {
+          const std::int64_t residual = static_cast<std::int64_t>(codes[i]) - r;
+          lattice[i] = predict(lattice, dims, x, y, z) + residual;
+          recon[i] = static_cast<float>(static_cast<double>(lattice[i]) * ebx2);
+        }
+      }
+    }
+  }
+  if (next_outlier != outliers.size()) {
+    throw std::invalid_argument("unused outlier records");
+  }
+  return recon;
+}
+
+std::vector<float> lorenzo_reconstruct(const QuantizedField& q) {
+  return lorenzo_reconstruct(q.codes, q.outliers, q.dims, q.error_bound,
+                             q.radius);
+}
+
+}  // namespace ohd::sz

@@ -1,0 +1,64 @@
+// Prediction + error-bounded quantization, the cuSZ "dual-quant" front end:
+// a Lorenzo predictor (1-D/2-D/3-D) over the RECONSTRUCTED field and a linear
+// quantizer with a user error bound. Out-of-range predictions become
+// outliers stored exactly, as in cuSZ (code 0 is reserved for them).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ohd::sz {
+
+struct Dims {
+  std::array<std::size_t, 3> extent{1, 1, 1};  // x (fastest), y, z
+  std::uint32_t rank = 1;
+
+  static Dims d1(std::size_t nx) { return {{nx, 1, 1}, 1}; }
+  static Dims d2(std::size_t nx, std::size_t ny) { return {{nx, ny, 1}, 2}; }
+  static Dims d3(std::size_t nx, std::size_t ny, std::size_t nz) {
+    return {{nx, ny, nz}, 3};
+  }
+
+  std::size_t count() const { return extent[0] * extent[1] * extent[2]; }
+};
+
+struct Outlier {
+  std::uint64_t index;
+  float value;
+};
+
+struct QuantizedField {
+  Dims dims;
+  double error_bound = 0.0;  // absolute bound used for quantization
+  std::uint32_t radius = 512;
+  std::vector<std::uint16_t> codes;    // 0 = outlier, else q + radius
+  std::vector<Outlier> outliers;
+
+  std::uint32_t alphabet_size() const { return 2 * radius; }
+  double outlier_fraction() const {
+    return codes.empty() ? 0.0
+                         : static_cast<double>(outliers.size()) /
+                               static_cast<double>(codes.size());
+  }
+};
+
+/// Quantizes `data` with the given ABSOLUTE error bound. The predictor uses
+/// reconstructed values, so decompression reproduces the field within the
+/// bound exactly.
+QuantizedField lorenzo_quantize(std::span<const float> data, const Dims& dims,
+                                double abs_error_bound,
+                                std::uint32_t radius = 512);
+
+/// Reconstructs the field from quantization codes and outliers.
+std::vector<float> lorenzo_reconstruct(const QuantizedField& q);
+
+/// Same reconstruction from externally decoded codes (the decompression
+/// pipeline path).
+std::vector<float> lorenzo_reconstruct(std::span<const std::uint16_t> codes,
+                                       std::span<const Outlier> outliers,
+                                       const Dims& dims, double abs_error_bound,
+                                       std::uint32_t radius);
+
+}  // namespace ohd::sz

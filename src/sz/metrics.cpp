@@ -1,0 +1,43 @@
+#include "sz/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ohd::sz {
+
+ErrorStats compute_error_stats(std::span<const float> original,
+                               std::span<const float> reconstructed) {
+  if (original.size() != reconstructed.size()) {
+    throw std::invalid_argument("size mismatch");
+  }
+  ErrorStats stats;
+  if (original.empty()) return stats;
+
+  double lo = original[0], hi = original[0];
+  double sq_sum = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double err = static_cast<double>(original[i]) -
+                       static_cast<double>(reconstructed[i]);
+    stats.max_abs_error = std::max(stats.max_abs_error, std::abs(err));
+    sq_sum += err * err;
+    lo = std::min(lo, static_cast<double>(original[i]));
+    hi = std::max(hi, static_cast<double>(original[i]));
+  }
+  stats.value_range = hi - lo;
+  const double mse = sq_sum / static_cast<double>(original.size());
+  stats.psnr_db = mse == 0.0 ? 999.0
+                             : 20.0 * std::log10(stats.value_range) -
+                                   10.0 * std::log10(mse);
+  return stats;
+}
+
+double compression_ratio(std::uint64_t original_bytes,
+                         std::uint64_t compressed_bytes) {
+  return compressed_bytes == 0
+             ? 0.0
+             : static_cast<double>(original_bytes) /
+                   static_cast<double>(compressed_bytes);
+}
+
+}  // namespace ohd::sz

@@ -1,0 +1,22 @@
+// Quality and size metrics reported by the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ohd::sz {
+
+struct ErrorStats {
+  double max_abs_error = 0.0;
+  double psnr_db = 0.0;
+  double value_range = 0.0;
+};
+
+ErrorStats compute_error_stats(std::span<const float> original,
+                               std::span<const float> reconstructed);
+
+/// Compression ratio = original bytes / compressed bytes.
+double compression_ratio(std::uint64_t original_bytes,
+                         std::uint64_t compressed_bytes);
+
+}  // namespace ohd::sz

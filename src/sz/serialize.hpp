@@ -1,0 +1,19 @@
+// Byte-level (de)serialization of full cuSZ-style compressed blobs (header +
+// outliers + embedded Huffman stream) — the on-disk/wire format of the
+// pipeline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sz/compressor.hpp"
+
+namespace ohd::sz {
+
+std::vector<std::uint8_t> serialize_blob(const CompressedBlob& blob);
+
+/// Throws std::invalid_argument on truncation or inconsistent metadata.
+CompressedBlob deserialize_blob(std::span<const std::uint8_t> bytes);
+
+}  // namespace ohd::sz

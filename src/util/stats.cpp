@@ -1,0 +1,41 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ohd::util {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double minimum(std::span<const double> values) {
+  return values.empty() ? 0.0 : *std::min_element(values.begin(), values.end());
+}
+
+double maximum(std::span<const double> values) {
+  return values.empty() ? 0.0 : *std::max_element(values.begin(), values.end());
+}
+
+double Xoshiro256::normal() {
+  // Box-Muller; uses two uniforms per call. Lives here to keep <cmath> out of
+  // the header.
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 <= 0.0) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace ohd::util

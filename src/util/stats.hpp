@@ -1,0 +1,14 @@
+// Small statistics helpers shared by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ohd::util {
+
+double mean(std::span<const double> values);
+double geomean(std::span<const double> values);
+double minimum(std::span<const double> values);
+double maximum(std::span<const double> values);
+
+}  // namespace ohd::util

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ohd::util {
+
+void Table::set_columns(std::vector<std::string> columns) {
+  columns_ = std::move(columns);
+}
+
+void Table::add_row(const std::string& label,
+                    const std::vector<std::string>& cells) {
+  rows_.emplace_back(label, cells);
+}
+
+std::string Table::render() const {
+  // Column widths: label column then data columns.
+  std::size_t label_w = 0;
+  for (const auto& [label, cells] : rows_) {
+    label_w = std::max(label_w, label.size());
+  }
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& [label, cells] : rows_) {
+    for (std::size_t c = 0; c < cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], cells[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  out << std::string(label_w, ' ');
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << "  " << std::string(widths[c] - columns_[c].size(), ' ')
+        << columns_[c];
+  }
+  out << '\n';
+  for (const auto& [label, cells] : rows_) {
+    out << label << std::string(label_w - label.size(), ' ');
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : std::string("-");
+      out << "  " << std::string(widths[c] > cell.size() ? widths[c] - cell.size() : 0, ' ')
+          << cell;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void Table::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_speedup(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", value);
+  return buf;
+}
+
+}  // namespace ohd::util

@@ -1,0 +1,37 @@
+// Minimal fixed-width table printer used by the benchmark harness to emit the
+// same row/column structure as the paper's tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ohd::util {
+
+/// A left-header table: first column is a row label, remaining columns are
+/// dataset names (or sweep points). Cells are preformatted strings.
+class Table {
+public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_columns(std::vector<std::string> columns);
+  void add_row(const std::string& label, const std::vector<std::string>& cells);
+
+  /// Renders the table with aligned columns to a string (ends with '\n').
+  std::string render() const;
+
+  /// Convenience: render() and write to stdout.
+  void print() const;
+
+private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> rows_;
+};
+
+/// Formats a double with the given number of decimals (no locale surprises).
+std::string fmt(double value, int decimals = 1);
+
+/// Formats a multiplier like the paper's speedup rows, e.g. "3.64x".
+std::string fmt_speedup(double value);
+
+}  // namespace ohd::util

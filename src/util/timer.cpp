@@ -1,0 +1,14 @@
+#include "util/timer.hpp"
+
+namespace ohd::util {
+
+double throughput_gbps(std::uint64_t bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / 1e9 / seconds;
+}
+
+double mebibytes(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace ohd::util

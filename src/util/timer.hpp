@@ -1,0 +1,36 @@
+// Wall-clock timing for the benchmark harness. Simulated-GPU timings come from
+// cudasim::PerfModel, not from this timer; WallTimer only measures host cost
+// (reported separately so readers can distinguish the two).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ohd::util {
+
+class WallTimer {
+public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Computes throughput in GB/s (decimal gigabytes, as in the paper) given a
+/// payload size in bytes and a duration in seconds.
+double throughput_gbps(std::uint64_t bytes, double seconds);
+
+/// Mebibytes helper mirroring the paper's "size in mebibyte" rows.
+double mebibytes(std::uint64_t bytes);
+
+}  // namespace ohd::util

@@ -1,0 +1,67 @@
+#include "bitio/bit_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ohd::bitio {
+namespace {
+
+TEST(BitReader, ReadsMsbFirst) {
+  std::vector<std::uint32_t> units = {0xA0000000};  // 1010...
+  BitReader r(units, 32);
+  EXPECT_EQ(r.get_bit(), 1u);
+  EXPECT_EQ(r.get_bit(), 0u);
+  EXPECT_EQ(r.get_bit(), 1u);
+  EXPECT_EQ(r.get_bit(), 0u);
+}
+
+TEST(BitReader, SeekAndPosition) {
+  std::vector<std::uint32_t> units = {0x00000001, 0x80000000};
+  BitReader r(units, 64);
+  r.seek(31);
+  EXPECT_EQ(r.get_bit(), 1u);
+  EXPECT_EQ(r.position(), 32u);
+  EXPECT_EQ(r.get_bit(), 1u);  // first bit of unit 1
+}
+
+TEST(BitReader, PastEndReadsZero) {
+  std::vector<std::uint32_t> units = {0xFFFFFFFF};
+  BitReader r(units, 8);
+  r.seek(8);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.get_bit(), 0u);
+  EXPECT_EQ(r.position(), 9u);
+}
+
+TEST(BitReader, PeekDoesNotAdvance) {
+  std::vector<std::uint32_t> units = {0xB4000000};  // 10110100...
+  BitReader r(units, 32);
+  EXPECT_EQ(r.peek(5), 0b10110u);
+  EXPECT_EQ(r.position(), 0u);
+  EXPECT_EQ(r.peek(8), 0b10110100u);
+}
+
+TEST(BitReader, PeekAcrossUnits) {
+  std::vector<std::uint32_t> units = {0x00000001, 0xC0000000};
+  BitReader r(units, 64);
+  r.seek(31);
+  EXPECT_EQ(r.peek(3), 0b111u);
+}
+
+TEST(BitReader, PeekBeyondEndPadsZero) {
+  std::vector<std::uint32_t> units = {0xFFFFFFFF};
+  BitReader r(units, 4);
+  r.seek(2);
+  EXPECT_EQ(r.peek(4), 0b1100u);
+}
+
+TEST(BitReader, SkipAdvances) {
+  std::vector<std::uint32_t> units = {0x0F000000};
+  BitReader r(units, 32);
+  r.skip(4);
+  EXPECT_EQ(r.get_bit(), 1u);
+}
+
+}  // namespace
+}  // namespace ohd::bitio

@@ -1,0 +1,90 @@
+#include "bitio/bit_writer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ohd::bitio {
+namespace {
+
+TEST(BitWriter, EmptyStream) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_TRUE(w.finish().empty());
+}
+
+TEST(BitWriter, SingleBitLandsInMsb) {
+  BitWriter w;
+  w.put(1, 1);
+  const auto units = w.finish();
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0], 0x80000000u);
+}
+
+TEST(BitWriter, MsbFirstOrderWithinUnit) {
+  BitWriter w;
+  w.put(0b101, 3);
+  w.put(0b01, 2);
+  const auto units = w.finish();
+  ASSERT_EQ(units.size(), 1u);
+  // Stream: 1 0 1 0 1 ...
+  EXPECT_EQ(units[0] >> 27, 0b10101u);
+}
+
+TEST(BitWriter, CrossesUnitBoundary) {
+  BitWriter w;
+  w.put(0xFFFFFFFF, 30);
+  w.put(0b1011, 4);  // two bits in unit 0, two in unit 1
+  EXPECT_EQ(w.bit_count(), 34u);
+  const auto units = w.finish();
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0], 0xFFFFFFFEu);  // bits 30-31 are '10'
+  EXPECT_EQ(units[0] & 3u, 2u);
+  EXPECT_EQ(units[1] >> 30, 0b11u);
+}
+
+TEST(BitWriter, Put32Bits) {
+  BitWriter w;
+  w.put(0xDEADBEEF, 32);
+  const auto units = w.finish();
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0], 0xDEADBEEFu);
+}
+
+TEST(BitWriter, PutZeroLenIsNoop) {
+  BitWriter w;
+  w.put(0x7, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+}
+
+TEST(BitWriter, PadToBoundary) {
+  BitWriter w;
+  w.put(1, 1);
+  w.pad_to(128);
+  EXPECT_EQ(w.bit_count(), 128u);
+  EXPECT_EQ(w.finish().size(), 4u);
+}
+
+TEST(BitWriter, PadToAlreadyAlignedIsNoop) {
+  BitWriter w;
+  w.put(0xABCD, 16);
+  w.put(0x1234, 16);
+  w.pad_to(32);
+  EXPECT_EQ(w.bit_count(), 32u);
+}
+
+TEST(BitWriter, PadAcrossMultipleUnits) {
+  BitWriter w;
+  w.put(1, 1);
+  w.pad_to(256);
+  EXPECT_EQ(w.bit_count(), 256u);
+  EXPECT_EQ(w.finish().size(), 8u);
+}
+
+TEST(BitWriter, UpperBitsOfCodeIgnored) {
+  BitWriter w;
+  w.put(0xFFFFFFF5, 3);  // only the low 3 bits (101) count
+  const auto units = w.finish();
+  EXPECT_EQ(units[0] >> 29, 0b101u);
+}
+
+}  // namespace
+}  // namespace ohd::bitio

@@ -1,0 +1,88 @@
+#include "core/huffman_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ohd::core {
+namespace {
+
+std::vector<std::uint16_t> quant_like(std::size_t n, std::uint64_t seed) {
+  // Quantization-code-like stream: concentrated around the radius.
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> out(n);
+  for (auto& s : out) {
+    const long v = 512 + std::lround(rng.normal() * 20.0);
+    s = static_cast<std::uint16_t>(std::clamp(v, 1l, 1023l));
+  }
+  return out;
+}
+
+TEST(Codec, MethodNamesAreDistinct) {
+  EXPECT_NE(method_name(Method::CuszNaive),
+            method_name(Method::GapArrayOptimized));
+  EXPECT_EQ(method_name(Method::SelfSyncOptimized), "opt. self-sync");
+}
+
+class CodecRoundtrip : public ::testing::TestWithParam<Method> {};
+
+TEST_P(CodecRoundtrip, EncodeThenDecodeReproducesCodes) {
+  cudasim::SimContext ctx;
+  const auto codes = quant_like(60000, 17);
+  const auto enc = encode_for_method(GetParam(), codes, 1024);
+  const auto result = decode(ctx, enc);
+  if (GetParam() == Method::GapArrayOriginal8Bit) {
+    // The 8-bit baseline decodes the trimmed codes.
+    ASSERT_EQ(result.symbols.size(), codes.size());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(result.symbols[i], codes[i] & 0xFF);
+    }
+  } else {
+    EXPECT_EQ(result.symbols, codes);
+  }
+  EXPECT_GT(result.seconds(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, CodecRoundtrip,
+                         ::testing::Values(Method::CuszNaive,
+                                           Method::SelfSyncOriginal,
+                                           Method::SelfSyncOptimized,
+                                           Method::GapArrayOriginal8Bit,
+                                           Method::GapArrayOptimized));
+
+TEST(Codec, CompressedBytesIncludeSidecars) {
+  const auto codes = quant_like(50000, 19);
+  const auto plain = encode_for_method(Method::SelfSyncOptimized, codes, 1024);
+  const auto gap = encode_for_method(Method::GapArrayOptimized, codes, 1024);
+  // The gap array adds one byte per subsequence.
+  EXPECT_GT(gap.compressed_bytes(), plain.compressed_bytes());
+}
+
+TEST(Codec, QuantCodeBytesAccountFor8BitTrim) {
+  const auto codes = quant_like(1000, 21);
+  const auto multi = encode_for_method(Method::GapArrayOptimized, codes, 1024);
+  const auto trimmed =
+      encode_for_method(Method::GapArrayOriginal8Bit, codes, 1024);
+  EXPECT_EQ(multi.quant_code_bytes(), 2000u);
+  EXPECT_EQ(trimmed.quant_code_bytes(), 1000u);
+}
+
+TEST(Codec, CompressionRatiosOfMethodsAreClose) {
+  // Paper Table IV: the methods' ratios differ by at most ~10%.
+  const auto codes = quant_like(100000, 23);
+  const auto naive = encode_for_method(Method::CuszNaive, codes, 1024);
+  const auto ss = encode_for_method(Method::SelfSyncOptimized, codes, 1024);
+  const auto gap = encode_for_method(Method::GapArrayOptimized, codes, 1024);
+  const double naive_cr = 2.0 * codes.size() / naive.compressed_bytes();
+  const double ss_cr = 2.0 * codes.size() / ss.compressed_bytes();
+  const double gap_cr = 2.0 * codes.size() / gap.compressed_bytes();
+  EXPECT_NEAR(ss_cr / naive_cr, 1.0, 0.12);
+  EXPECT_NEAR(gap_cr / naive_cr, 1.0, 0.12);
+}
+
+}  // namespace
+}  // namespace ohd::core

@@ -1,0 +1,124 @@
+#include "core/gap_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/selfsync_decoder.hpp"
+#include "util/rng.hpp"
+
+namespace ohd::core {
+namespace {
+
+std::vector<std::uint16_t> skewed(std::size_t n, std::uint32_t alphabet,
+                                  std::uint64_t seed, double cont = 0.7) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> out(n);
+  for (auto& s : out) {
+    std::uint32_t v = 0;
+    while (v + 1 < alphabet && rng.uniform() < cont) ++v;
+    s = static_cast<std::uint16_t>(v);
+  }
+  return out;
+}
+
+TEST(GapDecoder, RoundtripOptimized) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(60000, 256, 1);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  const auto enc = huffman::encode_gap(data, cb);
+  const auto result = decode_gap_array(ctx, enc, cb);
+  EXPECT_EQ(result.symbols, data);
+}
+
+TEST(GapDecoder, RoundtripDirectWrites) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(60000, 256, 2);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  const auto enc = huffman::encode_gap(data, cb);
+  GapArrayOptions opts;
+  opts.staged_writes = false;
+  opts.tune_shared_memory = false;
+  const auto result = decode_gap_array(ctx, enc, cb, {}, opts);
+  EXPECT_EQ(result.symbols, data);
+}
+
+TEST(GapDecoder, RoundtripFixedBuffer) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(60000, 256, 3);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  const auto enc = huffman::encode_gap(data, cb);
+  GapArrayOptions opts;
+  opts.tune_shared_memory = false;
+  opts.fixed_buffer_symbols = 1024;
+  const auto result = decode_gap_array(ctx, enc, cb, {}, opts);
+  EXPECT_EQ(result.symbols, data);
+}
+
+TEST(GapDecoder, NoSynchronizationPhases) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(30000, 128, 4);
+  const auto cb = huffman::Codebook::from_data(data, 128);
+  const auto enc = huffman::encode_gap(data, cb);
+  const auto result = decode_gap_array(ctx, enc, cb);
+  EXPECT_EQ(result.phases.intra_sync_s, 0.0);
+  EXPECT_EQ(result.phases.inter_sync_s, 0.0);
+  EXPECT_GT(result.phases.output_index_s, 0.0);
+  EXPECT_GT(result.phases.decode_write_s, 0.0);
+}
+
+TEST(GapDecoder, EightBitVariantRoundtripsTrimmedCodes) {
+  cudasim::SimContext ctx;
+  auto data = skewed(40000, 256, 5);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  const auto enc = huffman::encode_gap(data, cb);
+  const auto result =
+      decode_gap_array(ctx, enc, cb, {}, GapArrayOptions::original_8bit());
+  EXPECT_EQ(result.symbols, data);
+}
+
+TEST(GapDecoder, HighCompressibilityRoundtrip) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(100000, 1024, 6, 0.02);
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  const auto enc = huffman::encode_gap(data, cb);
+  const auto result = decode_gap_array(ctx, enc, cb);
+  EXPECT_EQ(result.symbols, data);
+}
+
+TEST(GapDecoder, RejectsMismatchedGapArray) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(10000, 64, 7);
+  const auto cb = huffman::Codebook::from_data(data, 64);
+  auto enc = huffman::encode_gap(data, cb);
+  enc.gaps.pop_back();
+  EXPECT_THROW(decode_gap_array(ctx, enc, cb), std::invalid_argument);
+}
+
+TEST(GapDecoder, EmptyInput) {
+  cudasim::SimContext ctx;
+  const std::vector<std::uint16_t> train = {0, 1};
+  const auto cb = huffman::Codebook::from_data(train, 4);
+  const auto enc = huffman::encode_gap(std::vector<std::uint16_t>{}, cb);
+  const auto result = decode_gap_array(ctx, enc, cb);
+  EXPECT_TRUE(result.symbols.empty());
+}
+
+TEST(GapDecoder, FasterThanSelfSyncOverall) {
+  // The gap array removes the synchronization phases entirely, so with the
+  // same optimizations it must decode faster end to end (paper §V-C).
+  const auto data = skewed(200000, 512, 8);
+  const auto cb = huffman::Codebook::from_data(data, 512);
+  cudasim::SimContext c_gap;
+  const auto gap_enc = huffman::encode_gap(data, cb);
+  const double gap_s =
+      decode_gap_array(c_gap, gap_enc, cb).phases.total();
+
+  cudasim::SimContext c_ss;
+  const auto plain_enc = huffman::encode_plain(data, cb);
+  const double ss_s = decode_selfsync(c_ss, plain_enc, cb).phases.total();
+  EXPECT_LT(gap_s, ss_s);
+}
+
+}  // namespace
+}  // namespace ohd::core

@@ -1,0 +1,78 @@
+#include "core/naive_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ohd::core {
+namespace {
+
+std::vector<std::uint16_t> skewed(std::size_t n, std::uint32_t alphabet,
+                                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> out(n);
+  for (auto& s : out) {
+    std::uint32_t v = 0;
+    while (v + 1 < alphabet && rng.uniform() < 0.7) ++v;
+    s = static_cast<std::uint16_t>(v);
+  }
+  return out;
+}
+
+TEST(NaiveDecoder, RoundtripsRandomStream) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(50000, 256, 1);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  const auto enc = huffman::encode_chunked(data, cb, 1024);
+  const auto result = decode_naive_chunked(ctx, enc, cb);
+  EXPECT_EQ(result.symbols, data);
+}
+
+TEST(NaiveDecoder, RoundtripsPartialFinalChunk) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(1025, 64, 2);  // 1 full + 1 single-symbol chunk
+  const auto cb = huffman::Codebook::from_data(data, 64);
+  const auto enc = huffman::encode_chunked(data, cb, 1024);
+  const auto result = decode_naive_chunked(ctx, enc, cb);
+  EXPECT_EQ(result.symbols, data);
+}
+
+TEST(NaiveDecoder, EmptyStream) {
+  cudasim::SimContext ctx;
+  huffman::ChunkedEncoding enc;
+  enc.chunk_symbols = 1024;
+  const auto cb = huffman::Codebook::from_lengths(std::vector<std::uint8_t>{1, 1});
+  const auto result = decode_naive_chunked(ctx, enc, cb);
+  EXPECT_TRUE(result.symbols.empty());
+  EXPECT_EQ(result.phases.total(), 0.0);
+}
+
+TEST(NaiveDecoder, ReportsDecodeWritePhaseOnly) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(5000, 64, 3);
+  const auto cb = huffman::Codebook::from_data(data, 64);
+  const auto enc = huffman::encode_chunked(data, cb, 512);
+  const auto result = decode_naive_chunked(ctx, enc, cb);
+  EXPECT_GT(result.phases.decode_write_s, 0.0);
+  EXPECT_EQ(result.phases.intra_sync_s, 0.0);
+  EXPECT_EQ(result.phases.tune_s, 0.0);
+}
+
+TEST(NaiveDecoder, SmallerChunksDecodeFasterOnSimulatedGpu) {
+  // Smaller chunks = more threads = more parallelism (§III-A's argument for
+  // finer granularity), at a compression-ratio cost tested elsewhere.
+  const auto data = skewed(200000, 256, 4);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  cudasim::SimContext coarse_ctx, fine_ctx;
+  const auto coarse = huffman::encode_chunked(data, cb, 8192);
+  const auto fine = huffman::encode_chunked(data, cb, 512);
+  const double coarse_s =
+      decode_naive_chunked(coarse_ctx, coarse, cb).phases.total();
+  const double fine_s = decode_naive_chunked(fine_ctx, fine, cb).phases.total();
+  EXPECT_LT(fine_s, coarse_s);
+}
+
+}  // namespace
+}  // namespace ohd::core

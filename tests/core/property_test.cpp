@@ -1,0 +1,107 @@
+// Cross-decoder property sweep: for any (alphabet, skew, size) combination,
+// every decoder must reproduce the exact symbol stream, and the fine-grained
+// decoders must agree with each other bit for bit.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/gap_decoder.hpp"
+#include "core/huffman_codec.hpp"
+#include "core/naive_decoder.hpp"
+#include "core/selfsync_decoder.hpp"
+#include "util/rng.hpp"
+
+namespace ohd::core {
+namespace {
+
+std::vector<std::uint16_t> make_stream(std::uint32_t alphabet, double cont,
+                                       std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> out(n);
+  for (auto& s : out) {
+    if (cont <= 0.0) {
+      s = static_cast<std::uint16_t>(rng.bounded(alphabet));
+    } else {
+      std::uint32_t v = 0;
+      while (v + 1 < alphabet && rng.uniform() < cont) ++v;
+      s = static_cast<std::uint16_t>(v);
+    }
+  }
+  return out;
+}
+
+class DecoderProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(DecoderProperty, AllDecodersReproduceTheStream) {
+  const auto [alphabet, cont, n] = GetParam();
+  const auto data = make_stream(static_cast<std::uint32_t>(alphabet), cont,
+                                static_cast<std::size_t>(n), 31u);
+  const auto cb =
+      huffman::Codebook::from_data(data, static_cast<std::uint32_t>(alphabet));
+
+  {
+    cudasim::SimContext ctx;
+    const auto enc = huffman::encode_chunked(data, cb, 1024);
+    EXPECT_EQ(decode_naive_chunked(ctx, enc, cb).symbols, data) << "naive";
+  }
+  {
+    cudasim::SimContext ctx;
+    const auto enc = huffman::encode_plain(data, cb);
+    EXPECT_EQ(
+        decode_selfsync(ctx, enc, cb, {}, SelfSyncOptions::original()).symbols,
+        data)
+        << "self-sync original";
+  }
+  {
+    cudasim::SimContext ctx;
+    const auto enc = huffman::encode_plain(data, cb);
+    EXPECT_EQ(decode_selfsync(ctx, enc, cb).symbols, data)
+        << "self-sync optimized";
+  }
+  {
+    cudasim::SimContext ctx;
+    const auto enc = huffman::encode_gap(data, cb);
+    EXPECT_EQ(decode_gap_array(ctx, enc, cb).symbols, data) << "gap array";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecoderProperty,
+    ::testing::Combine(::testing::Values(2, 16, 256, 1024),
+                       ::testing::Values(0.0, 0.3, 0.7, 0.98),
+                       ::testing::Values(200, 17000, 90000)));
+
+class GeometryProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GeometryProperty, NonDefaultStreamGeometriesRoundtrip) {
+  const auto [units_per_subseq, threads_per_block] = GetParam();
+  DecoderConfig config;
+  config.units_per_subseq = static_cast<std::uint32_t>(units_per_subseq);
+  config.threads_per_block = static_cast<std::uint32_t>(threads_per_block);
+  huffman::StreamGeometry g;
+  g.units_per_subseq = config.units_per_subseq;
+  g.subseqs_per_seq = config.threads_per_block;
+
+  const auto data = make_stream(256, 0.6, 40000, 37u);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  {
+    cudasim::SimContext ctx;
+    const auto enc = huffman::encode_plain(data, cb, g);
+    EXPECT_EQ(decode_selfsync(ctx, enc, cb, config).symbols, data);
+  }
+  {
+    cudasim::SimContext ctx;
+    const auto enc = huffman::encode_gap(data, cb, g);
+    EXPECT_EQ(decode_gap_array(ctx, enc, cb, config).symbols, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, GeometryProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(32, 128, 256)));
+
+}  // namespace
+}  // namespace ohd::core

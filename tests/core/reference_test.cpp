@@ -1,0 +1,84 @@
+#include "core/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/selfsync_decoder.hpp"
+#include "data/generic.hpp"
+
+namespace ohd::core {
+namespace {
+
+TEST(Reference, SymbolsMatchInput) {
+  const auto data = data::geometric_stream(20000, 256, 0.7, 1);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  const auto enc = huffman::encode_plain(data, cb);
+  const ReferenceSync ref = reference_sync(enc, cb);
+  EXPECT_EQ(ref.symbols, data);
+}
+
+TEST(Reference, CountsSumToTotal) {
+  const auto data = data::zipf_stream(30000, 512, 1.2, 2);
+  const auto cb = huffman::Codebook::from_data(data, 512);
+  const auto enc = huffman::encode_plain(data, cb);
+  const ReferenceSync ref = reference_sync(enc, cb);
+  std::uint64_t total = 0;
+  for (auto c : ref.sym_count) total += c;
+  EXPECT_EQ(total, data.size());
+}
+
+TEST(Reference, SelfSyncAgreesWithReference) {
+  const auto data = data::markov_stream(50000, 1024, 0.002, 3);
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  const auto enc = huffman::encode_plain(data, cb);
+  cudasim::SimContext ctx;
+  const SyncInfo sync = selfsync_synchronize(ctx, enc, cb, {}, true);
+  const ReferenceSync ref = reference_sync(enc, cb);
+  EXPECT_EQ(check_sync_against_reference(ref, sync.start_bit, sync.sym_count),
+            "");
+}
+
+TEST(Reference, CheckerReportsStartBitMismatch) {
+  const auto data = data::geometric_stream(5000, 64, 0.6, 4);
+  const auto cb = huffman::Codebook::from_data(data, 64);
+  const auto enc = huffman::encode_plain(data, cb);
+  const ReferenceSync ref = reference_sync(enc, cb);
+  auto bad_starts = ref.start_bit;
+  bad_starts[1] += 1;
+  const std::string msg =
+      check_sync_against_reference(ref, bad_starts, ref.sym_count);
+  EXPECT_NE(msg.find("start_bit[1]"), std::string::npos);
+}
+
+TEST(Reference, CheckerReportsCountMismatch) {
+  const auto data = data::geometric_stream(5000, 64, 0.6, 5);
+  const auto cb = huffman::Codebook::from_data(data, 64);
+  const auto enc = huffman::encode_plain(data, cb);
+  const ReferenceSync ref = reference_sync(enc, cb);
+  auto bad_counts = ref.sym_count;
+  bad_counts.back() += 1;
+  EXPECT_NE(check_sync_against_reference(ref, ref.start_bit, bad_counts), "");
+}
+
+TEST(Reference, GapArrayValidatesCleanEncoding) {
+  const auto data = data::quant_code_stream(40000, 1024, 30.0, 6);
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  const auto enc = huffman::encode_gap(data, cb);
+  EXPECT_EQ(check_gap_array(enc, cb), "");
+}
+
+TEST(Reference, GapArrayCheckerCatchesCorruption) {
+  const auto data = data::quant_code_stream(40000, 1024, 30.0, 7);
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  auto enc = huffman::encode_gap(data, cb);
+  // Find a gap whose perturbation stays in byte range.
+  for (auto& g : enc.gaps) {
+    if (g < 250) {
+      g += 1;
+      break;
+    }
+  }
+  EXPECT_NE(check_gap_array(enc, cb), "");
+}
+
+}  // namespace
+}  // namespace ohd::core

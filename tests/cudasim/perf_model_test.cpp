@@ -1,0 +1,105 @@
+#include "cudasim/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ohd::cudasim {
+namespace {
+
+DeviceSpec spec() { return DeviceSpec::v100(); }
+
+TEST(Occupancy, LimitedByThreads) {
+  const Occupancy occ = occupancy_for(spec(), 1024, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 2u);  // 2048 / 1024
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, LimitedBySharedMemory) {
+  const DeviceSpec s = spec();
+  const Occupancy occ = occupancy_for(s, 128, s.shmem_per_sm_bytes / 4);
+  EXPECT_EQ(occ.blocks_per_sm, 4u);
+  EXPECT_LT(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, LimitedByMaxBlocks) {
+  const Occupancy occ = occupancy_for(spec(), 32, 0);
+  EXPECT_EQ(occ.blocks_per_sm, spec().max_blocks_per_sm);
+}
+
+TEST(Occupancy, MoreSharedMemoryNeverRaisesOccupancy) {
+  std::uint32_t prev = ~0u;
+  for (std::uint32_t shmem = 1024; shmem <= 32768; shmem += 1024) {
+    const Occupancy occ = occupancy_for(spec(), 128, shmem);
+    EXPECT_LE(occ.blocks_per_sm, prev);
+    prev = occ.blocks_per_sm;
+  }
+}
+
+KernelStats make_stats(std::uint64_t warp_cycles, std::uint64_t txns,
+                       std::uint32_t grid, std::uint32_t block,
+                       std::uint32_t shmem = 0) {
+  KernelStats st;
+  st.scheduled_warp_cycles = warp_cycles;
+  st.critical_block_cycles_max = warp_cycles / std::max(1u, grid);
+  st.global_transactions = txns;
+  st.grid_dim = grid;
+  st.block_dim = block;
+  st.shmem_per_block = shmem;
+  return st;
+}
+
+TEST(PerfModel, MoreWorkTakesLonger) {
+  const PerfModel m(spec());
+  const auto t1 = m.time_kernel(make_stats(1'000'000, 0, 100, 256));
+  const auto t2 = m.time_kernel(make_stats(10'000'000, 0, 100, 256));
+  EXPECT_GT(t2.seconds, t1.seconds);
+}
+
+TEST(PerfModel, MemoryBoundKernelScalesWithTransactions) {
+  const PerfModel m(spec());
+  const auto t1 = m.time_kernel(make_stats(1000, 10'000'000, 1000, 256));
+  const auto t2 = m.time_kernel(make_stats(1000, 40'000'000, 1000, 256));
+  EXPECT_GT(t2.memory_seconds, 3.5 * t1.memory_seconds);
+}
+
+TEST(PerfModel, LowOccupancySlowsKernel) {
+  const PerfModel m(spec());
+  // Same work, but the second launch's shared memory allows only one block
+  // (4 warps) per SM.
+  const auto fast = m.time_kernel(make_stats(50'000'000, 1'000'000, 2000, 128, 0));
+  const auto slow = m.time_kernel(
+      make_stats(50'000'000, 1'000'000, 2000, 128, spec().shmem_per_sm_bytes));
+  EXPECT_GT(slow.seconds, fast.seconds);
+}
+
+TEST(PerfModel, LaunchOverheadFloorsEmptyKernel) {
+  const PerfModel m(spec());
+  KernelStats st;
+  st.grid_dim = 0;
+  EXPECT_DOUBLE_EQ(m.time_kernel(st).seconds, spec().launch_overhead_s);
+}
+
+TEST(PerfModel, CriticalPathBoundsSmallGrids) {
+  const PerfModel m(spec());
+  // One monster block cannot be faster than its own cycle count.
+  KernelStats st = make_stats(10'000'000, 0, 1, 128);
+  st.critical_block_cycles_max = 10'000'000;
+  const auto t = m.time_kernel(st);
+  EXPECT_GE(t.compute_seconds, 10e6 / spec().clock_hz() * 0.9);
+}
+
+TEST(PerfModel, HostToDeviceUsesPcieBandwidth) {
+  const PerfModel m(spec());
+  const double t = m.host_to_device_seconds(12'000'000'000ull);
+  EXPECT_NEAR(t, 1.0, 0.01);  // 12 GB at 12 GB/s
+}
+
+TEST(KernelStats, MergeAccumulates) {
+  KernelStats a = make_stats(100, 5, 1, 32);
+  KernelStats b = make_stats(200, 7, 1, 32);
+  a.merge(b);
+  EXPECT_EQ(a.scheduled_warp_cycles, 300u);
+  EXPECT_EQ(a.global_transactions, 12u);
+}
+
+}  // namespace
+}  // namespace ohd::cudasim

@@ -1,0 +1,101 @@
+// Semantics of the timing decomposition the tuner's stream-overlap model
+// depends on, and of the latency-hiding curve.
+#include <gtest/gtest.h>
+
+#include "cudasim/exec.hpp"
+
+namespace ohd::cudasim {
+namespace {
+
+TEST(TimingSemantics, SecondsIsMaxOfSaturatedAndCriticalPlusOverhead) {
+  SimContext ctx;
+  const auto r = ctx.launch("k", {64, 128, 0}, [&](BlockCtx& blk) {
+    blk.for_each_thread([&](ThreadCtx& t) { t.charge(5000); });
+  });
+  EXPECT_NEAR(r.timing.seconds,
+              std::max(r.timing.saturated_seconds, r.timing.critical_seconds) +
+                  ctx.spec().launch_overhead_s,
+              1e-12);
+}
+
+TEST(TimingSemantics, SingleBlockIsCriticalPathBound) {
+  SimContext ctx;
+  const auto r = ctx.launch("k", {1, 128, 0}, [&](BlockCtx& blk) {
+    blk.for_each_thread([&](ThreadCtx& t) { t.charge(1'000'000); });
+  });
+  EXPECT_GT(r.timing.critical_seconds, r.timing.saturated_seconds);
+}
+
+TEST(TimingSemantics, ManyBlocksAreThroughputBound) {
+  SimContext ctx;
+  const auto r = ctx.launch("k", {4096, 128, 0}, [&](BlockCtx& blk) {
+    blk.for_each_thread([&](ThreadCtx& t) { t.charge(1000); });
+  });
+  EXPECT_GT(r.timing.saturated_seconds, r.timing.critical_seconds);
+}
+
+TEST(TimingSemantics, SharedMemoryPressureSlowsThroughputBoundKernel) {
+  auto run = [](std::uint32_t shmem) {
+    SimContext ctx;
+    return ctx
+        .launch("k", {4096, 128, shmem},
+                [&](BlockCtx& blk) {
+                  blk.for_each_thread([&](ThreadCtx& t) { t.charge(2000); });
+                })
+        .timing.seconds;
+  };
+  const double light = run(2048);
+  const double heavy = run(16 * 1024);  // 4 blocks/SM => 16 warps => derated
+  EXPECT_GT(heavy, light * 1.1);
+}
+
+TEST(TimingSemantics, HideCurveHasFloor) {
+  // Even a configuration with one resident warp per SM makes progress at
+  // the documented floor rate, not asymptotically zero.
+  const DeviceSpec spec = DeviceSpec::v100();
+  PerfModel model(spec);
+  KernelStats st;
+  st.grid_dim = 4096;
+  st.block_dim = 32;
+  st.shmem_per_block = spec.shmem_per_sm_bytes;  // 1 block (1 warp) per SM
+  st.scheduled_warp_cycles = 1'000'000'000;
+  const auto slow = model.time_kernel(st);
+  st.shmem_per_block = 0;
+  const auto fast = model.time_kernel(st);
+  EXPECT_LT(slow.seconds, fast.seconds / spec.latency_hide_base * 1.05);
+}
+
+TEST(TimingSemantics, DivergentIterationCountsCostTheWarpItsSlowestLane) {
+  // One lane runs 100x longer: the whole warp (and block) pays.
+  SimContext ctx;
+  const auto uniform = ctx.launch("u", {1, 32, 0}, [&](BlockCtx& blk) {
+    blk.for_each_thread([&](ThreadCtx& t) { t.charge(100); });
+  });
+  const auto skewed = ctx.launch("s", {1, 32, 0}, [&](BlockCtx& blk) {
+    blk.for_each_thread(
+        [&](ThreadCtx& t) { t.charge(t.tid() == 7 ? 10000 : 100); });
+  });
+  EXPECT_NEAR(static_cast<double>(skewed.stats.critical_block_cycles_max),
+              10000.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(uniform.stats.critical_block_cycles_max),
+              100.0, 1.0);
+}
+
+TEST(TimingSemantics, A100OutrunsV100OnTheSameKernel) {
+  auto run = [](DeviceSpec spec) {
+    SimContext ctx(spec);
+    return ctx
+        .launch("k", {2048, 128, 0},
+                [&](BlockCtx& blk) {
+                  blk.for_each_thread([&](ThreadCtx& t) {
+                    t.charge(3000);
+                    t.global_read(t.tid() * 64, 4);
+                  });
+                })
+        .timing.seconds;
+  };
+  EXPECT_LT(run(DeviceSpec::a100()), run(DeviceSpec::v100()));
+}
+
+}  // namespace
+}  // namespace ohd::cudasim

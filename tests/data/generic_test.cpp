@@ -1,0 +1,65 @@
+#include "data/generic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ohd::data {
+namespace {
+
+TEST(GenericStreams, UniformCoversAlphabet) {
+  const auto s = uniform_stream(100000, 64, 1);
+  std::vector<int> seen(64, 0);
+  for (auto v : s) {
+    ASSERT_LT(v, 64);
+    ++seen[v];
+  }
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(GenericStreams, GeometricIsSkewed) {
+  const auto s = geometric_stream(100000, 256, 0.5, 2);
+  std::size_t zeros = std::count(s.begin(), s.end(), 0);
+  EXPECT_NEAR(static_cast<double>(zeros) / s.size(), 0.5, 0.02);
+}
+
+TEST(GenericStreams, ZipfHeadDominates) {
+  const auto s = zipf_stream(100000, 1024, 1.5, 3);
+  std::size_t head = 0;
+  for (auto v : s) head += (v < 8);
+  EXPECT_GT(static_cast<double>(head) / s.size(), 0.7);
+}
+
+TEST(GenericStreams, MarkovHasCalmAndBurstRegions) {
+  const auto s = markov_stream(200000, 1024, 0.001, 4);
+  // Count distinct symbols in sliding windows: calm windows have few,
+  // burst windows many.
+  std::size_t calm_windows = 0, burst_windows = 0;
+  for (std::size_t w = 0; w + 1000 <= s.size(); w += 1000) {
+    std::vector<std::uint16_t> window(s.begin() + w, s.begin() + w + 1000);
+    std::sort(window.begin(), window.end());
+    const std::size_t distinct =
+        std::unique(window.begin(), window.end()) - window.begin();
+    if (distinct <= 8) ++calm_windows;
+    if (distinct >= 200) ++burst_windows;
+  }
+  EXPECT_GT(calm_windows, 0u);
+  EXPECT_GT(burst_windows, 0u);
+}
+
+TEST(GenericStreams, QuantCodesAvoidOutlierCode) {
+  const auto s = quant_code_stream(50000, 1024, 200.0, 5);
+  for (auto v : s) {
+    ASSERT_GE(v, 1);
+    ASSERT_LT(v, 1024);
+  }
+}
+
+TEST(GenericStreams, Deterministic) {
+  EXPECT_EQ(zipf_stream(1000, 64, 1.1, 9), zipf_stream(1000, 64, 1.1, 9));
+  EXPECT_NE(zipf_stream(1000, 64, 1.1, 9), zipf_stream(1000, 64, 1.1, 10));
+}
+
+}  // namespace
+}  // namespace ohd::data

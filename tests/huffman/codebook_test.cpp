@@ -1,0 +1,193 @@
+#include "huffman/codebook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bitio/bit_reader.hpp"
+#include "bitio/bit_writer.hpp"
+#include "huffman/decode_step.hpp"
+
+namespace ohd::huffman {
+namespace {
+
+TEST(Histogram, CountsSymbols) {
+  const std::vector<std::uint16_t> data = {0, 1, 1, 3, 3, 3};
+  const auto h = symbol_histogram(data, 4);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[2], 0u);
+  EXPECT_EQ(h[3], 3u);
+}
+
+TEST(Histogram, RejectsOutOfRangeSymbol) {
+  const std::vector<std::uint16_t> data = {5};
+  EXPECT_THROW(symbol_histogram(data, 4), std::out_of_range);
+}
+
+TEST(CodeLengths, SkewedFrequenciesGiveShortCodeToCommonSymbol) {
+  const std::vector<std::uint64_t> freqs = {1000, 10, 10, 1};
+  const auto lens = huffman_code_lengths(freqs);
+  EXPECT_EQ(lens[0], 1u);
+  EXPECT_GE(lens[3], lens[1]);
+  EXPECT_GT(lens[3], lens[0]);
+}
+
+TEST(CodeLengths, UniformFourSymbolsGiveTwoBits) {
+  const std::vector<std::uint64_t> freqs = {5, 5, 5, 5};
+  const auto lens = huffman_code_lengths(freqs);
+  for (auto l : lens) EXPECT_EQ(l, 2u);
+}
+
+TEST(CodeLengths, ZeroFrequencySymbolsGetNoCode) {
+  const std::vector<std::uint64_t> freqs = {5, 0, 5, 0};
+  const auto lens = huffman_code_lengths(freqs);
+  EXPECT_GT(lens[0], 0u);
+  EXPECT_EQ(lens[1], 0u);
+  EXPECT_EQ(lens[3], 0u);
+}
+
+TEST(CodeLengths, SingleSymbolGetsOneBit) {
+  const std::vector<std::uint64_t> freqs = {0, 42, 0};
+  const auto lens = huffman_code_lengths(freqs);
+  EXPECT_EQ(lens[1], 1u);
+}
+
+TEST(CodeLengths, KraftInequalityHolds) {
+  std::vector<std::uint64_t> freqs(257);
+  for (std::size_t i = 0; i < freqs.size(); ++i) freqs[i] = i * i + 1;
+  const auto lens = huffman_code_lengths(freqs);
+  double kraft = 0.0;
+  for (auto l : lens) {
+    if (l > 0) kraft += std::pow(2.0, -static_cast<double>(l));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+  EXPECT_NEAR(kraft, 1.0, 1e-9);  // Huffman codes are complete
+}
+
+TEST(CodeLengths, ExponentialFrequenciesRespectLengthCap) {
+  // Fibonacci-like frequencies force deep trees; the builder must flatten.
+  std::vector<std::uint64_t> freqs(64);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freqs) {
+    f = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lens = huffman_code_lengths(freqs);
+  for (auto l : lens) EXPECT_LE(l, kMaxCodeLen);
+}
+
+TEST(Codebook, PrefixFreeProperty) {
+  const std::vector<std::uint64_t> freqs = {50, 30, 10, 5, 3, 2};
+  const auto cb = Codebook::from_lengths(huffman_code_lengths(freqs));
+  for (std::uint32_t a = 0; a < cb.alphabet_size(); ++a) {
+    for (std::uint32_t b = 0; b < cb.alphabet_size(); ++b) {
+      if (a == b) continue;
+      const auto& ca = cb.code(static_cast<std::uint16_t>(a));
+      const auto& cbk = cb.code(static_cast<std::uint16_t>(b));
+      if (ca.len == 0 || cbk.len == 0 || ca.len > cbk.len) continue;
+      // ca must not be a prefix of cb.
+      EXPECT_NE(ca.bits, cbk.bits >> (cbk.len - ca.len))
+          << "code " << a << " is a prefix of code " << b;
+    }
+  }
+}
+
+TEST(Codebook, CanonicalCodesAreSortedWithinLength) {
+  const std::vector<std::uint8_t> lens = {3, 3, 3, 3, 2, 2};
+  const auto cb = Codebook::from_lengths(lens);
+  EXPECT_LT(cb.code(0).bits, cb.code(1).bits);
+  EXPECT_LT(cb.code(4).bits, cb.code(5).bits);
+}
+
+TEST(Codebook, DecodeTablesInvertEncodeTable) {
+  const std::vector<std::uint64_t> freqs = {100, 50, 25, 12, 6, 3, 2, 1};
+  const auto cb = Codebook::from_lengths(huffman_code_lengths(freqs));
+  for (std::uint32_t s = 0; s < cb.alphabet_size(); ++s) {
+    const auto& c = cb.code(static_cast<std::uint16_t>(s));
+    if (c.len == 0) continue;
+    bitio::BitWriter w;
+    w.put(c.bits, c.len);
+    const auto units = w.finish();
+    bitio::BitReader r(units, c.len);
+    const DecodedSymbol d = decode_one(r, cb);
+    EXPECT_TRUE(d.valid);
+    EXPECT_EQ(d.symbol, s);
+    EXPECT_EQ(d.len, c.len);
+  }
+}
+
+TEST(Codebook, ExpectedBitsMatchesEntropyRegime) {
+  // Two equal symbols: exactly 1 bit/symbol.
+  const std::vector<std::uint64_t> freqs = {10, 10};
+  const auto cb = Codebook::from_lengths(huffman_code_lengths(freqs));
+  EXPECT_DOUBLE_EQ(cb.expected_bits_per_symbol(freqs), 1.0);
+}
+
+TEST(Codebook, SerializeRoundtrip) {
+  const std::vector<std::uint64_t> freqs = {9, 7, 5, 3, 1, 0, 2};
+  const auto cb = Codebook::from_lengths(huffman_code_lengths(freqs));
+  const auto bytes = cb.serialize();
+  const auto cb2 = Codebook::deserialize(bytes);
+  ASSERT_EQ(cb2.alphabet_size(), cb.alphabet_size());
+  for (std::uint32_t s = 0; s < cb.alphabet_size(); ++s) {
+    EXPECT_EQ(cb.code(static_cast<std::uint16_t>(s)).bits,
+              cb2.code(static_cast<std::uint16_t>(s)).bits);
+    EXPECT_EQ(cb.code(static_cast<std::uint16_t>(s)).len,
+              cb2.code(static_cast<std::uint16_t>(s)).len);
+  }
+}
+
+TEST(Codebook, DeserializeRejectsTruncatedInput) {
+  const std::vector<std::uint8_t> junk = {1, 0};
+  EXPECT_THROW(Codebook::deserialize(junk), std::invalid_argument);
+}
+
+TEST(Codebook, RejectsOverlongLengths) {
+  std::vector<std::uint8_t> lens = {static_cast<std::uint8_t>(kMaxCodeLen + 1)};
+  EXPECT_THROW(Codebook::from_lengths(lens), std::invalid_argument);
+}
+
+TEST(DecodeStep, SelfSynchronizationExampleFromPaper) {
+  // The Ferguson-Rabinowitz codebook from the paper's Listing 1:
+  //   A:00  B:10  C:11  D:010  E:011
+  // (canonicalized here, but with the same length structure). Decoding the
+  // stream with one bit skipped must resynchronize.
+  const std::vector<std::uint8_t> lens = {2, 2, 2, 3, 3};
+  const auto cb = Codebook::from_lengths(lens);
+  // Encode "CBADCBA".
+  const std::vector<std::uint16_t> msg = {2, 1, 0, 3, 2, 1, 0};
+  bitio::BitWriter w;
+  for (auto s : msg) w.put(cb.code(s).bits, cb.code(s).len);
+  const auto total = w.bit_count();
+  const auto units = w.finish();
+
+  // Decode from offset 1 (a skipped bit): after some garbage the decoder
+  // must land back on a codeword boundary of the original stream.
+  bitio::BitReader good(units, total);
+  std::vector<std::uint64_t> boundaries;
+  while (good.position() < total) {
+    boundaries.push_back(good.position());
+    decode_one(good, cb);
+  }
+  bitio::BitReader bad(units, total);
+  bad.seek(1);
+  bool resynced = false;
+  while (bad.position() < total) {
+    decode_one(bad, cb);
+    for (auto b : boundaries) {
+      if (bad.position() == b) {
+        resynced = true;
+        break;
+      }
+    }
+    if (resynced) break;
+  }
+  EXPECT_TRUE(resynced);
+}
+
+}  // namespace
+}  // namespace ohd::huffman

@@ -1,0 +1,107 @@
+#include "huffman/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ohd::huffman {
+namespace {
+
+std::vector<std::uint16_t> random_symbols(std::size_t n, std::uint32_t alphabet,
+                                          std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> out(n);
+  for (auto& s : out) {
+    // Geometric-ish distribution: realistic skew for Huffman.
+    std::uint32_t v = 0;
+    while (v + 1 < alphabet && rng.uniform() < 0.6) ++v;
+    s = static_cast<std::uint16_t>(v);
+  }
+  return out;
+}
+
+TEST(PlainEncoder, RoundtripsThroughSequentialDecoder) {
+  const auto data = random_symbols(10000, 64, 1);
+  const auto cb = Codebook::from_data(data, 64);
+  const auto enc = encode_plain(data, cb);
+  EXPECT_EQ(enc.num_symbols, data.size());
+  EXPECT_EQ(decode_sequential(enc, cb), data);
+}
+
+TEST(PlainEncoder, PadsToWholeSequences) {
+  const auto data = random_symbols(100, 16, 2);
+  const auto cb = Codebook::from_data(data, 16);
+  const auto enc = encode_plain(data, cb);
+  const std::uint64_t unit_bits = enc.units.size() * 32;
+  EXPECT_EQ(unit_bits % enc.geometry.seq_bits(), 0u);
+  EXPECT_LE(enc.total_bits, unit_bits);
+}
+
+TEST(PlainEncoder, SubseqAndSeqCounts) {
+  StreamGeometry g;
+  g.units_per_subseq = 4;
+  g.subseqs_per_seq = 128;
+  const auto data = random_symbols(50000, 32, 3);
+  const auto cb = Codebook::from_data(data, 32);
+  const auto enc = encode_plain(data, cb, g);
+  EXPECT_EQ(enc.num_subseqs(), (enc.total_bits + 127) / 128);
+  EXPECT_EQ(enc.num_seqs(), (enc.num_subseqs() + 127) / 128);
+}
+
+TEST(PlainEncoder, RejectsSymbolWithoutCode) {
+  const std::vector<std::uint16_t> train = {0, 0, 1};
+  const auto cb = Codebook::from_data(train, 4);
+  const std::vector<std::uint16_t> bad = {3};
+  EXPECT_THROW(encode_plain(bad, cb), std::invalid_argument);
+}
+
+TEST(ChunkedEncoder, ChunksAreUnitAligned) {
+  const auto data = random_symbols(5000, 32, 4);
+  const auto cb = Codebook::from_data(data, 32);
+  const auto enc = encode_chunked(data, cb, 512);
+  for (auto off : enc.chunk_bit_offset) EXPECT_EQ(off % 32, 0u);
+  EXPECT_EQ(enc.num_chunks(), (data.size() + 511) / 512);
+}
+
+TEST(ChunkedEncoder, ChunkSymbolCountsSumToTotal) {
+  const auto data = random_symbols(5003, 32, 5);
+  const auto cb = Codebook::from_data(data, 32);
+  const auto enc = encode_chunked(data, cb, 512);
+  std::uint64_t sum = 0;
+  for (auto c : enc.chunk_num_symbols) sum += c;
+  EXPECT_EQ(sum, data.size());
+  EXPECT_EQ(enc.chunk_num_symbols.back(), 5003u % 512u);
+}
+
+TEST(ChunkedEncoder, PaddingCostsCompressionRatio) {
+  const auto data = random_symbols(100000, 64, 6);
+  const auto cb = Codebook::from_data(data, 64);
+  const auto plain = encode_plain(data, cb);
+  const auto small_chunks = encode_chunked(data, cb, 128);
+  const auto big_chunks = encode_chunked(data, cb, 4096);
+  // More chunks => more per-chunk alignment waste and metadata.
+  EXPECT_GT(small_chunks.payload_bytes(), big_chunks.payload_bytes());
+  EXPECT_GE(big_chunks.payload_bytes(), plain.units.size() * 4 - 4096);
+}
+
+TEST(ChunkedEncoder, RejectsZeroChunkSize) {
+  const std::vector<std::uint16_t> data = {0, 1};
+  const auto cb = Codebook::from_data(data, 4);
+  EXPECT_THROW(encode_chunked(data, cb, 0), std::invalid_argument);
+}
+
+TEST(Encoders, EmptyInputProducesEmptyStream) {
+  const std::vector<std::uint16_t> train = {0, 1};
+  const auto cb = Codebook::from_data(train, 4);
+  const std::vector<std::uint16_t> empty;
+  const auto plain = encode_plain(empty, cb);
+  EXPECT_EQ(plain.total_bits, 0u);
+  EXPECT_EQ(plain.num_subseqs(), 0u);
+  const auto gap = encode_gap(empty, cb);
+  EXPECT_TRUE(gap.gaps.empty());
+}
+
+}  // namespace
+}  // namespace ohd::huffman

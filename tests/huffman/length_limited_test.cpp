@@ -1,0 +1,119 @@
+#include "huffman/length_limited.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "huffman/codebook.hpp"
+#include "util/rng.hpp"
+
+namespace ohd::huffman {
+namespace {
+
+double kraft_sum(std::span<const std::uint8_t> lengths) {
+  double k = 0.0;
+  for (auto l : lengths) {
+    if (l > 0) k += std::pow(2.0, -static_cast<double>(l));
+  }
+  return k;
+}
+
+TEST(PackageMerge, UnconstrainedMatchesHuffman) {
+  // With a generous cap, package-merge and Huffman produce codes of equal
+  // weighted length (both optimal).
+  const std::vector<std::uint64_t> freqs = {40, 30, 15, 8, 4, 2, 1};
+  const auto pm = package_merge_lengths(freqs, 24);
+  const auto hf = huffman_code_lengths(freqs);
+  EXPECT_EQ(weighted_length(freqs, pm), weighted_length(freqs, hf));
+}
+
+TEST(PackageMerge, RespectsTheCap) {
+  std::vector<std::uint64_t> freqs(32);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freqs) {
+    f = a;
+    const auto next = a + b;
+    a = b;
+    b = next;
+  }
+  for (std::uint32_t cap = 5; cap <= 12; ++cap) {
+    const auto lens = package_merge_lengths(freqs, cap);
+    for (auto l : lens) EXPECT_LE(l, cap) << "cap=" << cap;
+    EXPECT_NEAR(kraft_sum(lens), 1.0, 1e-12) << "cap=" << cap;
+  }
+}
+
+TEST(PackageMerge, NeverWorseThanFlatteningHeuristic) {
+  util::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> freqs(200);
+    for (auto& f : freqs) {
+      f = static_cast<std::uint64_t>(
+          std::pow(10.0, rng.uniform(0.0, 6.0)));
+    }
+    const auto pm = package_merge_lengths(freqs, kMaxCodeLen);
+    const auto heuristic = huffman_code_lengths(freqs);
+    EXPECT_LE(weighted_length(freqs, pm), weighted_length(freqs, heuristic));
+  }
+}
+
+TEST(PackageMerge, TightCapEqualsFixedLengthCode) {
+  // 8 symbols with cap 3: the only feasible code is 3 bits for everyone.
+  const std::vector<std::uint64_t> freqs(8, 5);
+  const auto lens = package_merge_lengths(freqs, 3);
+  for (auto l : lens) EXPECT_EQ(l, 3);
+}
+
+TEST(PackageMerge, InfeasibleCapThrows) {
+  const std::vector<std::uint64_t> freqs(9, 1);  // 9 symbols, cap 3 => 8 slots
+  EXPECT_THROW(package_merge_lengths(freqs, 3), std::invalid_argument);
+}
+
+TEST(PackageMerge, ZeroFrequencySymbolsExcluded) {
+  const std::vector<std::uint64_t> freqs = {10, 0, 5, 0};
+  const auto lens = package_merge_lengths(freqs, 8);
+  EXPECT_GT(lens[0], 0);
+  EXPECT_EQ(lens[1], 0);
+  EXPECT_EQ(lens[3], 0);
+}
+
+TEST(PackageMerge, SingleSymbol) {
+  const std::vector<std::uint64_t> freqs = {0, 7};
+  const auto lens = package_merge_lengths(freqs, 8);
+  EXPECT_EQ(lens[1], 1);
+}
+
+TEST(PackageMerge, LengthsBuildAValidCanonicalCodebook) {
+  util::Xoshiro256 rng(23);
+  std::vector<std::uint64_t> freqs(1024);
+  for (auto& f : freqs) f = 1 + rng.bounded(100000);
+  const auto lens = package_merge_lengths(freqs, 12);
+  const auto cb = Codebook::from_lengths(lens);
+  EXPECT_EQ(cb.max_len(), 12u);
+}
+
+class PackageMergeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PackageMergeSweep, KraftEqualityAndCapHold) {
+  const auto [alphabet, cap] = GetParam();
+  if ((1u << cap) < static_cast<unsigned>(alphabet)) GTEST_SKIP();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(alphabet * 131 + cap));
+  std::vector<std::uint64_t> freqs(static_cast<std::size_t>(alphabet));
+  for (auto& f : freqs) f = 1 + rng.bounded(1u << 20);
+  const auto lens = package_merge_lengths(freqs, static_cast<std::uint32_t>(cap));
+  EXPECT_NEAR(kraft_sum(lens), 1.0, 1e-12);
+  for (auto l : lens) {
+    EXPECT_GT(l, 0);
+    EXPECT_LE(l, cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PackageMergeSweep,
+                         ::testing::Combine(::testing::Values(2, 17, 256, 1024),
+                                            ::testing::Values(4, 11, 16, 24)));
+
+}  // namespace
+}  // namespace ohd::huffman

@@ -1,0 +1,83 @@
+// End-to-end integration: generate a dataset, compress with the cuSZ
+// pipeline, decompress with every decoder, check error bounds and content
+// agreement across the full stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/fields.hpp"
+#include "sz/compressor.hpp"
+#include "sz/metrics.hpp"
+
+namespace ohd {
+namespace {
+
+class PipelineOnDataset : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PipelineOnDataset, CompressDecompressWithinBound) {
+  const auto field = data::make_by_name(GetParam(), 0.05);
+  sz::CompressorConfig cfg;
+  cfg.rel_error_bound = 1e-3;
+  const auto blob = sz::compress(field.data, field.dims, cfg);
+
+  cudasim::SimContext ctx;
+  const auto result = sz::decompress(ctx, blob);
+  const auto stats = sz::compute_error_stats(field.data, result.data);
+  EXPECT_LE(stats.max_abs_error,
+            cfg.rel_error_bound * stats.value_range * (1 + 1e-6));
+  EXPECT_GT(stats.psnr_db, 40.0);
+  EXPECT_GT(blob.ratio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, PipelineOnDataset,
+                         ::testing::Values("HACC", "EXAALT", "CESM", "Nyx",
+                                           "Hurricane", "QMCPack", "RTM",
+                                           "GAMESS"));
+
+TEST(Pipeline, DecodersAgreeOnRealisticQuantCodes) {
+  const auto field = data::make_hacc(0.05);
+  std::vector<float> reference;
+  for (core::Method m : {core::Method::CuszNaive,
+                         core::Method::SelfSyncOptimized,
+                         core::Method::GapArrayOptimized}) {
+    sz::CompressorConfig cfg;
+    cfg.method = m;
+    const auto blob = sz::compress(field.data, field.dims, cfg);
+    cudasim::SimContext ctx;
+    const auto result = sz::decompress(ctx, blob);
+    if (reference.empty()) {
+      reference = result.data;
+    } else {
+      EXPECT_EQ(result.data, reference);
+    }
+  }
+}
+
+TEST(Pipeline, ErrorBoundSweepStaysBounded) {
+  const auto field = data::make_cesm(0.03);
+  for (double eb : {1e-2, 1e-3, 1e-4}) {
+    sz::CompressorConfig cfg;
+    cfg.rel_error_bound = eb;
+    const auto blob = sz::compress(field.data, field.dims, cfg);
+    cudasim::SimContext ctx;
+    const auto result = sz::decompress(ctx, blob);
+    const auto stats = sz::compute_error_stats(field.data, result.data);
+    EXPECT_LE(stats.max_abs_error, eb * stats.value_range * (1 + 1e-6))
+        << "eb=" << eb;
+  }
+}
+
+TEST(Pipeline, LargerErrorBoundCompressesBetter) {
+  const auto field = data::make_hacc(0.05);
+  double prev_ratio = 0.0;
+  for (double eb : {1e-4, 1e-3, 1e-2}) {
+    sz::CompressorConfig cfg;
+    cfg.rel_error_bound = eb;
+    const auto blob = sz::compress(field.data, field.dims, cfg);
+    EXPECT_GT(blob.ratio(), prev_ratio) << "eb=" << eb;
+    prev_ratio = blob.ratio();
+  }
+}
+
+}  // namespace
+}  // namespace ohd

@@ -1,0 +1,129 @@
+#include "sz/compressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ohd::sz {
+namespace {
+
+std::vector<float> test_field(std::size_t n, std::uint64_t seed,
+                              double noise = 0.002) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(std::sin(0.001 * static_cast<double>(i)) +
+                              noise * rng.normal());
+  }
+  return v;
+}
+
+TEST(Compressor, RoundtripWithinRelativeBound) {
+  const auto data = test_field(100000, 1);
+  CompressorConfig cfg;
+  cfg.rel_error_bound = 1e-3;
+  const auto blob = compress(data, Dims::d1(data.size()), cfg);
+
+  cudasim::SimContext ctx;
+  const auto result = decompress(ctx, blob);
+  ASSERT_EQ(result.data.size(), data.size());
+  float lo = data[0], hi = data[0];
+  for (float v : data) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double abs_eb = cfg.rel_error_bound * (hi - lo);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::abs(data[i] - result.data[i]), abs_eb * (1 + 1e-6)) << i;
+  }
+}
+
+TEST(Compressor, AllDecodableMethodsReconstructIdentically) {
+  const auto data = test_field(80000, 2);
+  std::vector<float> reference;
+  for (core::Method m : {core::Method::CuszNaive,
+                         core::Method::SelfSyncOriginal,
+                         core::Method::SelfSyncOptimized,
+                         core::Method::GapArrayOptimized}) {
+    CompressorConfig cfg;
+    cfg.method = m;
+    const auto blob = compress(data, Dims::d1(data.size()), cfg);
+    cudasim::SimContext ctx;
+    const auto result = decompress(ctx, blob);
+    if (reference.empty()) {
+      reference = result.data;
+    } else {
+      EXPECT_EQ(result.data, reference) << core::method_name(m);
+    }
+  }
+}
+
+TEST(Compressor, EightBitMethodRefusesDecompression) {
+  const auto data = test_field(10000, 3);
+  CompressorConfig cfg;
+  cfg.method = core::Method::GapArrayOriginal8Bit;
+  const auto blob = compress(data, Dims::d1(data.size()), cfg);
+  cudasim::SimContext ctx;
+  EXPECT_THROW(decompress(ctx, blob), std::invalid_argument);
+}
+
+TEST(Compressor, TighterBoundLowersRatio) {
+  const auto data = test_field(100000, 4, 0.01);
+  CompressorConfig loose, tight;
+  loose.rel_error_bound = 1e-2;
+  tight.rel_error_bound = 1e-4;
+  const auto blob_l = compress(data, Dims::d1(data.size()), loose);
+  const auto blob_t = compress(data, Dims::d1(data.size()), tight);
+  EXPECT_GT(blob_l.ratio(), blob_t.ratio());
+}
+
+TEST(Compressor, TimelineCoversAllStages) {
+  const auto data = test_field(60000, 5);
+  CompressorConfig cfg;
+  const auto blob = compress(data, Dims::d1(data.size()), cfg);
+  cudasim::SimContext ctx;
+  const auto result = decompress(ctx, blob);
+  EXPECT_GT(result.huffman_seconds, 0.0);
+  EXPECT_GT(result.reverse_lorenzo_seconds, 0.0);
+  EXPECT_EQ(result.h2d_seconds, 0.0);
+}
+
+TEST(Compressor, H2dTransferChargedWhenRequested) {
+  const auto data = test_field(60000, 6);
+  CompressorConfig cfg;
+  const auto blob = compress(data, Dims::d1(data.size()), cfg);
+  cudasim::SimContext ctx;
+  const auto result = decompress(ctx, blob, {}, /*simulate_h2d=*/true);
+  EXPECT_GT(result.h2d_seconds, 0.0);
+  // Transfer time matches the compressed size over PCIe bandwidth.
+  const double expected =
+      ctx.model().host_to_device_seconds(blob.compressed_bytes());
+  EXPECT_NEAR(result.h2d_seconds, expected, 1e-9);
+}
+
+TEST(Compressor, RatioAccountsForOutliers) {
+  util::Xoshiro256 rng(7);
+  std::vector<float> spiky(50000);
+  for (auto& v : spiky) {
+    v = static_cast<float>(rng.uniform() < 0.05 ? 100.0 * rng.normal()
+                                                : 0.01 * rng.normal());
+  }
+  CompressorConfig cfg;
+  cfg.radius = 64;
+  const auto blob = compress(spiky, Dims::d1(spiky.size()), cfg);
+  EXPECT_GT(blob.outliers.size(), 0u);
+  EXPECT_GT(blob.compressed_bytes(), blob.encoded.compressed_bytes());
+}
+
+TEST(Compressor, RejectsNonPositiveBound) {
+  const std::vector<float> data(10, 1.0f);
+  CompressorConfig cfg;
+  cfg.rel_error_bound = 0.0;
+  EXPECT_THROW(compress(data, Dims::d1(10), cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ohd::sz

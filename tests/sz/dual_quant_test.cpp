@@ -1,0 +1,110 @@
+// Properties specific to cuSZ-style dual-quantization: exact integer
+// prediction (no reconstruction-noise feedback), lattice idempotency, and
+// boundary-plane behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sz/lorenzo.hpp"
+#include "util/rng.hpp"
+
+namespace ohd::sz {
+namespace {
+
+TEST(DualQuant, LinearRampQuantizesToConstantCodes) {
+  // A 1-D linear ramp on the lattice has constant first differences, so
+  // after the first element every code equals radius + slope.
+  std::vector<float> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(0.01 * static_cast<double>(i));
+  }
+  const double eb = 1e-3;  // quantum 2e-3, slope = 5 quanta
+  const auto q = lorenzo_quantize(data, Dims::d1(data.size()), eb);
+  for (std::size_t i = 2; i < q.codes.size(); ++i) {
+    ASSERT_EQ(q.codes[i], q.radius + 5) << i;
+  }
+}
+
+TEST(DualQuant, BilinearFieldQuantizesToZeroResiduals2D) {
+  // f(x,y) = a + bx + cy is reproduced exactly by the 2-D Lorenzo predictor
+  // on the integer lattice: interior codes are exactly the zero-residual
+  // code.
+  const std::size_t nx = 64, ny = 48;
+  std::vector<float> data(nx * ny);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      data[y * nx + x] = static_cast<float>(0.3 + 0.02 * x + 0.05 * y);
+    }
+  }
+  const auto q = lorenzo_quantize(data, Dims::d2(nx, ny), 1e-3);
+  std::size_t nonzero_interior = 0;
+  for (std::size_t y = 1; y < ny; ++y) {
+    for (std::size_t x = 1; x < nx; ++x) {
+      nonzero_interior += (q.codes[y * nx + x] != q.radius);
+    }
+  }
+  // Rounding of the lattice snap can perturb a few cells; the bulk is exact.
+  EXPECT_LT(static_cast<double>(nonzero_interior) / (nx * ny), 0.02);
+}
+
+TEST(DualQuant, NoNoiseFeedbackOnConstantData) {
+  const std::vector<float> data(5000, 0.731f);
+  const auto q = lorenzo_quantize(data, Dims::d1(data.size()), 1e-4);
+  for (std::size_t i = 1; i < q.codes.size(); ++i) {
+    ASSERT_EQ(q.codes[i], q.radius);
+  }
+  // Only the very first element (predicted as 0, which is 3655 quanta off)
+  // may be an outlier.
+  EXPECT_LE(q.outliers.size(), 1u);
+}
+
+TEST(DualQuant, LatticeIdempotency) {
+  // quantize(reconstruct(quantize(x))) == quantize(x) code-for-code.
+  util::Xoshiro256 rng(3);
+  std::vector<float> data(20000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(std::sin(0.003 * static_cast<double>(i)) +
+                                 0.001 * rng.normal());
+  }
+  const double eb = 1e-3;
+  const auto q1 = lorenzo_quantize(data, Dims::d1(data.size()), eb);
+  const auto rec = lorenzo_reconstruct(q1);
+  const auto q2 = lorenzo_quantize(rec, Dims::d1(rec.size()), eb);
+  EXPECT_EQ(q1.codes, q2.codes);
+}
+
+TEST(DualQuant, FirstPlanePredictsFromLowerRankNeighbors) {
+  // On the x=0 face of a 3-D field the predictor degrades gracefully (2-D /
+  // 1-D / zero); the roundtrip must still hold the bound there.
+  util::Xoshiro256 rng(5);
+  const std::size_t n1 = 20;
+  std::vector<float> data(n1 * n1 * n1);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  const double eb = 0.02;
+  const auto q = lorenzo_quantize(data, Dims::d3(n1, n1, n1), eb);
+  const auto rec = lorenzo_reconstruct(q);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::abs(data[i] - rec[i]), eb * (1 + 1e-9)) << i;
+  }
+}
+
+TEST(DualQuant, RadiusSweepTradesOutliersForCodes) {
+  util::Xoshiro256 rng(7);
+  std::vector<float> data(30000);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  const double eb = 1e-3;
+  std::size_t prev_outliers = static_cast<std::size_t>(-1);
+  for (std::uint32_t radius : {16u, 64u, 256u, 1024u}) {
+    const auto q = lorenzo_quantize(data, Dims::d1(data.size()), eb, radius);
+    EXPECT_LT(q.outliers.size(), prev_outliers);
+    prev_outliers = q.outliers.size();
+    const auto rec = lorenzo_reconstruct(q);
+    for (std::size_t i = 0; i < data.size(); i += 997) {
+      ASSERT_LE(std::abs(data[i] - rec[i]), eb * (1 + 1e-9));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ohd::sz

@@ -1,0 +1,142 @@
+#include "sz/lorenzo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ohd::sz {
+namespace {
+
+std::vector<float> smooth_1d(std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(0.01 * static_cast<double>(i));
+  }
+  return v;
+}
+
+void expect_bounded(std::span<const float> a, std::span<const float> b,
+                    double eb) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_LE(std::abs(static_cast<double>(a[i]) - b[i]), eb * (1 + 1e-9))
+        << "at " << i;
+  }
+}
+
+TEST(Lorenzo, Roundtrip1DWithinBound) {
+  const auto data = smooth_1d(10000);
+  const double eb = 1e-4;
+  const auto q = lorenzo_quantize(data, Dims::d1(data.size()), eb);
+  const auto rec = lorenzo_reconstruct(q);
+  expect_bounded(data, rec, eb);
+}
+
+TEST(Lorenzo, Roundtrip2DWithinBound) {
+  util::Xoshiro256 rng(1);
+  const std::size_t nx = 120, ny = 90;
+  std::vector<float> data(nx * ny);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      data[y * nx + x] = static_cast<float>(
+          std::sin(0.05 * x) * std::cos(0.07 * y) + 0.01 * rng.normal());
+    }
+  }
+  const double eb = 1e-3;
+  const auto q = lorenzo_quantize(data, Dims::d2(nx, ny), eb);
+  expect_bounded(data, lorenzo_reconstruct(q), eb);
+}
+
+TEST(Lorenzo, Roundtrip3DWithinBound) {
+  util::Xoshiro256 rng(2);
+  const std::size_t n1 = 24;
+  std::vector<float> data(n1 * n1 * n1);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  const double eb = 0.05;
+  const auto q = lorenzo_quantize(data, Dims::d3(n1, n1, n1), eb);
+  expect_bounded(data, lorenzo_reconstruct(q), eb);
+}
+
+TEST(Lorenzo, SmoothDataConcentratesCodes) {
+  // sin(0.01*i) steps by at most ~0.01 per sample; at quantum 2e-3 the
+  // first-order prediction errors stay within a few quanta of zero.
+  const auto data = smooth_1d(10000);
+  const auto q = lorenzo_quantize(data, Dims::d1(data.size()), 1e-3);
+  std::size_t center = 0;
+  for (auto c : q.codes) {
+    center += (c >= q.radius - 6 && c <= q.radius + 6);
+  }
+  EXPECT_GT(static_cast<double>(center) / q.codes.size(), 0.95);
+  EXPECT_EQ(q.outliers.size(), 0u);
+}
+
+TEST(Lorenzo, NoisyDataProducesOutliers) {
+  util::Xoshiro256 rng(3);
+  std::vector<float> data(10000);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  // Tiny bound relative to the data's variation forces radius overflows.
+  const auto q = lorenzo_quantize(data, Dims::d1(data.size()), 1e-4, 16);
+  EXPECT_GT(q.outliers.size(), 0u);
+  expect_bounded(data, lorenzo_reconstruct(q), 1e-4);
+}
+
+TEST(Lorenzo, OutliersAreReconstructedExactly) {
+  util::Xoshiro256 rng(4);
+  std::vector<float> data(1000);
+  for (auto& v : data) v = static_cast<float>(100.0 * rng.normal());
+  const auto q = lorenzo_quantize(data, Dims::d1(data.size()), 1e-6, 4);
+  const auto rec = lorenzo_reconstruct(q);
+  for (const Outlier& o : q.outliers) {
+    EXPECT_EQ(rec[o.index], o.value);
+  }
+}
+
+TEST(Lorenzo, CodesStayWithinAlphabet) {
+  util::Xoshiro256 rng(5);
+  std::vector<float> data(20000);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  const auto q = lorenzo_quantize(data, Dims::d1(data.size()), 1e-2, 512);
+  for (auto c : q.codes) EXPECT_LT(c, q.alphabet_size());
+}
+
+TEST(Lorenzo, RejectsBadArguments) {
+  const std::vector<float> data(10, 0.0f);
+  EXPECT_THROW(lorenzo_quantize(data, Dims::d1(11), 1e-3),
+               std::invalid_argument);
+  EXPECT_THROW(lorenzo_quantize(data, Dims::d1(10), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(lorenzo_quantize(data, Dims::d1(10), 1e-3, 1),
+               std::invalid_argument);
+}
+
+TEST(Lorenzo, ReconstructDetectsMissingOutliers) {
+  util::Xoshiro256 rng(6);
+  std::vector<float> data(1000);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  auto q = lorenzo_quantize(data, Dims::d1(data.size()), 1e-4, 8);
+  ASSERT_GT(q.outliers.size(), 0u);
+  const auto outliers = std::move(q.outliers);
+  q.outliers.clear();
+  EXPECT_THROW(lorenzo_reconstruct(q), std::invalid_argument);
+  (void)outliers;
+}
+
+TEST(Lorenzo, DecompressionIsIdempotent) {
+  // Compressing the reconstructed field again yields the same codes
+  // (the classic SZ idempotency property).
+  const auto data = smooth_1d(5000);
+  const double eb = 1e-3;
+  const auto q1 = lorenzo_quantize(data, Dims::d1(data.size()), eb);
+  const auto rec1 = lorenzo_reconstruct(q1);
+  const auto q2 = lorenzo_quantize(rec1, Dims::d1(rec1.size()), eb);
+  const auto rec2 = lorenzo_reconstruct(q2);
+  for (std::size_t i = 0; i < rec1.size(); ++i) {
+    ASSERT_NEAR(rec1[i], rec2[i], eb * 1e-3) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ohd::sz

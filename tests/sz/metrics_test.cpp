@@ -1,0 +1,46 @@
+#include "sz/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ohd::sz {
+namespace {
+
+TEST(Metrics, ZeroErrorForIdenticalData) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const auto s = compute_error_stats(a, a);
+  EXPECT_DOUBLE_EQ(s.max_abs_error, 0.0);
+  EXPECT_EQ(s.psnr_db, 999.0);
+}
+
+TEST(Metrics, MaxAbsError) {
+  const std::vector<float> a = {0.0f, 1.0f, 2.0f};
+  const std::vector<float> b = {0.5f, 1.0f, 1.0f};
+  const auto s = compute_error_stats(a, b);
+  EXPECT_DOUBLE_EQ(s.max_abs_error, 1.0);
+  EXPECT_DOUBLE_EQ(s.value_range, 2.0);
+}
+
+TEST(Metrics, PsnrDecreasesWithError) {
+  const std::vector<float> a = {0.0f, 1.0f, 2.0f, 3.0f};
+  std::vector<float> small = a, big = a;
+  small[0] += 0.01f;
+  big[0] += 0.5f;
+  EXPECT_GT(compute_error_stats(a, small).psnr_db,
+            compute_error_stats(a, big).psnr_db);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<float> a = {1.0f};
+  const std::vector<float> b = {1.0f, 2.0f};
+  EXPECT_THROW(compute_error_stats(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, CompressionRatio) {
+  EXPECT_DOUBLE_EQ(compression_ratio(100, 25), 4.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(100, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ohd::sz

@@ -1,0 +1,80 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ohd::util {
+namespace {
+
+TEST(Bytes, ScalarRoundtrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0x12345678);
+  w.u64(0x1122334455667788ull);
+  w.f32(3.5f);
+  w.f64(-2.25);
+  const auto bytes = w.take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0x12345678u);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(r.f32(), 3.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, ArrayRoundtrip) {
+  ByteWriter w;
+  const std::vector<std::uint32_t> values = {1, 2, 3, 0xFFFFFFFF};
+  w.array<std::uint32_t>(values);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.array<std::uint32_t>(), values);
+}
+
+TEST(Bytes, MagicMatch) {
+  ByteWriter w;
+  w.magic("OHDZ");
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_NO_THROW(r.expect_magic("OHDZ"));
+}
+
+TEST(Bytes, MagicMismatchThrows) {
+  ByteWriter w;
+  w.magic("XXXX");
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.expect_magic("OHDZ"), std::invalid_argument);
+}
+
+TEST(Bytes, TruncatedScalarThrows) {
+  ByteWriter w;
+  w.u16(7);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.u32(), std::invalid_argument);
+}
+
+TEST(Bytes, OversizedArrayLengthThrows) {
+  ByteWriter w;
+  w.u64(1ull << 40);  // claims a petabyte array
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.array<std::uint32_t>(), std::invalid_argument);
+}
+
+TEST(Bytes, EmptyArrayRoundtrip) {
+  ByteWriter w;
+  w.array<std::uint8_t>(std::vector<std::uint8_t>{});
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_TRUE(r.array<std::uint8_t>().empty());
+}
+
+}  // namespace
+}  // namespace ohd::util

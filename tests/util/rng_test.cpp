@@ -1,0 +1,68 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ohd::util {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BoundedCoversRange) {
+  Xoshiro256 rng(5);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.bounded(8)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Xoshiro256, NormalMomentsApproximatelyStandard) {
+  Xoshiro256 rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace ohd::util

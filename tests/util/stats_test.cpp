@@ -1,0 +1,50 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/timer.hpp"
+
+namespace ohd::util {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::array<double, 4> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, GeomeanOfKnownValues) {
+  const std::array<double, 2> v{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::array<double, 3> v{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(minimum(v), -1.0);
+  EXPECT_DOUBLE_EQ(maximum(v), 3.0);
+}
+
+TEST(Throughput, GbPerSecond) {
+  EXPECT_DOUBLE_EQ(throughput_gbps(1'000'000'000ull, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(throughput_gbps(500'000'000ull, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(throughput_gbps(1, 0.0), 0.0);
+}
+
+TEST(Throughput, Mebibytes) {
+  EXPECT_DOUBLE_EQ(mebibytes(1024 * 1024), 1.0);
+}
+
+TEST(WallTimer, MeasuresNonNegativeTime) {
+  WallTimer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.milliseconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ohd::util

@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ohd::util {
+namespace {
+
+TEST(Table, RendersTitleAndColumns) {
+  Table t("Demo");
+  t.set_columns({"A", "B"});
+  t.add_row("row1", {"1.0", "2.0"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("row1"), std::string::npos);
+  EXPECT_NE(s.find("2.0"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderDash) {
+  Table t("T");
+  t.set_columns({"A", "B", "C"});
+  t.add_row("r", {"x"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("-"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t("T");
+  t.set_columns({"A"});
+  t.add_row("r1", {"123456"});
+  t.add_row("r2", {"1"});
+  const std::string s = t.render();
+  // Both data rows end at the same column.
+  const auto l1 = s.find("123456");
+  const auto l2 = s.rfind(" 1\n");
+  EXPECT_NE(l1, std::string::npos);
+  EXPECT_NE(l2, std::string::npos);
+}
+
+TEST(FormatHelpers, FixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+TEST(FormatHelpers, Speedup) {
+  EXPECT_EQ(fmt_speedup(3.64), "3.64x");
+  EXPECT_EQ(fmt_speedup(0.09), "0.09x");
+}
+
+}  // namespace
+}  // namespace ohd::util
