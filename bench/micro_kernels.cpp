@@ -1,8 +1,18 @@
-// google-benchmark microbenchmarks of the substrate hot paths: these measure
-// HOST wall time of the functional simulation (useful for keeping the
-// simulator itself fast), not simulated GPU time.
-#include <benchmark/benchmark.h>
-
+// Microbenchmarks of the substrate hot paths: these measure HOST wall time
+// of the functional simulation (useful for keeping the simulator itself
+// fast), not simulated GPU time.
+//
+// Two modes:
+//  * default — google-benchmark microbenchmarks (when built with gbench);
+//  * --json [path] — the perf-trajectory probe: times flat-LUT decoding
+//    against the legacy bit-by-bit path on a quant-like symbol stream and
+//    writes machine-readable results (symbols/sec, speedup) to
+//    BENCH_decode.json. Needs no benchmark library, so CI can always run it.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bitio/bit_reader.hpp"
@@ -10,13 +20,20 @@
 #include "cudasim/algorithms.hpp"
 #include "huffman/codebook.hpp"
 #include "huffman/decode_step.hpp"
+#include "huffman/decode_table.hpp"
 #include "huffman/encoder.hpp"
 #include "util/rng.hpp"
+
+#if defined(OHD_HAVE_GBENCH)
+#include <benchmark/benchmark.h>
+#endif
 
 namespace {
 
 using namespace ohd;
 
+/// Quant-like stream: values concentrate geometrically near zero, like
+/// Lorenzo quantization codes near the radius (avg code length ~3 bits).
 std::vector<std::uint16_t> skewed_stream(std::size_t n) {
   util::Xoshiro256 rng(5);
   std::vector<std::uint16_t> out(n);
@@ -27,6 +44,100 @@ std::vector<std::uint16_t> skewed_stream(std::size_t n) {
   }
   return out;
 }
+
+/// Shared decode loop so the two timed arms differ only in the per-symbol
+/// decode step.
+template <typename DecodeStep>
+std::vector<std::uint16_t> decode_all(const huffman::StreamEncoding& enc,
+                                      DecodeStep&& step) {
+  std::vector<std::uint16_t> out(enc.num_symbols);
+  bitio::BitReader reader(enc.units, enc.total_bits);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const huffman::DecodedSymbol d = step(reader);
+    if (!d.valid) throw std::runtime_error("decode desynced");
+    out[i] = d.symbol;
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> decode_all_bit_by_bit(
+    const huffman::StreamEncoding& enc, const huffman::Codebook& cb) {
+  return decode_all(enc, [&](bitio::BitReader& reader) {
+    return huffman::decode_one(reader, cb);
+  });
+}
+
+std::vector<std::uint16_t> decode_all_lut(const huffman::StreamEncoding& enc,
+                                          const huffman::Codebook& cb) {
+  const huffman::DecodeTable& table = cb.decode_table();
+  return decode_all(enc, [&](bitio::BitReader& reader) {
+    return huffman::decode_one_lut(reader, cb, table);
+  });
+}
+
+/// Best-of-`reps` wall seconds of `fn()` (which must return the decoded
+/// stream, checked against `expect`).
+template <typename Fn>
+double best_seconds(int reps, const std::vector<std::uint16_t>& expect,
+                    Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<std::uint16_t> got = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (got != expect) throw std::runtime_error("decode mismatch");
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+int run_json_mode(const char* out_path) {
+  constexpr std::size_t kNumSymbols = 1 << 21;  // ~2M, quant-like
+  constexpr int kReps = 7;
+  const auto data = skewed_stream(kNumSymbols);
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  const auto enc = huffman::encode_plain(data, cb);
+
+  // Warm-up (touches the stream + table once) and correctness cross-check.
+  if (decode_all_lut(enc, cb) != decode_all_bit_by_bit(enc, cb)) {
+    std::fprintf(stderr, "LUT / bit-by-bit decode mismatch\n");
+    return 1;
+  }
+
+  const double legacy_s = best_seconds(kReps, data, [&] {
+    return decode_all_bit_by_bit(enc, cb);
+  });
+  const double lut_s = best_seconds(kReps, data, [&] {
+    return decode_all_lut(enc, cb);
+  });
+  const double legacy_sps = static_cast<double>(kNumSymbols) / legacy_s;
+  const double lut_sps = static_cast<double>(kNumSymbols) / lut_s;
+  const double speedup = legacy_s / lut_s;
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"huffman_decode\",\n"
+               "  \"num_symbols\": %zu,\n"
+               "  \"alphabet\": 1024,\n"
+               "  \"lut_index_bits\": %u,\n"
+               "  \"bit_by_bit_symbols_per_sec\": %.0f,\n"
+               "  \"lut_symbols_per_sec\": %.0f,\n"
+               "  \"lut_speedup\": %.3f\n"
+               "}\n",
+               kNumSymbols, cb.decode_table().index_bits(), legacy_sps,
+               lut_sps, speedup);
+  std::fclose(f);
+  std::printf("wrote %s: bit-by-bit %.1f Msym/s, LUT %.1f Msym/s (%.2fx)\n",
+              out_path, legacy_sps / 1e6, lut_sps / 1e6, speedup);
+  return 0;
+}
+
+#if defined(OHD_HAVE_GBENCH)
 
 void BM_CodebookConstruction(benchmark::State& state) {
   const auto data = skewed_stream(static_cast<std::size_t>(state.range(0)));
@@ -47,16 +158,27 @@ void BM_HuffmanEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_HuffmanEncode)->Arg(1 << 14)->Arg(1 << 17);
 
-void BM_SequentialDecode(benchmark::State& state) {
+void BM_DecodeBitByBit(benchmark::State& state) {
   const auto data = skewed_stream(static_cast<std::size_t>(state.range(0)));
   const auto cb = huffman::Codebook::from_data(data, 1024);
   const auto enc = huffman::encode_plain(data, cb);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(huffman::decode_sequential(enc, cb));
+    benchmark::DoNotOptimize(decode_all_bit_by_bit(enc, cb));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_SequentialDecode)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_DecodeBitByBit)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_DecodeLut(benchmark::State& state) {
+  const auto data = skewed_stream(static_cast<std::size_t>(state.range(0)));
+  const auto cb = huffman::Codebook::from_data(data, 1024);
+  const auto enc = huffman::encode_plain(data, cb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_all_lut(enc, cb));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeLut)->Arg(1 << 14)->Arg(1 << 17);
 
 void BM_BitWriterThroughput(benchmark::State& state) {
   util::Xoshiro256 rng(1);
@@ -102,6 +224,29 @@ void BM_DeviceRadixSort(benchmark::State& state) {
 }
 BENCHMARK(BM_DeviceRadixSort)->Arg(1 << 14);
 
+#endif  // OHD_HAVE_GBENCH
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      const char* path = i + 1 < argc && argv[i + 1][0] != '-'
+                             ? argv[i + 1]
+                             : "BENCH_decode.json";
+      return run_json_mode(path);
+    }
+  }
+#if defined(OHD_HAVE_GBENCH)
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "built without google-benchmark; only --json [path] mode is "
+               "available\n");
+  return 1;
+#endif
+}

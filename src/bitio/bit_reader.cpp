@@ -2,19 +2,33 @@
 
 namespace ohd::bitio {
 
-std::uint32_t BitReader::peek(std::uint32_t len) const {
-  if (len == 0) return 0;
-  std::uint64_t p = pos_;
-  std::uint32_t out = 0;
-  for (std::uint32_t i = 0; i < len; ++i, ++p) {
-    out <<= 1;
-    if (p < total_bits_) {
-      const std::uint64_t unit = p / 32;
-      const std::uint32_t shift = 31 - static_cast<std::uint32_t>(p % 32);
-      out |= (units_[unit] >> shift) & 1u;
+void BitReader::refill() const {
+  // Invariant on entry and between iterations: the buffer holds the
+  // buf_bits_ bits starting at pos_, left-aligned, and the first missing bit
+  // (pos_ + buf_bits_) is either where a seek/skip landed or a unit boundary
+  // (every completed iteration extends the buffer to a unit boundary).
+  while (buf_bits_ <= 32) {
+    const std::uint64_t next = pos_ + buf_bits_;  // first bit not buffered
+    const std::uint64_t unit = next >> 5;
+    const auto offset = static_cast<std::uint32_t>(next & 31);
+    const std::uint32_t width = 32 - offset;  // bits fetched this iteration
+    std::uint64_t chunk = 0;
+    if (unit < units_.size()) {
+      // Bits [offset, 32) of the unit, right-aligned into `width` bits.
+      chunk = units_[unit] & (0xFFFFFFFFu >> offset);
+      // Zero any bits at or past total_bits_: the unit tail may hold
+      // sequence padding, but the reader's contract is that bits beyond the
+      // valid stream read as zero.
+      if ((unit + 1) * 32 > total_bits_) {
+        const std::uint64_t valid = total_bits_ > next ? total_bits_ - next : 0;
+        chunk = valid == 0
+                    ? 0
+                    : chunk & ~((1ull << (width - valid)) - 1);
+      }
     }
+    buf_ |= chunk << (64 - buf_bits_ - width);
+    buf_bits_ += width;
   }
-  return out;
 }
 
 }  // namespace ohd::bitio

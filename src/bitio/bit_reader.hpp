@@ -2,6 +2,12 @@
 // the exact read primitive the simulated decoder kernels use; it is
 // deliberately branch-light because its cost is charged to the perf model per
 // decoded codeword.
+//
+// The reader keeps a 64-bit refill buffer holding the next bits of the stream
+// left-aligned (the bit at `position()` is the buffer's MSB). peek/get_bit/
+// skip run off the buffer and only fall into the out-of-line refill every
+// ~32 consumed bits, so the LUT decode step `peek(K) -> table[idx] ->
+// skip(len)` touches memory once per unit instead of once per bit.
 #pragma once
 
 #include <cstdint>
@@ -14,34 +20,57 @@ public:
   BitReader(std::span<const std::uint32_t> units, std::uint64_t total_bits)
       : units_(units), total_bits_(total_bits) {}
 
-  void seek(std::uint64_t bit) { pos_ = bit; }
+  void seek(std::uint64_t bit) {
+    pos_ = bit;
+    buf_ = 0;
+    buf_bits_ = 0;
+  }
   std::uint64_t position() const { return pos_; }
   std::uint64_t total_bits() const { return total_bits_; }
   bool exhausted() const { return pos_ >= total_bits_; }
 
   /// Read one bit; reading past the end yields 0 (padding semantics).
   std::uint32_t get_bit() {
-    if (pos_ >= total_bits_) {
-      ++pos_;
-      return 0;
-    }
-    const std::uint64_t unit = pos_ / 32;
-    const std::uint32_t shift = 31 - static_cast<std::uint32_t>(pos_ % 32);
+    if (buf_bits_ == 0) refill();
+    const auto bit = static_cast<std::uint32_t>(buf_ >> 63);
+    buf_ <<= 1;
+    --buf_bits_;
     ++pos_;
-    return (units_[unit] >> shift) & 1u;
+    return bit;
   }
 
   /// Peek up to `len` (<=32) bits without advancing; missing tail bits read
   /// as zero.
-  std::uint32_t peek(std::uint32_t len) const;
+  std::uint32_t peek(std::uint32_t len) const {
+    if (len == 0) return 0;
+    if (buf_bits_ < len) refill();
+    return static_cast<std::uint32_t>(buf_ >> (64 - len));
+  }
 
   /// Advance by `len` bits.
-  void skip(std::uint32_t len) { pos_ += len; }
+  void skip(std::uint32_t len) {
+    pos_ += len;
+    if (len < buf_bits_) {
+      buf_ <<= len;
+      buf_bits_ -= len;
+    } else {
+      buf_ = 0;
+      buf_bits_ = 0;
+    }
+  }
 
 private:
+  /// Refill the buffer to at least 33 valid bits (bits past total_bits_, and
+  /// bits past the unit array, enter as zeros), so a 32-bit peek never needs
+  /// a second refill.
+  void refill() const;
+
   std::span<const std::uint32_t> units_;
   std::uint64_t total_bits_;
   std::uint64_t pos_ = 0;
+  // Refill buffer; mutable so the logically-const peek can fault bits in.
+  mutable std::uint64_t buf_ = 0;
+  mutable std::uint32_t buf_bits_ = 0;
 };
 
 }  // namespace ohd::bitio

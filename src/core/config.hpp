@@ -17,6 +17,20 @@ struct CostModel {
   std::uint32_t cycles_per_bit = 2;
   std::uint32_t cycles_per_symbol = 4;
 
+  // Flat-LUT fast path (decode table resident in shared memory / L1 for the
+  // fine-grained decoders): one probe resolves every codeword of length <=
+  // the table's index width, so the per-symbol cost collapses to peek +
+  // table read + skip. Codewords longer than the index width pay the probe
+  // plus a ladder walk charged per extra bit at the family's per-bit rate.
+  std::uint32_t cycles_per_symbol_lut = 5;
+
+  // The naive cuSZ kernel runs one thread per coarse chunk, so a warp's 32
+  // LUT probes scatter across the table (a serialized gather, not the
+  // broadcast the fine decoders get) — the probe costs nearly a full
+  // dependent-load round trip, calibrated against the same baseline rows as
+  // the tree walk below.
+  std::uint32_t cycles_per_symbol_lut_naive = 36;
+
   // cuSZ's naive decoder walks a serialized Huffman tree one bit at a time
   // (a DEPENDENT node fetch + branch per bit; the tree stays L1/L2-resident
   // so no global transactions are charged, but each hop serializes on cache
@@ -55,6 +69,11 @@ struct DecoderConfig {
   // paper found 3584 symbols optimal on V100 (§IV-C).
   double tuner_fixed_overhead_s = 8e-6;
   std::uint32_t overflow_buffer_symbols = 3584;
+
+  // Decode-path selection for ALL decoder families: the flat-LUT fast path
+  // (huffman::DecodeTable) is the default; set false to force the legacy
+  // bit-by-bit first-code ladder (decode_one), e.g. for A/B benchmarks.
+  bool use_lut_decode = true;
 
   CostModel cost;
 };

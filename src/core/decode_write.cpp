@@ -61,7 +61,7 @@ double decode_write_direct(cudasim::SimContext& ctx, const WritePlan& plan,
               ramp * spec.scatter_penalty_cycles * spec.warp_size);
           decode_span(
               t, *plan.stream, plan.units_addr, *plan.codebook,
-              plan.start_bit[g], plan.start_bit[g + 1], config.cost,
+              plan.start_bit[g], plan.start_bit[g + 1], config,
               record_table_reads, plan.table_addr,
               [&](std::uint16_t sym, std::uint32_t k) {
                 // Scattered store: lanes write ~one subsequence's output
@@ -154,7 +154,7 @@ cudasim::KernelResult run_staged(cudasim::SimContext& ctx,
         t.charge(4);
         if (start[i] >= si && end[i] <= si + buffer_symbols) {
           decode_span(t, *plan.stream, plan.units_addr, *plan.codebook,
-                      bit_lo[i], bit_hi[i], config.cost,
+                      bit_lo[i], bit_hi[i], config,
                       /*record_table_reads=*/false, plan.table_addr,
                       [&](std::uint16_t sym, std::uint32_t k) {
                         buffer[start[i] - si + k] = sym;

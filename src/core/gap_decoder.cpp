@@ -26,7 +26,6 @@ DecodeResult decode_gap_array(cudasim::SimContext& ctx,
   const std::uint32_t S = config.threads_per_block;
   const std::uint32_t num_seqs = stream.num_seqs();
   const std::uint64_t subseq_bits = stream.geometry.subseq_bits();
-  const CostModel& cost = config.cost;
 
   const std::uint64_t units_addr = ctx.reserve_address(stream.units.size() * 4);
   const std::uint64_t gaps_addr = ctx.reserve_address(enc.gaps.size());
@@ -62,7 +61,7 @@ DecodeResult decode_gap_array(cudasim::SimContext& ctx,
               : stream.total_bits;
       if (g + 1 < num_subseqs) t.global_read(gaps_addr + g + 1, 1);
       const auto r =
-          count_span(t, stream, units_addr, cb, start, limit, cost);
+          count_span(t, stream, units_addr, cb, start, limit, config);
       sym_count[g] = r.num_symbols;
       t.global_write(count_addr + g * 4, 4);
     });

@@ -21,6 +21,9 @@ DecodeResult decode_naive_chunked(cudasim::SimContext& ctx,
   const std::uint32_t block_dim = config.naive_block_dim;
   const std::uint32_t grid = (num_chunks + block_dim - 1) / block_dim;
   const CostModel& cost = config.cost;
+  const huffman::DecodeTable& table = cb.decode_table();
+  const bool use_lut = config.use_lut_decode && !table.empty();
+  const std::uint32_t lut_bits = table.index_bits();
 
   const auto r = ctx.launch(
       "naive_decode", {grid, block_dim, 0}, [&](cudasim::BlockCtx& blk) {
@@ -40,12 +43,25 @@ DecodeResult decode_naive_chunked(cudasim::SimContext& ctx,
               t.global_read(units_addr + unit * 4, 4);
               last_unit = unit;
             }
-            const huffman::DecodedSymbol d = huffman::decode_one(reader, cb);
-            // Tree-walk decode: a dependent node fetch per bit (the tree is
-            // small and cache-resident, so cycles but no transactions).
-            t.charge(static_cast<std::uint64_t>(d.len) *
-                         cost.cycles_per_bit_naive +
-                     cost.cycles_per_symbol_naive);
+            const huffman::DecodedSymbol d =
+                use_lut ? huffman::decode_one_lut(reader, cb, table)
+                        : huffman::decode_one(reader, cb);
+            if (use_lut) {
+              // One scattered LUT gather per symbol (thread-per-chunk means
+              // no warp broadcast), plus a tree-style ladder walk for the
+              // rare codewords longer than the index width.
+              const std::uint32_t ladder =
+                  d.len > lut_bits ? d.len - lut_bits : 0;
+              t.charge(cost.cycles_per_symbol_lut_naive +
+                       static_cast<std::uint64_t>(ladder) *
+                           cost.cycles_per_bit_naive);
+            } else {
+              // Tree-walk decode: a dependent node fetch per bit (the tree
+              // is small and cache-resident, so cycles but no transactions).
+              t.charge(static_cast<std::uint64_t>(d.len) *
+                           cost.cycles_per_bit_naive +
+                       cost.cycles_per_symbol_naive);
+            }
             result.symbols[out_base + k] = d.symbol;
             // One thread per chunk: warp lanes write one chunk apart, so
             // stores never coalesce.

@@ -17,6 +17,7 @@ struct DeviceAddrs {
   std::uint64_t start_bit;
   std::uint64_t sym_count;
   std::uint64_t seq_exit;
+  std::uint64_t sync_flag;
   std::uint64_t out_index;
   std::uint64_t out;
   std::uint64_t table;
@@ -30,6 +31,7 @@ DeviceAddrs reserve_addrs(cudasim::SimContext& ctx,
   a.start_bit = ctx.reserve_address((n + 1) * 8);
   a.sym_count = ctx.reserve_address(n * 4);
   a.seq_exit = ctx.reserve_address(enc.num_seqs() * 8);
+  a.sync_flag = ctx.reserve_address(n * 4);
   a.out_index = ctx.reserve_address((n + 1) * 8);
   a.out = ctx.reserve_address(enc.num_symbols * 2);
   a.table = ctx.reserve_address(1 << 18);
@@ -86,7 +88,7 @@ SyncInfo selfsync_synchronize(cudasim::SimContext& ctx,
           const std::uint64_t limit =
               static_cast<std::uint64_t>(g + 1) * subseq_bits;
           const auto r = count_span(t, enc, addrs.units, cb, start, limit,
-                                    cost);
+                                    config);
           info.sym_count[g] = r.num_symbols;
           if (g + 1 < last) {
             info.start_bit[g + 1] = r.end_bit;
@@ -112,6 +114,16 @@ SyncInfo selfsync_synchronize(cudasim::SimContext& ctx,
           blk.for_each_thread([&](cudasim::ThreadCtx& t) {
             t.charge(early_exit ? cost.all_sync_cycles
                                 : cost.sync_check_cycles);
+            if (!early_exit) {
+              // The published kernel decides per-iteration progress by
+              // re-polling its subsequence's synchronization flag from
+              // global memory (a volatile load every busy-wait round); the
+              // optimized variant replaces the poll with a register-only
+              // __all_sync vote, which is exactly why early exit also shows
+              // up in the memory-bound regime.
+              const std::uint32_t g = first + t.tid();
+              if (g < num_subseqs) t.global_read(addrs.sync_flag + g * 4, 4);
+            }
             if (finished[t.tid()]) return;
             const std::uint32_t s = next_s[t.tid()];
             if (s >= last) {
@@ -122,7 +134,7 @@ SyncInfo selfsync_synchronize(cudasim::SimContext& ctx,
             const std::uint64_t limit =
                 static_cast<std::uint64_t>(s + 1) * subseq_bits;
             const auto r = count_span(t, enc, addrs.units, cb, pos[t.tid()],
-                                      limit, cost);
+                                      limit, config);
             info.sym_count[s] = r.num_symbols;
             t.global_write(addrs.sym_count + s * 4, 4);
             const bool at_seq_end = (s + 1 == last);
@@ -139,6 +151,10 @@ SyncInfo selfsync_synchronize(cudasim::SimContext& ctx,
             } else {
               slot = r.end_bit;
               t.global_write(slot_addr, 8);
+              if (!early_exit && s < num_subseqs) {
+                // Publish the moved sync point for the busy-wait pollers.
+                t.global_write(addrs.sync_flag + s * 4, 4);
+              }
             }
             pos[t.tid()] = r.end_bit;
             next_s[t.tid()] = s + 1;
@@ -175,7 +191,7 @@ SyncInfo selfsync_synchronize(cudasim::SimContext& ctx,
               const std::uint64_t limit =
                   static_cast<std::uint64_t>(s + 1) * subseq_bits;
               const auto r =
-                  count_span(t, enc, addrs.units, cb, p, limit, cost);
+                  count_span(t, enc, addrs.units, cb, p, limit, config);
               info.sym_count[s] = r.num_symbols;
               t.global_write(addrs.sym_count + s * 4, 4);
               const bool at_seq_end = (s + 1 == last);

@@ -4,6 +4,14 @@
 // per-symbol bookkeeping, input unit fetches (one global read per 32-bit unit
 // crossed), and — for the ORIGINAL decoders, which do not keep the decode
 // tables cache-resident — per-symbol table lookups.
+//
+// Two decode paths, selected by DecoderConfig::use_lut_decode:
+//  * LUT (default): peek(K) -> DecodeTable probe -> skip(len). One table
+//    read per symbol; codewords longer than K add a first-code ladder walk
+//    charged per extra bit.
+//  * legacy: the bit-by-bit first-code walk (decode_one), charged per bit
+//    examined, with two dependent scattered table reads per codeword when
+//    the original implementations fetch tables from global memory.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +39,8 @@ SubseqDecodeResult decode_span(cudasim::ThreadCtx& t,
                                const huffman::StreamEncoding& enc,
                                std::uint64_t units_addr,
                                const huffman::Codebook& cb, std::uint64_t start,
-                               std::uint64_t limit, const CostModel& cost,
+                               std::uint64_t limit,
+                               const DecoderConfig& config,
                                bool record_table_reads,
                                std::uint64_t table_addr, OnSymbol&& on_symbol) {
   SubseqDecodeResult res;
@@ -41,6 +50,11 @@ SubseqDecodeResult decode_span(cudasim::ThreadCtx& t,
     return res;
   }
 
+  const CostModel& cost = config.cost;
+  const huffman::DecodeTable& table = cb.decode_table();
+  const bool use_lut = config.use_lut_decode && !table.empty();
+  const std::uint32_t lut_bits = table.index_bits();
+
   bitio::BitReader reader(enc.units, enc.total_bits);
   reader.seek(start);
   std::uint64_t last_unit_fetched = ~0ull;
@@ -48,26 +62,53 @@ SubseqDecodeResult decode_span(cudasim::ThreadCtx& t,
   while (reader.position() < limit && reader.position() < enc.total_bits) {
     const std::uint64_t sym_start = reader.position();
     // Fetch every 32-bit unit the codeword may touch (kept in a register in
-    // the real kernel; refetched only when crossing a unit boundary).
+    // the real kernel — the buffered BitReader mirrors exactly this —
+    // refetched only when crossing a unit boundary).
     const std::uint64_t first_unit = sym_start / 32;
     if (first_unit != last_unit_fetched) {
       t.global_read(units_addr + first_unit * 4, 4);
       last_unit_fetched = first_unit;
     }
-    const huffman::DecodedSymbol d = huffman::decode_one(reader, cb);
+    // The LUT probe index doubles as the table-read address for the
+    // coalescing model; peeking it again here is free (buffered).
+    const std::uint32_t window =
+        use_lut && record_table_reads ? reader.peek(lut_bits) : 0;
+    const huffman::DecodedSymbol d =
+        use_lut ? huffman::decode_one_lut(reader, cb, table)
+                : huffman::decode_one(reader, cb);
     const std::uint64_t end_unit = (reader.position() - 1) / 32;
     if (end_unit != last_unit_fetched) {
       t.global_read(units_addr + end_unit * 4, 4);
       last_unit_fetched = end_unit;
     }
-    t.charge(static_cast<std::uint64_t>(d.len) * cost.cycles_per_bit +
-             cost.cycles_per_symbol);
-    if (record_table_reads) {
-      // Two dependent lookups per codeword (length row + symbol entry),
-      // scattered by symbol value.
-      t.global_read(table_addr + d.len * 64, 8);
-      t.global_read(table_addr + 4096 + static_cast<std::uint64_t>(d.symbol) * 2,
-                    2);
+    if (use_lut) {
+      const std::uint32_t ladder_bits = d.len > lut_bits ? d.len - lut_bits : 0;
+      t.charge(cost.cycles_per_symbol_lut +
+               static_cast<std::uint64_t>(ladder_bits) * cost.cycles_per_bit);
+      if (record_table_reads) {
+        // One flat-table probe per codeword, scattered by the stream window.
+        t.global_read(table_addr + static_cast<std::uint64_t>(window) * 4, 4);
+        if (ladder_bits > 0) {
+          // Ladder walk past the table: the legacy pair of dependent reads
+          // (length row + symbol entry), laid out after the LUT.
+          const std::uint64_t ladder_addr = table_addr + (4ull << lut_bits);
+          t.global_read(ladder_addr + d.len * 64, 8);
+          t.global_read(
+              ladder_addr + 4096 +
+                  static_cast<std::uint64_t>(d.symbol) * 2,
+              2);
+        }
+      }
+    } else {
+      t.charge(static_cast<std::uint64_t>(d.len) * cost.cycles_per_bit +
+               cost.cycles_per_symbol);
+      if (record_table_reads) {
+        // Two dependent lookups per codeword (length row + symbol entry),
+        // scattered by symbol value.
+        t.global_read(table_addr + d.len * 64, 8);
+        t.global_read(
+            table_addr + 4096 + static_cast<std::uint64_t>(d.symbol) * 2, 2);
+      }
     }
     if (!d.valid) {
       // Unassigned prefix: only reachable while desynchronized (or on the
@@ -89,10 +130,10 @@ inline SubseqDecodeResult count_span(cudasim::ThreadCtx& t,
                                      std::uint64_t units_addr,
                                      const huffman::Codebook& cb,
                                      std::uint64_t start, std::uint64_t limit,
-                                     const CostModel& cost,
+                                     const DecoderConfig& config,
                                      bool record_table_reads = false,
                                      std::uint64_t table_addr = 0) {
-  return decode_span(t, enc, units_addr, cb, start, limit, cost,
+  return decode_span(t, enc, units_addr, cb, start, limit, config,
                      record_table_reads, table_addr,
                      [](std::uint16_t, std::uint32_t) {});
 }

@@ -157,6 +157,8 @@ Codebook Codebook::from_lengths(std::span<const std::uint8_t> lengths) {
   if (kraft > (1ull << kMaxCodeLen)) {
     throw std::invalid_argument("code lengths violate Kraft inequality");
   }
+
+  cb.decode_table_ = DecodeTable(cb);
   return cb;
 }
 

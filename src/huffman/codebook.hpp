@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "huffman/decode_table.hpp"
+
 namespace ohd::huffman {
 
 /// Maximum codeword length supported by the decoders. cuSZ caps codeword
@@ -64,6 +66,11 @@ public:
   }
   std::uint32_t max_len() const { return max_len_; }
 
+  /// Flat LUT over the next kDefaultIndexBits stream bits, built once at
+  /// construction; the fast path of every decoder (see decode_one_lut).
+  /// Codewords longer than the index width fall back to the tables above.
+  const DecodeTable& decode_table() const { return decode_table_; }
+
   /// Average codeword length weighted by `freqs` (bits/symbol); used by
   /// benches to report expected compression ratios.
   double expected_bits_per_symbol(std::span<const std::uint64_t> freqs) const;
@@ -83,6 +90,7 @@ private:
   std::vector<std::uint32_t> offset_;       // indexed by length
   std::vector<std::uint16_t> symbols_by_code_;
   std::uint32_t max_len_ = 0;
+  DecodeTable decode_table_;
 };
 
 }  // namespace ohd::huffman

@@ -1,13 +1,29 @@
 // The single-codeword decode step shared by every decoder in this repository
-// (naive cuSZ, self-synchronization, gap-array). Canonical first-code
-// decoding: accumulate bits MSB-first; at length l the accumulated value is a
-// valid codeword iff code - first_code[l] < count[l].
+// (naive cuSZ, self-synchronization, gap-array), in two interchangeable
+// implementations with identical bit-consumption semantics:
+//
+//  * decode_one     — canonical first-code decoding: accumulate bits
+//                     MSB-first; at length l the accumulated value is a valid
+//                     codeword iff code - first_code[l] < count[l]. Up to
+//                     max_len dependent iterations per symbol.
+//  * decode_one_lut — flat-LUT fast path: peek the next K = index_bits()
+//                     stream bits, resolve codewords of length <= K with ONE
+//                     table read, and finish longer codewords (or unassigned
+//                     prefixes) on the first-code ladder starting from the K
+//                     bits already examined.
+//
+// Both always consume at least one bit, consume exactly `len` bits for a
+// valid codeword, and consume max_len bits returning valid=false on an
+// unassigned prefix (possible only for incomplete codes, e.g. a
+// single-symbol alphabet, or when decoding desynchronized garbage) — the
+// equivalence is locked in by tests/huffman/decode_table_test.cpp.
 #pragma once
 
 #include <cstdint>
 
 #include "bitio/bit_reader.hpp"
 #include "huffman/codebook.hpp"
+#include "huffman/decode_table.hpp"
 
 namespace ohd::huffman {
 
@@ -17,10 +33,8 @@ struct DecodedSymbol {
   bool valid = false;
 };
 
-/// Decodes one codeword starting at the reader's current position. Always
-/// consumes at least one bit; on an unassigned prefix (possible only for
-/// incomplete codes, e.g. a single-symbol alphabet, or when decoding
-/// desynchronized garbage) consumes max_len bits and returns valid=false.
+/// Decodes one codeword starting at the reader's current position, bit by
+/// bit (the legacy path; see file comment for semantics).
 inline DecodedSymbol decode_one(bitio::BitReader& reader, const Codebook& cb) {
   std::uint32_t code = 0;
   const std::uint32_t max_len = cb.max_len();
@@ -42,7 +56,78 @@ inline DecodedSymbol decode_one(bitio::BitReader& reader, const Codebook& cb) {
   DecodedSymbol out;
   out.len = static_cast<std::uint8_t>(max_len == 0 ? 1 : max_len);
   out.valid = false;
+  if (max_len == 0) reader.skip(1);
   return out;
+}
+
+namespace detail {
+
+/// Cold path of decode_one_lut: the empty-codebook case and the fallback
+/// ladder for codewords longer than the table's index width. Out of the hot
+/// path so the common single-probe decode inlines tight.
+[[gnu::noinline]] inline DecodedSymbol decode_one_lut_slow(
+    bitio::BitReader& reader, const Codebook& cb, std::uint32_t k,
+    std::uint32_t window) {
+  const std::uint32_t max_len = cb.max_len();
+  if (max_len == 0) {
+    // Empty codebook: mirror decode_one (consume one bit, report invalid).
+    reader.skip(1);
+    DecodedSymbol out;
+    out.len = 1;
+    return out;
+  }
+
+  // Fallback ladder: no codeword of length <= k prefixes the window, so
+  // continue the first-code walk from length k+1 with the window as the
+  // accumulated code.
+  reader.skip(k);
+  std::uint32_t code = window;
+  const auto first_code = cb.first_code();
+  const auto count = cb.count();
+  const auto offset = cb.offset();
+  const auto symbols = cb.symbols_by_code();
+  for (std::uint32_t l = k + 1; l <= max_len; ++l) {
+    code = (code << 1) | reader.get_bit();
+    const std::uint32_t fc = first_code[l];
+    if (code >= fc && code - fc < count[l]) {
+      DecodedSymbol out;
+      out.symbol = symbols[offset[l] + (code - fc)];
+      out.len = static_cast<std::uint8_t>(l);
+      out.valid = true;
+      return out;
+    }
+  }
+  // Unassigned prefix: match decode_one's contract of consuming max_len
+  // bits in total (k already skipped, max_len - k in the loop above when
+  // k < max_len).
+  DecodedSymbol out;
+  out.len = static_cast<std::uint8_t>(max_len);
+  out.valid = false;
+  return out;
+}
+
+}  // namespace detail
+
+/// Decodes one codeword through `table` (must be built for `cb`); falls back
+/// to the first-code ladder for codewords longer than the index width.
+inline DecodedSymbol decode_one_lut(bitio::BitReader& reader,
+                                    const Codebook& cb,
+                                    const DecodeTable& table) {
+  const std::uint32_t k = table.index_bits();
+  if (k != 0) [[likely]] {  // empty table <=> empty codebook
+    const std::uint32_t window = reader.peek(k);
+    const DecodeTable::Entry e = table.entry(window);
+    if (e.len != 0) [[likely]] {
+      reader.skip(e.len);
+      DecodedSymbol out;
+      out.symbol = e.symbol;
+      out.len = e.len;
+      out.valid = true;
+      return out;
+    }
+    return detail::decode_one_lut_slow(reader, cb, k, window);
+  }
+  return detail::decode_one_lut_slow(reader, cb, 0, 0);
 }
 
 }  // namespace ohd::huffman

@@ -1,0 +1,31 @@
+#include "huffman/decode_table.hpp"
+
+#include <algorithm>
+
+#include "huffman/codebook.hpp"
+
+namespace ohd::huffman {
+
+DecodeTable::DecodeTable(const Codebook& cb, std::uint32_t index_bits) {
+  const std::uint32_t max_len = cb.max_len();
+  if (max_len == 0) return;  // empty codebook: stay empty, ladder handles it
+  index_bits_ = std::clamp(index_bits, 1u, max_len);
+  entries_.assign(std::size_t{1} << index_bits_, Entry{});
+
+  // Every codeword of length l <= K owns the 2^(K-l) indices whose top l
+  // bits equal the codeword; longer codewords and unassigned prefixes keep
+  // the default fallback entry (len == 0).
+  const auto encode = cb.encode_table();
+  for (std::size_t s = 0; s < encode.size(); ++s) {
+    const Codeword& c = encode[s];
+    if (c.len == 0 || c.len > index_bits_) continue;
+    const std::uint32_t shift = index_bits_ - c.len;
+    const std::uint32_t base = c.bits << shift;
+    const std::uint32_t span = 1u << shift;
+    for (std::uint32_t i = 0; i < span; ++i) {
+      entries_[base + i] = Entry{static_cast<std::uint16_t>(s), c.len, 0};
+    }
+  }
+}
+
+}  // namespace ohd::huffman

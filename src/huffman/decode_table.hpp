@@ -1,0 +1,60 @@
+// Flat lookup-table decoding of canonical Huffman codes.
+//
+// The table is indexed by the next `index_bits()` bits of the stream
+// (default 12, capped at the codebook's max length); each entry packs the
+// decoded {symbol, len} for every codeword of length <= index_bits(), so the
+// per-symbol decode step becomes a single table read: peek(K) -> table[idx]
+// -> skip(len). Codewords longer than K (and unassigned prefixes, reachable
+// while desynchronized) hit a fallback entry and finish on the compact
+// first-code ladder, continuing from the K bits already examined.
+//
+// This models the paper's shared-memory decode-table discussion: the table
+// is 4 bytes/entry (16 KiB at K=12), small enough to stay resident, and
+// costs ONE read per symbol instead of the two dependent scattered reads of
+// the per-length first-code walk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ohd::huffman {
+
+class Codebook;
+
+class DecodeTable {
+public:
+  /// Default index width. 12 bits covers every codeword of typical
+  /// quantization-code books (which concentrate mass near the radius) while
+  /// keeping the table at 16 KiB — one shared-memory-resident tile.
+  static constexpr std::uint32_t kDefaultIndexBits = 12;
+
+  struct Entry {
+    std::uint16_t symbol = 0;
+    std::uint8_t len = 0;  // 0 => fallback to the first-code ladder
+    std::uint8_t reserved = 0;
+  };
+  static_assert(sizeof(Entry) == 4, "entries must pack to one 32-bit word");
+
+  DecodeTable() = default;
+
+  /// Builds the table for `cb` with the requested index width, clamped to
+  /// [1, cb.max_len()]. An empty codebook yields an empty table
+  /// (index_bits() == 0) and decoding falls back to the ladder entirely.
+  explicit DecodeTable(const Codebook& cb,
+                       std::uint32_t index_bits = kDefaultIndexBits);
+
+  /// Stream bits consumed per probe; 0 for an empty table.
+  std::uint32_t index_bits() const { return index_bits_; }
+  bool empty() const { return entries_.empty(); }
+  std::uint64_t size_bytes() const { return entries_.size() * sizeof(Entry); }
+
+  const Entry& entry(std::uint32_t idx) const { return entries_[idx]; }
+  std::span<const Entry> entries() const { return entries_; }
+
+private:
+  std::uint32_t index_bits_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ohd::huffman

@@ -63,5 +63,91 @@ TEST(BitReader, SkipAdvances) {
   EXPECT_EQ(r.get_bit(), 1u);
 }
 
+// ---- Regression cases for the buffered refill (see ISSUE 1) ----------------
+
+TEST(BitReader, PeekFull32Bits) {
+  std::vector<std::uint32_t> units = {0x12345678, 0x9ABCDEF0};
+  BitReader r(units, 64);
+  EXPECT_EQ(r.peek(32), 0x12345678u);  // len == 32: shift must not overflow
+  r.seek(16);
+  EXPECT_EQ(r.peek(32), 0x56789ABCu);  // 32 bits straddling a unit boundary
+}
+
+TEST(BitReader, Peek32StraddlingFinalPartialUnit) {
+  // total_bits ends mid-unit: the tail of the last unit is sequence padding
+  // and must read as zero even though the stored bits are ones.
+  std::vector<std::uint32_t> units = {0xFFFFFFFF, 0xFFFFFFFF};
+  BitReader r(units, 40);
+  r.seek(24);
+  EXPECT_EQ(r.peek(32), 0xFFFF0000u);  // 16 valid bits, 16 padding zeros
+  r.seek(36);
+  EXPECT_EQ(r.peek(8), 0xF0u);
+}
+
+TEST(BitReader, PeekFarPastEndIsZero) {
+  std::vector<std::uint32_t> units = {0xFFFFFFFF};
+  BitReader r(units, 32);
+  r.seek(100);
+  EXPECT_EQ(r.peek(32), 0u);
+  EXPECT_EQ(r.get_bit(), 0u);
+  EXPECT_EQ(r.position(), 101u);
+}
+
+TEST(BitReader, TotalBitsBeyondUnitArrayReadsZero) {
+  // Inconsistent input (total_bits > 32 * units): the reader must pad with
+  // zeros instead of reading out of bounds.
+  std::vector<std::uint32_t> units = {0xFFFFFFFF};
+  BitReader r(units, 48);
+  r.seek(28);
+  EXPECT_EQ(r.peek(20), 0xF0000u);
+}
+
+TEST(BitReader, SeekBackAfterReadingInvalidatesBuffer) {
+  std::vector<std::uint32_t> units = {0xB4000000, 0x12345678};
+  BitReader r(units, 64);
+  r.skip(40);
+  (void)r.get_bit();
+  r.seek(0);
+  EXPECT_EQ(r.peek(8), 0xB4u);
+  EXPECT_EQ(r.get_bit(), 1u);
+}
+
+TEST(BitReader, SkipExactlyBufferedBitsThenRead) {
+  std::vector<std::uint32_t> units = {0x00000000, 0x00000000, 0xFF000000};
+  BitReader r(units, 96);
+  (void)r.peek(32);  // fault in a buffer...
+  r.skip(64);        // ...then skip past everything it could hold
+  EXPECT_EQ(r.get_bit(), 1u);
+  EXPECT_EQ(r.position(), 65u);
+}
+
+TEST(BitReader, InterleavedPeekSkipGetBitMatchesReference) {
+  // Differential check against a trivial per-bit reference over a mixed
+  // access pattern (the LUT decode step's peek/skip cadence).
+  std::vector<std::uint32_t> units = {0xDEADBEEF, 0x01234567, 0x89ABCDEF,
+                                      0xFEDCBA98};
+  const std::uint64_t total = 112;  // final unit only partially valid
+  auto ref_bit = [&](std::uint64_t p) -> std::uint32_t {
+    if (p >= total) return 0;
+    return (units[p / 32] >> (31 - p % 32)) & 1u;
+  };
+  auto ref_peek = [&](std::uint64_t p, std::uint32_t len) {
+    std::uint32_t v = 0;
+    for (std::uint32_t i = 0; i < len; ++i) v = (v << 1) | ref_bit(p + i);
+    return v;
+  };
+  BitReader r(units, total);
+  std::uint64_t pos = 0;
+  const std::uint32_t lens[] = {1, 3, 12, 32, 7, 24, 32, 5, 17};
+  for (std::uint32_t len : lens) {
+    ASSERT_EQ(r.peek(len), ref_peek(pos, len)) << "peek at " << pos;
+    ASSERT_EQ(r.get_bit(), ref_bit(pos)) << "get_bit at " << pos;
+    ++pos;
+    r.skip(len);
+    pos += len;
+    ASSERT_EQ(r.position(), pos);
+  }
+}
+
 }  // namespace
 }  // namespace ohd::bitio

@@ -1,0 +1,183 @@
+// Equivalence of the flat-LUT decode path with the bit-by-bit first-code
+// walk: decode_one_lut must match decode_one symbol-for-symbol — same
+// symbol, same consumed-bit count, same validity, same reader position —
+// on every input, including desynchronized garbage and incomplete codes.
+#include "huffman/decode_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitio/bit_reader.hpp"
+#include "huffman/codebook.hpp"
+#include "huffman/decode_step.hpp"
+#include "huffman/encoder.hpp"
+#include "util/rng.hpp"
+
+namespace ohd::huffman {
+namespace {
+
+/// Walks both decode paths over the same units from `start_bit` for up to
+/// `max_steps` codewords and asserts they stay in lockstep.
+void expect_lockstep(std::span<const std::uint32_t> units,
+                     std::uint64_t total_bits, const Codebook& cb,
+                     std::uint64_t start_bit, std::uint32_t max_steps) {
+  bitio::BitReader a(units, total_bits);
+  bitio::BitReader b(units, total_bits);
+  a.seek(start_bit);
+  b.seek(start_bit);
+  const DecodeTable& table = cb.decode_table();
+  for (std::uint32_t step = 0;
+       step < max_steps && a.position() < total_bits; ++step) {
+    const DecodedSymbol x = decode_one(a, cb);
+    const DecodedSymbol y = decode_one_lut(b, cb, table);
+    ASSERT_EQ(x.valid, y.valid) << "step " << step << " from " << start_bit;
+    ASSERT_EQ(x.len, y.len) << "step " << step << " from " << start_bit;
+    if (x.valid) {
+      ASSERT_EQ(x.symbol, y.symbol)
+          << "step " << step << " from " << start_bit;
+    }
+    ASSERT_EQ(a.position(), b.position())
+        << "step " << step << " from " << start_bit;
+  }
+}
+
+std::vector<std::uint16_t> random_stream(util::Xoshiro256& rng, std::size_t n,
+                                         std::uint32_t alphabet,
+                                         double skew) {
+  std::vector<std::uint16_t> out(n);
+  for (auto& s : out) {
+    if (rng.uniform() < skew) {
+      s = static_cast<std::uint16_t>(rng.bounded(alphabet / 8 + 1));
+    } else {
+      s = static_cast<std::uint16_t>(rng.bounded(alphabet));
+    }
+  }
+  return out;
+}
+
+TEST(DecodeTableEquivalence, RandomizedCodebooksAndStreams) {
+  util::Xoshiro256 rng(42);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint32_t alphabet =
+        static_cast<std::uint32_t>(2 + rng.bounded(1023));
+    const double skew = rng.uniform();
+    const auto data = random_stream(rng, 2000, alphabet, skew);
+    const Codebook cb = Codebook::from_data(data, alphabet);
+    const StreamEncoding enc = encode_plain(data, cb);
+
+    // In-sync decode of the whole stream.
+    expect_lockstep(enc.units, enc.total_bits, cb, 0, 3000);
+    // Desynchronized garbage starts: arbitrary bit offsets, including ones
+    // landing mid-codeword.
+    for (int s = 0; s < 8; ++s) {
+      expect_lockstep(enc.units, enc.total_bits, cb,
+                      rng.bounded(enc.total_bits), 200);
+    }
+  }
+}
+
+TEST(DecodeTableEquivalence, SingleSymbolIncompleteCode) {
+  // A one-symbol alphabet yields an incomplete 1-bit code: the other branch
+  // is an unassigned prefix, reachable on the stream's zero padding.
+  const std::vector<std::uint16_t> data(64, 0);
+  const Codebook cb = Codebook::from_data(data, 1);
+  ASSERT_EQ(cb.max_len(), 1u);
+  ASSERT_EQ(cb.decode_table().index_bits(), 1u);
+  const StreamEncoding enc = encode_plain(data, cb);
+  expect_lockstep(enc.units, enc.total_bits, cb, 0, 100);
+
+  // Garbage: a buffer of bits the codeword never produces (all ones decode
+  // fine for codeword 0 of length 1 only if first bit matches; craft both).
+  const std::vector<std::uint32_t> garbage = {0xFFFF0000, 0x12345678};
+  expect_lockstep(garbage, 64, cb, 0, 100);
+  expect_lockstep(garbage, 64, cb, 13, 100);
+}
+
+TEST(DecodeTableEquivalence, MaxLength24Codes) {
+  // Complete code with lengths 1..23 plus two 24s (Kraft sum exactly 1):
+  // codewords far beyond the 12-bit index exercise the fallback ladder.
+  std::vector<std::uint8_t> lengths;
+  for (std::uint8_t l = 1; l <= 23; ++l) lengths.push_back(l);
+  lengths.push_back(24);
+  lengths.push_back(24);
+  const Codebook cb = Codebook::from_lengths(lengths);
+  ASSERT_EQ(cb.max_len(), kMaxCodeLen);
+  ASSERT_EQ(cb.decode_table().index_bits(),
+            DecodeTable::kDefaultIndexBits);
+
+  // A stream that hits every symbol, including the deepest codewords.
+  std::vector<std::uint16_t> data;
+  for (std::uint16_t s = 0; s < lengths.size(); ++s) {
+    data.push_back(s);
+    data.push_back(static_cast<std::uint16_t>(lengths.size() - 1 - s));
+  }
+  const StreamEncoding enc = encode_plain(data, cb);
+  expect_lockstep(enc.units, enc.total_bits, cb, 0, 200);
+
+  // Desynchronized starts walk the ladder through unassigned deep prefixes.
+  util::Xoshiro256 rng(7);
+  for (int s = 0; s < 32; ++s) {
+    expect_lockstep(enc.units, enc.total_bits, cb,
+                    rng.bounded(enc.total_bits), 64);
+  }
+  // Pure garbage bits, too.
+  std::vector<std::uint32_t> garbage(64);
+  for (auto& u : garbage) u = static_cast<std::uint32_t>(rng());
+  expect_lockstep(garbage, garbage.size() * 32, cb, 0, 2000);
+}
+
+TEST(DecodeTableEquivalence, NarrowTableForcesFrequentFallback) {
+  // An explicitly narrow table (K=4) on a deep codebook: most codewords
+  // take the fallback ladder, which must still agree with decode_one.
+  util::Xoshiro256 rng(11);
+  const auto data = random_stream(rng, 4000, 700, 0.9);
+  const Codebook cb = Codebook::from_data(data, 700);
+  const DecodeTable narrow(cb, 4);
+  ASSERT_EQ(narrow.index_bits(), 4u);
+  const StreamEncoding enc = encode_plain(data, cb);
+
+  bitio::BitReader a(enc.units, enc.total_bits);
+  bitio::BitReader b(enc.units, enc.total_bits);
+  for (std::uint64_t i = 0; i < enc.num_symbols; ++i) {
+    const DecodedSymbol x = decode_one(a, cb);
+    const DecodedSymbol y = decode_one_lut(b, cb, narrow);
+    ASSERT_EQ(x.valid, y.valid);
+    ASSERT_EQ(x.symbol, y.symbol);
+    ASSERT_EQ(x.len, y.len);
+    ASSERT_EQ(a.position(), b.position());
+  }
+}
+
+TEST(DecodeTable, StructureMatchesCanonicalCodes) {
+  // lengths {1, 2, 3, 3}: canonical codes 0, 10, 110, 111.
+  const std::vector<std::uint8_t> lengths = {1, 2, 3, 3};
+  const Codebook cb = Codebook::from_lengths(lengths);
+  const DecodeTable t(cb, 3);
+  ASSERT_EQ(t.index_bits(), 3u);
+  ASSERT_EQ(t.entries().size(), 8u);
+  // Indices 000..011 -> symbol 0 (len 1); 100,101 -> symbol 1 (len 2);
+  // 110 -> symbol 2; 111 -> symbol 3.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.entry(i).symbol, 0);
+    EXPECT_EQ(t.entry(i).len, 1);
+  }
+  EXPECT_EQ(t.entry(4).symbol, 1);
+  EXPECT_EQ(t.entry(5).symbol, 1);
+  EXPECT_EQ(t.entry(4).len, 2);
+  EXPECT_EQ(t.entry(6).symbol, 2);
+  EXPECT_EQ(t.entry(7).symbol, 3);
+  EXPECT_EQ(t.entry(7).len, 3);
+}
+
+TEST(DecodeTable, IndexBitsClampToMaxLen) {
+  const std::vector<std::uint8_t> lengths = {1, 2, 2};
+  const Codebook cb = Codebook::from_lengths(lengths);
+  EXPECT_EQ(cb.decode_table().index_bits(), 2u);  // default 12 clamps to 2
+  EXPECT_EQ(cb.decode_table().entries().size(), 4u);
+  EXPECT_EQ(DecodeTable(cb, 30).index_bits(), 2u);
+  EXPECT_TRUE(DecodeTable().empty());
+}
+
+}  // namespace
+}  // namespace ohd::huffman
