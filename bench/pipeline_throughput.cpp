@@ -1,0 +1,266 @@
+// Batch-pipeline workload driver: builds a mixed five-field corpus from the
+// generic symbol-stream generators (uniform / geometric / zipf / markov /
+// quant, each shaped into a float field via a random walk so its Lorenzo
+// increments follow the flavor's distribution), compresses it into a chunked
+// container, then sweeps worker counts and chunk sizes over batch
+// decompression.
+//
+// Two throughput views are reported for every sweep point:
+//  * simulated — corpus bytes over the deterministic simulated-GPU batch
+//    makespan (BatchDecompressResult::makespan, list-scheduled over N
+//    virtual workers); machine-independent, this is the scaling headline;
+//  * host — corpus bytes over the measured wall time of the functional
+//    simulation on the ThreadPool (scales only with physical cores).
+// Every multi-threaded run is verified bit-identical to the 1-worker run.
+//
+//   ./bench_pipeline_throughput            # table on stdout
+//   ./bench_pipeline_throughput --json [path]   # also write BENCH_pipeline.json
+//
+// OHD_BENCH_SCALE scales the corpus (default 1.0 => ~1.3M elements; CI smoke
+// uses 0.05).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/generic.hpp"
+#include "pipeline/batch.hpp"
+#include "pipeline/container.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ohd;
+
+double bench_scale() {
+  if (const char* env = std::getenv("OHD_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+/// Integrates a symbol stream into a float field: increments follow the
+/// stream's distribution, so the Lorenzo-quantized codes of the field mirror
+/// the flavor's entropy.
+std::vector<float> walk_field(const std::vector<std::uint16_t>& stream,
+                              std::uint32_t alphabet) {
+  std::vector<float> out(stream.size());
+  const double mid = alphabet / 2.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    acc += (static_cast<double>(stream[i]) - mid) * 1e-3;
+    out[i] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+struct CorpusField {
+  std::string flavor;
+  std::vector<float> data;
+  sz::Dims dims;
+  sz::CompressorConfig config;
+};
+
+std::vector<CorpusField> make_corpus(double scale) {
+  const auto n1 = static_cast<std::size_t>(262144 * scale);
+  // 2-D/3-D fields need exact extents; round to the plane sizes used below.
+  const std::size_t planes2d = std::max<std::size_t>(4, n1 / 256);
+  const std::size_t planes3d = std::max<std::size_t>(2, n1 / 2048);
+
+  std::vector<CorpusField> corpus;
+  auto add = [&corpus](std::string flavor, std::vector<std::uint16_t> stream,
+                       std::uint32_t alphabet, sz::Dims dims, core::Method m,
+                       double rel_eb) {
+    CorpusField f;
+    f.flavor = std::move(flavor);
+    f.data = walk_field(stream, alphabet);
+    f.dims = dims;
+    f.config.method = m;
+    f.config.rel_error_bound = rel_eb;
+    corpus.push_back(std::move(f));
+  };
+
+  add("uniform", data::uniform_stream(n1, 64, 101), 64, sz::Dims::d1(n1),
+      core::Method::SelfSyncOptimized, 1e-3);
+  add("geometric",
+      data::geometric_stream(256 * planes2d, 512, 0.15, 102), 512,
+      sz::Dims::d2(256, planes2d), core::Method::GapArrayOptimized, 1e-3);
+  add("zipf", data::zipf_stream(n1, 512, 1.1, 103), 512, sz::Dims::d1(n1),
+      core::Method::CuszNaive, 1e-4);
+  add("markov",
+      data::markov_stream(64 * 32 * planes3d, 256, 0.005, 104), 256,
+      sz::Dims::d3(64, 32, planes3d), core::Method::GapArrayOptimized, 5e-3);
+  add("quant", data::quant_code_stream(256 * planes2d, 1024, 40.0, 105),
+      1024, sz::Dims::d2(256, planes2d), core::Method::SelfSyncOriginal, 1e-3);
+  return corpus;
+}
+
+struct SweepPoint {
+  std::size_t chunk_divisor = 0;
+  std::size_t num_chunks = 0;
+  std::size_t threads = 0;
+  double host_wall_s = 0.0;
+  double sim_makespan_s = 0.0;
+  double sim_gbps = 0.0;
+  double host_gbps = 0.0;
+  bool identical = false;
+};
+
+bool results_identical(const pipeline::BatchDecompressResult& a,
+                       const pipeline::BatchDecompressResult& b) {
+  if (a.chunk_seconds != b.chunk_seconds) return false;
+  if (a.simulated_seconds != b.simulated_seconds) return false;
+  if (a.fields.size() != b.fields.size()) return false;
+  for (std::size_t i = 0; i < a.fields.size(); ++i) {
+    if (a.fields[i].decode.data != b.fields[i].decode.data) return false;
+  }
+  return true;
+}
+
+int run(bool emit_json, const char* json_path) {
+  const double scale = bench_scale();
+  const auto corpus = make_corpus(scale);
+  std::uint64_t corpus_bytes = 0;
+  for (const auto& f : corpus) corpus_bytes += f.data.size() * 4;
+  std::printf("corpus: %zu fields, %.2f MB (scale %.3g)\n", corpus.size(),
+              static_cast<double>(corpus_bytes) / 1e6, scale);
+
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  const std::size_t chunk_divisors[] = {16, 4};  // chunks per field, roughly
+
+  std::vector<SweepPoint> points;
+  double sim_speedup_4t = 0.0;
+  double host_speedup_4t = 0.0;
+  bool all_identical = true;
+
+  for (const std::size_t divisor : chunk_divisors) {
+    std::vector<pipeline::FieldSpec> specs;
+    for (const auto& f : corpus) {
+      pipeline::FieldSpec spec;
+      spec.name = f.flavor;
+      spec.data = f.data;
+      spec.dims = f.dims;
+      spec.config = f.config;
+      spec.chunk_elems = std::max<std::size_t>(512, f.data.size() / divisor);
+      specs.push_back(spec);
+    }
+
+    pipeline::ThreadPool build_pool(0);
+    const pipeline::Container container =
+        pipeline::BatchScheduler(build_pool).compress(specs);
+    std::size_t num_chunks = 0;
+    for (const auto& f : container.fields()) num_chunks += f.chunks.size();
+
+    pipeline::ThreadPool ref_pool(1);
+    util::WallTimer ref_timer;
+    const pipeline::BatchDecompressResult reference =
+        pipeline::BatchScheduler(ref_pool).decompress(container);
+    const double ref_wall = ref_timer.seconds();
+
+    for (const std::size_t threads : thread_counts) {
+      SweepPoint p;
+      p.chunk_divisor = divisor;
+      p.num_chunks = num_chunks;
+      p.threads = threads;
+      if (threads == 1) {
+        p.host_wall_s = ref_wall;
+        p.identical = true;
+      } else {
+        pipeline::ThreadPool pool(threads);
+        util::WallTimer timer;
+        const pipeline::BatchDecompressResult r =
+            pipeline::BatchScheduler(pool).decompress(container);
+        p.host_wall_s = timer.seconds();
+        p.identical = results_identical(r, reference);
+      }
+      p.sim_makespan_s = reference.makespan(threads);
+      p.sim_gbps = util::throughput_gbps(corpus_bytes, p.sim_makespan_s);
+      p.host_gbps = util::throughput_gbps(corpus_bytes, p.host_wall_s);
+      all_identical = all_identical && p.identical;
+      points.push_back(p);
+      std::printf(
+          "chunks=%-3zu workers=%zu  sim %8.3f ms (%6.2f GB/s)  host %8.1f ms "
+          "(%.3f GB/s)  identical=%s\n",
+          num_chunks, threads, p.sim_makespan_s * 1e3, p.sim_gbps,
+          p.host_wall_s * 1e3, p.host_gbps, p.identical ? "yes" : "NO");
+    }
+
+    // The headline scaling number comes from the finer chunking (more
+    // chunks => better load balance on the simulated workers).
+    if (divisor == 16) {
+      sim_speedup_4t = reference.makespan(1) / reference.makespan(4);
+      double wall_4t = 0.0;
+      for (const auto& p : points) {
+        if (p.chunk_divisor == divisor && p.threads == 4) {
+          wall_4t = p.host_wall_s;
+        }
+      }
+      host_speedup_4t = wall_4t > 0.0 ? ref_wall / wall_4t : 0.0;
+    }
+  }
+
+  std::printf("simulated decompress speedup at 4 workers: %.2fx (host %.2fx)\n",
+              sim_speedup_4t, host_speedup_4t);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: multi-threaded decompress diverged from sequential\n");
+    return 1;
+  }
+
+  if (emit_json) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"pipeline_throughput\",\n"
+                 "  \"corpus_fields\": %zu,\n"
+                 "  \"corpus_bytes\": %llu,\n"
+                 "  \"scale\": %.4f,\n"
+                 "  \"all_identical\": %s,\n"
+                 "  \"sim_decompress_speedup_4_workers\": %.3f,\n"
+                 "  \"host_decompress_speedup_4_workers\": %.3f,\n"
+                 "  \"sweep\": [\n",
+                 corpus.size(),
+                 static_cast<unsigned long long>(corpus_bytes), scale,
+                 all_identical ? "true" : "false", sim_speedup_4t,
+                 host_speedup_4t);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      std::fprintf(f,
+                   "    {\"num_chunks\": %zu, \"workers\": %zu, "
+                   "\"sim_makespan_s\": %.9f, \"sim_gbps\": %.3f, "
+                   "\"host_wall_s\": %.6f, \"host_gbps\": %.4f, "
+                   "\"identical\": %s}%s\n",
+                   p.num_chunks, p.threads, p.sim_makespan_s, p.sim_gbps,
+                   p.host_wall_s, p.host_gbps, p.identical ? "true" : "false",
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit_json = false;
+  const char* json_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json [path]]\n", argv[0]);
+      return 2;
+    }
+  }
+  return run(emit_json, json_path);
+}

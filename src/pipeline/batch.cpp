@@ -1,0 +1,175 @@
+#include "pipeline/batch.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "cudasim/exec.hpp"
+#include "sz/serialize.hpp"
+
+namespace ohd::pipeline {
+
+double BatchDecompressResult::makespan(std::size_t workers) const {
+  if (workers == 0) workers = 1;
+  std::vector<double> busy(workers, 0.0);
+  for (double s : chunk_seconds) {
+    std::size_t w = 0;
+    for (std::size_t i = 1; i < busy.size(); ++i) {
+      if (busy[i] < busy[w]) w = i;
+    }
+    busy[w] += s;
+  }
+  return *std::max_element(busy.begin(), busy.end());
+}
+
+namespace {
+
+/// Blocks until every still-pending future in `futures` has run (get()
+/// invalidates futures, so only un-collected ones are waited). Exception
+/// unwinding must never leave the scope of a fan-out while tasks still hold
+/// references into it.
+template <typename T>
+void wait_all(std::vector<std::future<T>>& futures) noexcept {
+  for (auto& fut : futures) {
+    if (fut.valid()) fut.wait();
+  }
+}
+
+}  // namespace
+
+Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
+  struct FieldPlan {
+    double abs_eb = 0.0;
+    std::vector<ChunkExtent> layout;
+    std::vector<std::future<std::vector<std::uint8_t>>> frames;
+  };
+
+  // Phase 1: validate EVERY spec before any task is submitted — once the
+  // fan-out starts, the only exceptions left are ones thrown by the chunk
+  // tasks themselves.
+  std::vector<FieldPlan> plans(specs.size());
+  for (std::size_t fi = 0; fi < specs.size(); ++fi) {
+    const FieldSpec& spec = specs[fi];
+    if (spec.data.size() != spec.dims.count()) {
+      throw ContainerError("field '" + spec.name +
+                           "': data size does not match dimensions");
+    }
+    if (spec.config.method == core::Method::GapArrayOriginal8Bit) {
+      throw ContainerError(
+          "the 8-bit gap-array method is decode-only and cannot reconstruct "
+          "float fields; pick a multi-byte method for container fields");
+    }
+    if (spec.config.radius == 0) {
+      throw ContainerError("field '" + spec.name + "': zero quantizer radius");
+    }
+    for (std::size_t fj = 0; fj < fi; ++fj) {
+      if (specs[fj].name == spec.name) {
+        throw ContainerError("duplicate field name '" + spec.name + "'");
+      }
+    }
+    plans[fi].abs_eb =
+        sz::resolve_error_bound(spec.data, spec.config.rel_error_bound);
+    plans[fi].layout = chunk_layout(spec.dims, spec.chunk_elems);
+  }
+
+  // Phase 2: fan out ALL chunk tasks (field-major), so chunks of different
+  // fields overlap in the pool; phase 3: collect in deterministic (field,
+  // chunk) order. On ANY failure — submit or collect — wait out the
+  // remaining tasks before unwinding destroys plans/specs.
+  Container container;
+  try {
+    for (std::size_t fi = 0; fi < specs.size(); ++fi) {
+      const FieldSpec& spec = specs[fi];
+      FieldPlan& plan = plans[fi];
+      plan.frames.reserve(plan.layout.size());
+      for (const ChunkExtent& extent : plan.layout) {
+        plan.frames.push_back(pool_.submit([&spec, &plan, extent] {
+          const auto blob = sz::compress_with_abs_bound(
+              spec.data.subspan(extent.elem_offset, extent.dims.count()),
+              extent.dims, plan.abs_eb, spec.config);
+          return sz::serialize_blob(blob);
+        }));
+      }
+    }
+    for (std::size_t fi = 0; fi < specs.size(); ++fi) {
+      FieldPlan& plan = plans[fi];
+      std::vector<std::vector<std::uint8_t>> frames;
+      frames.reserve(plan.frames.size());
+      for (auto& fut : plan.frames) frames.push_back(fut.get());
+      container.add_field_frames(specs[fi].name, specs[fi].dims, plan.abs_eb,
+                                 specs[fi].config.radius,
+                                 specs[fi].config.method, plan.layout, frames);
+    }
+  } catch (...) {
+    for (FieldPlan& plan : plans) wait_all(plan.frames);
+    throw;
+  }
+  return container;
+}
+
+BatchDecompressResult BatchScheduler::decompress(
+    const Container& container, const core::DecoderConfig& decoder) const {
+  // Fan out, then collect in deterministic (field, chunk) order via the
+  // same chunk-merge path the sequential decode_field uses. On any failure
+  // — a submit throw or a CRC mismatch surfacing through get() — wait out
+  // the remaining tasks before unwinding: they still reference `container`
+  // and `decoder`.
+  std::vector<std::vector<std::future<sz::DecompressionResult>>> futures(
+      container.fields().size());
+  BatchDecompressResult out;
+  out.fields.resize(container.fields().size());
+  try {
+    for (std::size_t fi = 0; fi < container.fields().size(); ++fi) {
+      const std::size_t n_chunks = container.fields()[fi].chunks.size();
+      futures[fi].reserve(n_chunks);
+      for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+        futures[fi].push_back(pool_.submit([&container, &decoder, fi, ci] {
+          cudasim::SimContext ctx;
+          return container.decode_chunk(ctx, fi, ci, decoder);
+        }));
+      }
+    }
+    for (std::size_t fi = 0; fi < container.fields().size(); ++fi) {
+      const FieldEntry& entry = container.fields()[fi];
+      FieldResult& field = out.fields[fi];
+      field.name = entry.name;
+      field.decode.data.resize(entry.dims.count());
+      for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
+        field.decode.absorb(futures[fi][ci].get(),
+                            entry.chunks[ci].elem_offset);
+      }
+      out.phases += field.decode.huffman_phases;
+      out.simulated_seconds += field.decode.simulated_seconds;
+      out.chunk_seconds.insert(out.chunk_seconds.end(),
+                               field.decode.chunk_seconds.begin(),
+                               field.decode.chunk_seconds.end());
+    }
+  } catch (...) {
+    for (auto& field_futures : futures) wait_all(field_futures);
+    throw;
+  }
+  return out;
+}
+
+std::vector<core::DecodeResult> BatchScheduler::decode(
+    std::span<const core::EncodedStream> streams,
+    const core::DecoderConfig& decoder) const {
+  std::vector<std::future<core::DecodeResult>> futures;
+  futures.reserve(streams.size());
+  std::vector<core::DecodeResult> out;
+  out.reserve(streams.size());
+  try {
+    for (const core::EncodedStream& stream : streams) {
+      futures.push_back(pool_.submit([&stream, &decoder] {
+        cudasim::SimContext ctx;
+        return core::decode(ctx, stream, decoder);
+      }));
+    }
+    for (auto& fut : futures) out.push_back(fut.get());
+  } catch (...) {
+    wait_all(futures);
+    throw;
+  }
+  return out;
+}
+
+}  // namespace ohd::pipeline

@@ -1,0 +1,79 @@
+// BatchScheduler: runs compress/decompress of many chunks and fields
+// concurrently on a ThreadPool, with every merge ordered by chunk id so a run
+// with N workers is bit-identical — floats, aggregated PhaseTimings, and the
+// merged simulated timeline — to the sequential run. Each chunk task owns a
+// fresh cudasim::SimContext, so simulated timings are a pure function of the
+// chunk, never of scheduling.
+//
+// Two notions of parallelism live here, deliberately separate:
+//  * the ThreadPool parallelizes the HOST-side functional simulation (real
+//    wall-clock speedup on multicore machines);
+//  * makespan() list-schedules the per-chunk SIMULATED costs onto N virtual
+//    GPU workers (greedy, chunk-id order, earliest-available worker, lowest
+//    id on ties) — the deterministic, machine-independent batch-throughput
+//    number bench/pipeline_throughput.cpp sweeps.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/decode_result.hpp"
+#include "core/huffman_codec.hpp"
+#include "pipeline/container.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "sz/compressor.hpp"
+
+namespace ohd::pipeline {
+
+/// One field of a corpus to be compressed into a container.
+struct FieldSpec {
+  std::string name;
+  std::span<const float> data;
+  sz::Dims dims;
+  sz::CompressorConfig config;
+  std::size_t chunk_elems = std::size_t{1} << 16;
+};
+
+struct FieldResult {
+  std::string name;
+  FieldDecode decode;  // floats + timings merged in chunk-id order
+};
+
+struct BatchDecompressResult {
+  std::vector<FieldResult> fields;
+  core::PhaseTimings phases;          // summed field-major, chunk-id order
+  double simulated_seconds = 0.0;     // sum over all chunks
+  std::vector<double> chunk_seconds;  // per chunk, global chunk-id order
+
+  /// Simulated batch makespan on `workers` virtual GPUs (greedy list
+  /// schedule over chunk_seconds in chunk-id order).
+  double makespan(std::size_t workers) const;
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(ThreadPool& pool) : pool_(pool) {}
+
+  /// Compresses every chunk of every field concurrently and assembles the
+  /// container in (field, chunk) order — byte-identical output for any
+  /// worker count.
+  Container compress(std::span<const FieldSpec> specs) const;
+
+  /// Decompresses every chunk of every field concurrently; per-field floats
+  /// and all timing aggregates are merged in chunk-id order.
+  BatchDecompressResult decompress(const Container& container,
+                                   const core::DecoderConfig& decoder = {}) const;
+
+  /// Decode-only batch over raw encoded streams (covers the decode-only
+  /// 8-bit gap-array method too); results in stream order.
+  std::vector<core::DecodeResult> decode(
+      std::span<const core::EncodedStream> streams,
+      const core::DecoderConfig& decoder = {}) const;
+
+ private:
+  ThreadPool& pool_;
+};
+
+}  // namespace ohd::pipeline

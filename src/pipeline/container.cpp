@@ -1,0 +1,421 @@
+#include "pipeline/container.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "sz/serialize.hpp"
+#include "util/bytes.hpp"
+#include "util/checksum.hpp"
+
+namespace ohd::pipeline {
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'H', 'D', 'C'};
+
+// Fixed wire size of one chunk record, used to bound untrusted chunk counts
+// before looping (see the layout table in container.hpp).
+constexpr std::uint64_t kChunkRecordBytes = 8 + 8 + 8 + 4 + 24 + 1 + 4;
+
+core::Method parse_method_tag(std::uint8_t tag) {
+  const auto method = static_cast<core::Method>(tag);
+  switch (method) {
+    case core::Method::CuszNaive:
+    case core::Method::SelfSyncOriginal:
+    case core::Method::SelfSyncOptimized:
+    case core::Method::GapArrayOriginal8Bit:
+    case core::Method::GapArrayOptimized:
+      return method;
+  }
+  throw ContainerError("unknown method tag in container");
+}
+
+void write_dims(util::ByteWriter& w, const sz::Dims& dims) {
+  w.u32(dims.rank);
+  for (std::size_t e : dims.extent) w.u64(e);
+}
+
+sz::Dims read_dims(util::ByteReader& r) {
+  sz::Dims dims;
+  dims.rank = r.u32();
+  if (dims.rank < 1 || dims.rank > 3) {
+    throw ContainerError("implausible rank in container");
+  }
+  for (std::size_t i = 0; i < dims.extent.size(); ++i) {
+    dims.extent[i] = r.u64();
+    if (dims.extent[i] == 0 || (i >= dims.rank && dims.extent[i] != 1)) {
+      throw ContainerError("implausible extent in container");
+    }
+  }
+  if (dims.count_overflows()) {
+    throw ContainerError("extent product overflows in container");
+  }
+  return dims;
+}
+
+/// Chunk extents must tile the field contiguously in flat element order.
+void check_coverage(const sz::Dims& field_dims,
+                    std::span<const ChunkExtent> layout) {
+  if (layout.empty()) {
+    throw ContainerError("field has no chunks");
+  }
+  std::uint64_t next = 0;
+  for (const ChunkExtent& e : layout) {
+    if (e.elem_offset != next) {
+      throw ContainerError("chunk element offsets are not contiguous");
+    }
+    if (e.dims.count() > field_dims.count() - next) {
+      throw ContainerError("chunks do not cover the field");
+    }
+    next += e.dims.count();
+  }
+  if (next != field_dims.count()) {
+    throw ContainerError("chunks do not cover the field");
+  }
+}
+
+}  // namespace
+
+void FieldDecode::absorb(const sz::DecompressionResult& chunk,
+                         std::uint64_t elem_offset) {
+  std::copy(chunk.data.begin(), chunk.data.end(),
+            data.begin() + static_cast<std::ptrdiff_t>(elem_offset));
+  huffman_phases += chunk.huffman_phases;
+  huffman_seconds += chunk.huffman_seconds;
+  reverse_lorenzo_seconds += chunk.reverse_lorenzo_seconds;
+  outlier_scatter_seconds += chunk.outlier_scatter_seconds;
+  simulated_seconds += chunk.total_seconds();
+  chunk_seconds.push_back(chunk.total_seconds());
+}
+
+std::vector<ChunkExtent> chunk_layout(const sz::Dims& dims,
+                                      std::size_t target_chunk_elems) {
+  if (dims.count() == 0) {
+    throw ContainerError("cannot chunk an empty field");
+  }
+  if (target_chunk_elems == 0) {
+    throw ContainerError("chunk size must be positive");
+  }
+  const std::size_t slowest = dims.rank - 1;
+  const std::size_t n_slabs = dims.extent[slowest];
+  const std::size_t slab_elems = dims.count() / n_slabs;
+  const std::size_t slabs_per_chunk =
+      std::max<std::size_t>(1, target_chunk_elems / slab_elems);
+
+  std::vector<ChunkExtent> out;
+  out.reserve((n_slabs + slabs_per_chunk - 1) / slabs_per_chunk);
+  for (std::size_t s = 0; s < n_slabs; s += slabs_per_chunk) {
+    ChunkExtent e;
+    e.elem_offset = s * slab_elems;
+    e.dims = dims;
+    e.dims.extent[slowest] = std::min(slabs_per_chunk, n_slabs - s);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t Container::add_field(const std::string& name,
+                                 std::span<const float> data,
+                                 const sz::Dims& dims,
+                                 const sz::CompressorConfig& config,
+                                 std::size_t chunk_elems) {
+  if (data.size() != dims.count()) {
+    throw ContainerError("field data size does not match dimensions");
+  }
+  if (config.method == core::Method::GapArrayOriginal8Bit) {
+    throw ContainerError(
+        "the 8-bit gap-array method is decode-only and cannot reconstruct "
+        "float fields; pick a multi-byte method for container fields");
+  }
+  if (config.radius == 0) {
+    throw ContainerError("zero quantizer radius");
+  }
+  const double abs_eb = sz::resolve_error_bound(data, config.rel_error_bound);
+  const auto layout = chunk_layout(dims, chunk_elems);
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(layout.size());
+  for (const ChunkExtent& e : layout) {
+    const auto blob = sz::compress_with_abs_bound(
+        data.subspan(e.elem_offset, e.dims.count()), e.dims, abs_eb, config);
+    frames.push_back(sz::serialize_blob(blob));
+  }
+  return add_field_frames(name, dims, abs_eb, config.radius, config.method,
+                          layout, frames);
+}
+
+std::size_t Container::add_field_frames(
+    const std::string& name, const sz::Dims& dims, double abs_error_bound,
+    std::uint32_t radius, core::Method method,
+    std::span<const ChunkExtent> layout,
+    const std::vector<std::vector<std::uint8_t>>& frames) {
+  if (!(abs_error_bound > 0.0)) {
+    throw ContainerError("non-positive error bound");
+  }
+  if (radius == 0) {
+    throw ContainerError("zero quantizer radius");
+  }
+  if (frames.size() != layout.size()) {
+    throw ContainerError("frame count does not match chunk layout");
+  }
+  check_coverage(dims, layout);
+  for (const FieldEntry& f : fields_) {
+    if (f.name == name) {
+      throw ContainerError("duplicate field name '" + name + "'");
+    }
+  }
+
+  FieldEntry field;
+  field.name = name;
+  field.dims = dims;
+  field.abs_error_bound = abs_error_bound;
+  field.radius = radius;
+  field.method = method;
+  field.chunks.reserve(layout.size());
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    if (frames[i].empty()) {
+      throw ContainerError("empty chunk frame");
+    }
+    ChunkRecord rec;
+    rec.payload_offset = payload_.size();
+    rec.payload_bytes = frames[i].size();
+    rec.elem_offset = layout[i].elem_offset;
+    rec.dims = layout[i].dims;
+    rec.method = method;
+    rec.crc32 = util::crc32(frames[i]);
+    payload_.insert(payload_.end(), frames[i].begin(), frames[i].end());
+    field.chunks.push_back(rec);
+  }
+  fields_.push_back(std::move(field));
+  return fields_.size() - 1;
+}
+
+std::size_t Container::field_index(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  throw ContainerError("no field named '" + name + "' in container");
+}
+
+const ChunkRecord& Container::record(std::size_t field,
+                                     std::size_t chunk) const {
+  if (field >= fields_.size()) {
+    throw ContainerError("field index out of range");
+  }
+  if (chunk >= fields_[field].chunks.size()) {
+    throw ContainerError("chunk index out of range");
+  }
+  return fields_[field].chunks[chunk];
+}
+
+std::span<const std::uint8_t> Container::frame_bytes(std::size_t field,
+                                                     std::size_t chunk) const {
+  const ChunkRecord& rec = record(field, chunk);
+  return std::span<const std::uint8_t>(payload_.data() + rec.payload_offset,
+                                       rec.payload_bytes);
+}
+
+sz::DecompressionResult Container::decode_chunk(
+    cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
+    const core::DecoderConfig& decoder) const {
+  const ChunkRecord& rec = record(field, chunk);
+  const auto frame = frame_bytes(field, chunk);
+  if (util::crc32(frame) != rec.crc32) {
+    throw ContainerError("field '" + fields_[field].name + "' chunk " +
+                         std::to_string(chunk) +
+                         ": CRC-32 mismatch (corrupted frame)");
+  }
+  const sz::CompressedBlob blob = sz::deserialize_blob(frame);
+  if (blob.dims.count() != rec.dims.count()) {
+    throw ContainerError("field '" + fields_[field].name + "' chunk " +
+                         std::to_string(chunk) +
+                         ": frame geometry disagrees with the index");
+  }
+  return sz::decompress(ctx, blob, decoder);
+}
+
+FieldDecode Container::decode_field(cudasim::SimContext& ctx,
+                                    std::size_t field,
+                                    const core::DecoderConfig& decoder) const {
+  if (field >= fields_.size()) {
+    throw ContainerError("field index out of range");
+  }
+  const FieldEntry& f = fields_[field];
+  FieldDecode out;
+  out.data.resize(f.dims.count());
+  out.chunk_seconds.reserve(f.chunks.size());
+  for (std::size_t c = 0; c < f.chunks.size(); ++c) {
+    out.absorb(decode_chunk(ctx, field, c, decoder), f.chunks[c].elem_offset);
+  }
+  return out;
+}
+
+std::vector<float> Container::decode_range(
+    cudasim::SimContext& ctx, std::size_t field, std::uint64_t elem_begin,
+    std::uint64_t elem_end, const core::DecoderConfig& decoder) const {
+  if (field >= fields_.size()) {
+    throw ContainerError("field index out of range");
+  }
+  const FieldEntry& f = fields_[field];
+  if (elem_begin > elem_end || elem_end > f.dims.count()) {
+    throw ContainerError("element range out of bounds");
+  }
+  std::vector<float> out(elem_end - elem_begin);
+  for (std::size_t c = 0; c < f.chunks.size(); ++c) {
+    const ChunkRecord& rec = f.chunks[c];
+    const std::uint64_t chunk_begin = rec.elem_offset;
+    const std::uint64_t chunk_end = chunk_begin + rec.dims.count();
+    if (chunk_end <= elem_begin || chunk_begin >= elem_end) continue;
+    const sz::DecompressionResult r = decode_chunk(ctx, field, c, decoder);
+    const std::uint64_t lo = std::max(chunk_begin, elem_begin);
+    const std::uint64_t hi = std::min(chunk_end, elem_end);
+    std::copy(r.data.begin() + (lo - chunk_begin),
+              r.data.begin() + (hi - chunk_begin),
+              out.begin() + (lo - elem_begin));
+  }
+  return out;
+}
+
+void Container::verify() const {
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    for (std::size_t c = 0; c < fields_[f].chunks.size(); ++c) {
+      if (util::crc32(frame_bytes(f, c)) != fields_[f].chunks[c].crc32) {
+        throw ContainerError("field '" + fields_[f].name + "' chunk " +
+                             std::to_string(c) +
+                             ": CRC-32 mismatch (corrupted frame)");
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> Container::serialize() const {
+  util::ByteWriter w;
+  w.magic(kMagic);
+  w.u8(kContainerVersion);
+  w.u8(0);   // flags
+  w.u16(0);  // reserved
+  w.u32(static_cast<std::uint32_t>(fields_.size()));
+  for (const FieldEntry& f : fields_) {
+    w.u64(f.name.size());
+    for (char ch : f.name) w.u8(static_cast<std::uint8_t>(ch));
+    write_dims(w, f.dims);
+    w.f64(f.abs_error_bound);
+    w.u32(f.radius);
+    w.u8(static_cast<std::uint8_t>(f.method));
+    w.u64(f.chunks.size());
+    for (const ChunkRecord& rec : f.chunks) {
+      w.u64(rec.payload_offset);
+      w.u64(rec.payload_bytes);
+      w.u64(rec.elem_offset);
+      write_dims(w, rec.dims);
+      w.u8(static_cast<std::uint8_t>(rec.method));
+      w.u32(rec.crc32);
+    }
+  }
+  w.bytes(payload_);
+  return w.take();
+}
+
+Container Container::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  try {
+    r.expect_magic(kMagic);
+  } catch (const std::invalid_argument& e) {
+    throw ContainerError(e.what());
+  }
+  if (r.u8() != kContainerVersion) {
+    throw ContainerError("unsupported container version");
+  }
+  if (r.u8() != 0 || r.u16() != 0) {
+    throw ContainerError("nonzero reserved container bytes");
+  }
+  const std::uint32_t field_count = r.u32();
+  if (field_count > (1u << 20)) {
+    throw ContainerError("implausible field count");
+  }
+
+  Container c;
+  c.fields_.reserve(field_count);
+  std::unordered_set<std::string> seen_names;
+  for (std::uint32_t fi = 0; fi < field_count; ++fi) {
+    FieldEntry f;
+    const std::uint64_t name_len = r.u64();
+    if (name_len > r.remaining()) {
+      throw ContainerError("field name exceeds blob size");
+    }
+    f.name.reserve(name_len);
+    for (std::uint64_t i = 0; i < name_len; ++i) {
+      f.name.push_back(static_cast<char>(r.u8()));
+    }
+    f.dims = read_dims(r);
+    f.abs_error_bound = r.f64();
+    if (!(f.abs_error_bound > 0.0)) {
+      throw ContainerError("non-positive error bound in container");
+    }
+    f.radius = r.u32();
+    if (f.radius == 0) {
+      throw ContainerError("zero quantizer radius in container");
+    }
+    f.method = parse_method_tag(r.u8());
+    const std::uint64_t chunk_count = r.u64();
+    if (chunk_count == 0) {
+      throw ContainerError("field has no chunks");
+    }
+    if (chunk_count > r.remaining() / kChunkRecordBytes) {
+      throw ContainerError("chunk count exceeds blob size");
+    }
+    f.chunks.reserve(chunk_count);
+    std::uint64_t next_elem = 0;
+    for (std::uint64_t ci = 0; ci < chunk_count; ++ci) {
+      ChunkRecord rec;
+      rec.payload_offset = r.u64();
+      rec.payload_bytes = r.u64();
+      rec.elem_offset = r.u64();
+      rec.dims = read_dims(r);
+      rec.method = parse_method_tag(r.u8());
+      rec.crc32 = r.u32();
+      if (rec.payload_bytes == 0) {
+        throw ContainerError("empty chunk frame in container index");
+      }
+      if (rec.elem_offset != next_elem) {
+        throw ContainerError("chunk element offsets are not contiguous");
+      }
+      // Guard the accumulation itself: per-chunk products are overflow-
+      // checked, but their SUM could still wrap back onto the field count.
+      if (rec.dims.count() > f.dims.count() - next_elem) {
+        throw ContainerError("chunks do not cover the field");
+      }
+      next_elem += rec.dims.count();
+      f.chunks.push_back(rec);
+    }
+    if (next_elem != f.dims.count()) {
+      throw ContainerError("chunks do not cover the field");
+    }
+    if (!seen_names.insert(f.name).second) {
+      throw ContainerError("duplicate field name '" + f.name +
+                           "' in container");
+    }
+    c.fields_.push_back(std::move(f));
+  }
+
+  try {
+    c.payload_ = r.array<std::uint8_t>();
+  } catch (const std::invalid_argument& e) {
+    throw ContainerError(e.what());
+  }
+  if (!r.exhausted()) {
+    throw ContainerError("trailing bytes after container payload");
+  }
+  for (const FieldEntry& f : c.fields_) {
+    for (const ChunkRecord& rec : f.chunks) {
+      if (rec.payload_bytes > c.payload_.size() ||
+          rec.payload_offset > c.payload_.size() - rec.payload_bytes) {
+        throw ContainerError("chunk frame extends past the payload section");
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace ohd::pipeline

@@ -1,0 +1,175 @@
+// Chunked multi-field container ("OHDC"): a versioned archive of compressed
+// float fields, each split into fixed-size chunks compressed independently
+// through the sz pipeline (one absolute error bound per field). A per-chunk
+// index — payload offset/length, element offset, chunk dims, method tag,
+// CRC-32 — makes every chunk a self-contained frame: any single chunk can be
+// checksum-verified and decoded without touching the rest of the archive,
+// which is what the batch pipeline parallelizes over and what range decode
+// uses for partial reads.
+//
+// Byte layout, version 1 (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "OHDC"
+//   4       1     version (= 1)
+//   5       1     flags (= 0, reserved)
+//   6       2     reserved (= 0)
+//   8       4     field count (u32)
+//   then, per field:
+//           8+n   name (u64 length + bytes)
+//           4     rank (u32, 1..3)
+//           24    extent[3] (u64 x, y, z; unused extents = 1)
+//           8     absolute error bound (f64, > 0)
+//           4     quantizer radius (u32)
+//           1     method tag (u8, core::Method)
+//           8     chunk count (u64, >= 1)
+//     then, per chunk:
+//           8     payload offset (u64, into the payload section)
+//           8     payload length (u64, > 0)
+//           8     element offset (u64, into the field's flat element order)
+//           4     rank (u32)
+//           24    extent[3] (u64)
+//           1     method tag (u8)
+//           4     CRC-32 of the frame bytes (u32)
+//   tail:   8+n   payload section (u64 length + concatenated frames, each
+//                 frame = sz::serialize_blob bytes)
+//
+// tests/pipeline/container_test.cpp pins this table with byte-offset
+// tampering tests; bump kContainerVersion when changing it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/huffman_codec.hpp"
+#include "cudasim/exec.hpp"
+#include "sz/compressor.hpp"
+
+namespace ohd::pipeline {
+
+inline constexpr std::uint8_t kContainerVersion = 1;
+
+/// Parse/validation failure of a container or one of its chunk frames.
+/// Derives from std::invalid_argument so callers can handle it uniformly
+/// with the other deserializers' errors.
+class ContainerError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+struct ChunkRecord {
+  std::uint64_t payload_offset = 0;  // into the payload section
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t elem_offset = 0;     // into the field's flat element order
+  sz::Dims dims;                     // chunk geometry (slab of the field)
+  core::Method method = core::Method::GapArrayOptimized;
+  std::uint32_t crc32 = 0;           // over the frame bytes
+};
+
+struct FieldEntry {
+  std::string name;
+  sz::Dims dims;
+  double abs_error_bound = 0.0;
+  std::uint32_t radius = 512;
+  core::Method method = core::Method::GapArrayOptimized;
+  std::vector<ChunkRecord> chunks;
+};
+
+struct ChunkExtent {
+  std::uint64_t elem_offset = 0;
+  sz::Dims dims;
+};
+
+/// Splits `dims` into chunks of whole slabs of the slowest axis, each chunk
+/// totalling about `target_chunk_elems` elements (at least one slab, so a
+/// chunk of a 2-D/3-D field keeps the field's rank and Lorenzo predictor;
+/// slabs are contiguous in the x-fastest element order, so every chunk is a
+/// contiguous span of the flat field).
+std::vector<ChunkExtent> chunk_layout(const sz::Dims& dims,
+                                      std::size_t target_chunk_elems);
+
+/// Decoded field plus simulated timings aggregated in chunk-id order (the
+/// order that makes multi-threaded and sequential runs bit-identical).
+struct FieldDecode {
+  std::vector<float> data;
+  core::PhaseTimings huffman_phases;
+  double huffman_seconds = 0.0;
+  double reverse_lorenzo_seconds = 0.0;
+  double outlier_scatter_seconds = 0.0;
+  double simulated_seconds = 0.0;     // sum over chunks, chunk-id order
+  std::vector<double> chunk_seconds;  // per-chunk simulated cost
+
+  /// Merges one decoded chunk: copies its floats at `elem_offset` (data must
+  /// already be sized to the field) and adds its timings. The single merge
+  /// path shared by sequential decode_field and the batch scheduler; call in
+  /// chunk-id order to keep runs bit-identical.
+  void absorb(const sz::DecompressionResult& chunk, std::uint64_t elem_offset);
+};
+
+class Container {
+ public:
+  /// Compresses `data` chunk by chunk (sequentially; BatchScheduler::compress
+  /// is the parallel path) and appends the field. One absolute error bound is
+  /// resolved from the WHOLE field's range, so chunking does not change the
+  /// error guarantee. Returns the field index.
+  std::size_t add_field(const std::string& name, std::span<const float> data,
+                        const sz::Dims& dims, const sz::CompressorConfig& config,
+                        std::size_t chunk_elems);
+
+  /// Appends a field from pre-compressed chunk frames (the parallel build
+  /// path): `frames[i]` must be sz::serialize_blob() bytes for `layout[i]`.
+  std::size_t add_field_frames(const std::string& name, const sz::Dims& dims,
+                               double abs_error_bound, std::uint32_t radius,
+                               core::Method method,
+                               std::span<const ChunkExtent> layout,
+                               const std::vector<std::vector<std::uint8_t>>& frames);
+
+  const std::vector<FieldEntry>& fields() const { return fields_; }
+  const std::vector<std::uint8_t>& payload() const { return payload_; }
+
+  /// Field index by name; throws ContainerError on unknown names.
+  std::size_t field_index(const std::string& name) const;
+
+  /// The serialized frame of one chunk (a view into the payload section).
+  std::span<const std::uint8_t> frame_bytes(std::size_t field,
+                                            std::size_t chunk) const;
+
+  /// Decodes ONE chunk — checksum verification, frame parse, decompression —
+  /// without reading any other frame's bytes.
+  sz::DecompressionResult decode_chunk(
+      cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
+      const core::DecoderConfig& decoder = {}) const;
+
+  /// Decodes a whole field chunk by chunk in chunk-id order.
+  FieldDecode decode_field(cudasim::SimContext& ctx, std::size_t field,
+                           const core::DecoderConfig& decoder = {}) const;
+
+  /// Decodes only the chunks overlapping [elem_begin, elem_end) and returns
+  /// exactly that element range of the field.
+  std::vector<float> decode_range(cudasim::SimContext& ctx, std::size_t field,
+                                  std::uint64_t elem_begin,
+                                  std::uint64_t elem_end,
+                                  const core::DecoderConfig& decoder = {}) const;
+
+  /// Verifies every frame's CRC-32 without decoding; throws ContainerError
+  /// naming the first corrupted field/chunk.
+  void verify() const;
+
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses and validates a serialized container (index structure, chunk
+  /// coverage, frame bounds). Frame checksums are verified lazily on access.
+  static Container deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  const ChunkRecord& record(std::size_t field, std::size_t chunk) const;
+
+  std::vector<FieldEntry> fields_;
+  std::vector<std::uint8_t> payload_;  // concatenated chunk frames
+};
+
+}  // namespace ohd::pipeline

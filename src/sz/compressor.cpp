@@ -5,9 +5,9 @@
 
 namespace ohd::sz {
 
-CompressedBlob compress(std::span<const float> data, const Dims& dims,
-                        const CompressorConfig& config) {
-  if (config.rel_error_bound <= 0.0) {
+double resolve_error_bound(std::span<const float> data,
+                           double rel_error_bound) {
+  if (rel_error_bound <= 0.0) {
     throw std::invalid_argument("relative error bound must be positive");
   }
   float lo = data.empty() ? 0.0f : data[0];
@@ -17,15 +17,30 @@ CompressedBlob compress(std::span<const float> data, const Dims& dims,
     hi = std::max(hi, v);
   }
   const double range = static_cast<double>(hi) - static_cast<double>(lo);
-  const double abs_eb =
-      config.rel_error_bound * (range > 0.0 ? range : 1.0);
+  return rel_error_bound * (range > 0.0 ? range : 1.0);
+}
 
+CompressedBlob compress(std::span<const float> data, const Dims& dims,
+                        const CompressorConfig& config) {
+  return compress_with_abs_bound(
+      data, dims, resolve_error_bound(data, config.rel_error_bound), config);
+}
+
+CompressedBlob compress_with_abs_bound(std::span<const float> data,
+                                       const Dims& dims, double abs_error_bound,
+                                       const CompressorConfig& config) {
+  if (abs_error_bound <= 0.0) {
+    throw std::invalid_argument("absolute error bound must be positive");
+  }
+  if (data.size() != dims.count()) {
+    throw std::invalid_argument("data size does not match dimensions");
+  }
   CompressedBlob blob;
   blob.dims = dims;
-  blob.abs_error_bound = abs_eb;
+  blob.abs_error_bound = abs_error_bound;
   blob.radius = config.radius;
 
-  QuantizedField q = lorenzo_quantize(data, dims, abs_eb, config.radius);
+  QuantizedField q = lorenzo_quantize(data, dims, abs_error_bound, config.radius);
   blob.outliers = std::move(q.outliers);
   blob.encoded = core::encode_for_method(config.method, q.codes,
                                          q.alphabet_size(), config.decoder);
@@ -58,7 +73,8 @@ DecompressionResult decompress(cudasim::SimContext& ctx,
   const std::uint64_t n = blob.dims.count();
   if (!blob.outliers.empty()) {
     const std::uint64_t out_addr = ctx.reserve_address(n * 4);
-    const std::uint64_t rec_addr = ctx.reserve_address(blob.outliers.size() * 12);
+    const std::uint64_t rec_addr =
+        ctx.reserve_address(blob.outliers.size() * kOutlierEntryBytes);
     const std::uint32_t block = 256;
     const std::uint32_t grid = static_cast<std::uint32_t>(
         (blob.outliers.size() + block - 1) / block);
@@ -67,7 +83,8 @@ DecompressionResult decompress(cudasim::SimContext& ctx,
           blk.for_each_thread([&](cudasim::ThreadCtx& t) {
             const std::uint64_t i = blk.global_tid(t);
             if (i >= blob.outliers.size()) return;
-            t.global_read(rec_addr + i * 12, 12);
+            t.global_read(rec_addr + i * kOutlierEntryBytes,
+                          static_cast<std::uint32_t>(kOutlierEntryBytes));
             t.global_write(out_addr + blob.outliers[i].index * 4, 4);
             t.charge(4);
           });

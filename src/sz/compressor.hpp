@@ -28,6 +28,17 @@ struct CompressorConfig {
   core::DecoderConfig decoder;
 };
 
+/// One serialized outlier record: u64 element index + f32 exact value.
+/// Shared by compressed_bytes() accounting, the simulated outlier-scatter
+/// kernel, and the byte-level serializers (sz/serialize, pipeline/container).
+inline constexpr std::uint64_t kOutlierEntryBytes = 12;
+
+/// Fixed per-blob framing budget: magic + version + dims + error bound +
+/// radius + outlier count + embedded-stream length prefix. A stable budget
+/// (not chased byte-for-byte) so the size model stays comparable across
+/// format revisions; tests/sz/serialize_test.cpp pins it to the real framing.
+inline constexpr std::uint64_t kBlobHeaderBytes = 64;
+
 struct CompressedBlob {
   Dims dims;
   double abs_error_bound = 0.0;
@@ -41,7 +52,8 @@ struct CompressedBlob {
   }
   std::uint64_t compressed_bytes() const {
     // Huffman payload + codebook + outliers (index+value) + header.
-    return encoded.compressed_bytes() + outliers.size() * 12 + 64;
+    return encoded.compressed_bytes() + outliers.size() * kOutlierEntryBytes +
+           kBlobHeaderBytes;
   }
   double ratio() const {
     return compression_ratio(original_bytes(), compressed_bytes());
@@ -62,9 +74,22 @@ struct DecompressionResult {
   }
 };
 
+/// The absolute bound sz::compress derives from a relative one: the bound
+/// scaled by the field's value range (a zero range degenerates to the bound
+/// itself). Exposed so the chunked pipeline can fix ONE absolute bound per
+/// field and compress its chunks independently — per-chunk relative bounds
+/// would drift with each chunk's local range.
+double resolve_error_bound(std::span<const float> data, double rel_error_bound);
+
 /// Compresses `data` with the pipeline configured in `config`.
 CompressedBlob compress(std::span<const float> data, const Dims& dims,
                         const CompressorConfig& config);
+
+/// Chunk-level entry point: same pipeline, but with a caller-supplied
+/// ABSOLUTE error bound (`config.rel_error_bound` is ignored).
+CompressedBlob compress_with_abs_bound(std::span<const float> data,
+                                       const Dims& dims, double abs_error_bound,
+                                       const CompressorConfig& config);
 
 /// Decompresses on the simulated GPU. When `simulate_h2d` is set, the
 /// compressed payload is first "copied" host-to-device over the PCIe model

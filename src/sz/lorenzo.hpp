@@ -22,6 +22,17 @@ struct Dims {
   }
 
   std::size_t count() const { return extent[0] * extent[1] * extent[2]; }
+
+  /// True when the extent product wraps 64 bits — only possible for
+  /// deserialized dims, which the parsers must reject before count() is
+  /// used to size buffers.
+  bool count_overflows() const {
+    const std::size_t ab = extent[0] * extent[1];
+    if (extent[0] != 0 && extent[1] != 0 && ab / extent[1] != extent[0]) {
+      return true;
+    }
+    return ab != 0 && extent[2] != 0 && (ab * extent[2]) / extent[2] != ab;
+  }
 };
 
 struct Outlier {

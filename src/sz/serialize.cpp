@@ -10,6 +10,10 @@ namespace ohd::sz {
 namespace {
 constexpr char kMagic[4] = {'O', 'H', 'D', 'Z'};
 constexpr std::uint8_t kVersion = 1;
+
+// The wire format below must stay in sync with the size-model constants the
+// accounting and the simulated scatter kernel charge per outlier record.
+static_assert(kOutlierEntryBytes == sizeof(std::uint64_t) + sizeof(float));
 }  // namespace
 
 std::vector<std::uint8_t> serialize_blob(const CompressedBlob& blob) {
@@ -43,6 +47,13 @@ CompressedBlob deserialize_blob(std::span<const std::uint8_t> bytes) {
   }
   for (std::size_t i = 0; i < blob.dims.extent.size(); ++i) {
     blob.dims.extent[i] = r.u64();
+    if (blob.dims.extent[i] == 0 ||
+        (i >= blob.dims.rank && blob.dims.extent[i] != 1)) {
+      throw std::invalid_argument("implausible extent");
+    }
+  }
+  if (blob.dims.count_overflows()) {
+    throw std::invalid_argument("extent product overflows");
   }
   blob.abs_error_bound = r.f64();
   if (!(blob.abs_error_bound > 0.0)) {

@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans. Used
+// by the pipeline container to detect corrupted chunk frames before they
+// reach the blob deserializer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ohd::util {
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+}  // namespace ohd::util

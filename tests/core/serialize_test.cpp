@@ -60,6 +60,29 @@ TEST(StreamSerializationFailure, TruncationAtEveryPrefixThrows) {
   }
 }
 
+/// Exhaustive truncation fuzzing: EVERY strict byte prefix of a serialized
+/// stream — so every field boundary of every method's layout — must throw,
+/// for all five methods.
+TEST_P(StreamSerialization, TruncationAtEveryByteThrows) {
+  const auto codes = quant_like(600, 17);
+  const auto bytes = serialize_stream(encode_for_method(GetParam(), codes, 1024));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(deserialize_stream(prefix), std::invalid_argument)
+        << method_name(GetParam()) << " cut=" << cut;
+  }
+}
+
+/// Inconsistent lengths: the header's num_symbols (u64 at byte 6) no longer
+/// matches the payload's symbol count.
+TEST_P(StreamSerialization, TamperedSymbolCountThrows) {
+  const auto codes = quant_like(600, 19);
+  auto bytes = serialize_stream(encode_for_method(GetParam(), codes, 1024));
+  bytes[6] ^= 0x01;
+  EXPECT_THROW(deserialize_stream(bytes), std::invalid_argument)
+      << method_name(GetParam());
+}
+
 TEST(StreamSerializationFailure, BadMagicThrows) {
   const auto codes = quant_like(100, 7);
   auto bytes =

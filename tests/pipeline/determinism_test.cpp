@@ -1,0 +1,188 @@
+// Pipeline determinism: a batch run on N workers must be bit-identical to
+// the sequential run — container bytes, decoded floats, aggregated
+// PhaseTimings, and the simulated makespan — because all merges are ordered
+// by chunk id and every chunk task owns a fresh SimContext.
+#include "pipeline/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/generic.hpp"
+#include "util/rng.hpp"
+
+namespace ohd::pipeline {
+namespace {
+
+std::vector<float> bumpy_field(std::size_t n, std::uint64_t seed,
+                               double noise) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(std::cos(0.002 * static_cast<double>(i)) +
+                              noise * rng.normal());
+  }
+  return v;
+}
+
+void expect_phases_identical(const core::PhaseTimings& a,
+                             const core::PhaseTimings& b) {
+  EXPECT_EQ(a.intra_sync_s, b.intra_sync_s);
+  EXPECT_EQ(a.inter_sync_s, b.inter_sync_s);
+  EXPECT_EQ(a.output_index_s, b.output_index_s);
+  EXPECT_EQ(a.tune_s, b.tune_s);
+  EXPECT_EQ(a.decode_write_s, b.decode_write_s);
+  EXPECT_EQ(a.other_s, b.other_s);
+}
+
+/// Mixed corpus over the four float-capable methods, several chunks each.
+struct Corpus {
+  std::vector<std::vector<float>> storage;
+  std::vector<FieldSpec> specs;
+};
+
+Corpus make_corpus() {
+  Corpus c;
+  c.storage.push_back(bumpy_field(24000, 1, 0.02));
+  c.storage.push_back(bumpy_field(64 * 90, 2, 0.01));
+  c.storage.push_back(bumpy_field(20 * 16 * 18, 3, 0.05));
+  c.storage.push_back(bumpy_field(18000, 4, 0.2));
+
+  const core::Method methods[] = {
+      core::Method::CuszNaive, core::Method::SelfSyncOriginal,
+      core::Method::SelfSyncOptimized, core::Method::GapArrayOptimized};
+  const sz::Dims dims[] = {sz::Dims::d1(24000), sz::Dims::d2(64, 90),
+                           sz::Dims::d3(20, 16, 18), sz::Dims::d1(18000)};
+  const double ebs[] = {1e-3, 1e-4, 5e-3, 1e-3};
+  for (std::size_t i = 0; i < 4; ++i) {
+    FieldSpec spec;
+    spec.name = "field" + std::to_string(i);
+    spec.data = c.storage[i];
+    spec.dims = dims[i];
+    spec.config.method = methods[i];
+    spec.config.rel_error_bound = ebs[i];
+    spec.chunk_elems = 3000;
+    c.specs.push_back(spec);
+  }
+  return c;
+}
+
+TEST(BatchDeterminism, CompressedContainerIsWorkerCountInvariant) {
+  const Corpus corpus = make_corpus();
+  ThreadPool p1(1), p4(4);
+  const Container a = BatchScheduler(p1).compress(corpus.specs);
+  const Container b = BatchScheduler(p4).compress(corpus.specs);
+  EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+TEST(BatchDeterminism, DecompressIsBitIdenticalAcrossWorkerCounts) {
+  const Corpus corpus = make_corpus();
+  ThreadPool p4(4);
+  const Container container = BatchScheduler(p4).compress(corpus.specs);
+
+  ThreadPool p1(1), p3(3);
+  const BatchDecompressResult seq = BatchScheduler(p1).decompress(container);
+  for (std::size_t workers : {std::size_t{3}, std::size_t{4}}) {
+    ThreadPool& pool = workers == 3 ? p3 : p4;
+    const BatchDecompressResult par = BatchScheduler(pool).decompress(container);
+    ASSERT_EQ(par.fields.size(), seq.fields.size());
+    for (std::size_t fi = 0; fi < seq.fields.size(); ++fi) {
+      EXPECT_EQ(par.fields[fi].decode.data, seq.fields[fi].decode.data)
+          << "workers=" << workers << " field=" << fi;
+      expect_phases_identical(par.fields[fi].decode.huffman_phases,
+                              seq.fields[fi].decode.huffman_phases);
+      EXPECT_EQ(par.fields[fi].decode.simulated_seconds,
+                seq.fields[fi].decode.simulated_seconds);
+    }
+    expect_phases_identical(par.phases, seq.phases);
+    EXPECT_EQ(par.simulated_seconds, seq.simulated_seconds);
+    EXPECT_EQ(par.chunk_seconds, seq.chunk_seconds);
+    EXPECT_EQ(par.makespan(4), seq.makespan(4));
+  }
+}
+
+TEST(BatchDeterminism, DecodeCoversAllFiveMethods) {
+  const core::Method methods[] = {
+      core::Method::CuszNaive, core::Method::SelfSyncOriginal,
+      core::Method::SelfSyncOptimized, core::Method::GapArrayOriginal8Bit,
+      core::Method::GapArrayOptimized};
+  std::vector<core::EncodedStream> streams;
+  std::uint64_t seed = 11;
+  for (core::Method m : methods) {
+    const auto codes = data::quant_code_stream(12000, 1024, 30.0, seed++);
+    streams.push_back(core::encode_for_method(m, codes, 1024));
+  }
+
+  ThreadPool p1(1), p4(4);
+  const auto seq = BatchScheduler(p1).decode(streams);
+  const auto par = BatchScheduler(p4).decode(streams);
+  ASSERT_EQ(seq.size(), streams.size());
+  ASSERT_EQ(par.size(), streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    EXPECT_EQ(par[i].symbols, seq[i].symbols) << method_name(methods[i]);
+    expect_phases_identical(par[i].phases, seq[i].phases);
+  }
+}
+
+TEST(BatchScheduler, CompressRejectsInvalidSpecsBeforeFanOut) {
+  const Corpus corpus = make_corpus();
+  ThreadPool pool(2);
+  BatchScheduler sched(pool);
+
+  // An invalid LAST spec must fail cleanly even though valid fields precede
+  // it (validation happens before any task is submitted).
+  auto specs = corpus.specs;
+  FieldSpec bad = specs[0];
+  bad.name = "bad";
+  bad.dims = sz::Dims::d1(bad.data.size() + 1);
+  specs.push_back(bad);
+  EXPECT_THROW(sched.compress(specs), ContainerError);
+
+  auto dupes = corpus.specs;
+  dupes.push_back(corpus.specs[0]);
+  EXPECT_THROW(sched.compress(dupes), ContainerError);
+
+  // The pool is still usable afterwards.
+  EXPECT_EQ(sched.compress(corpus.specs).fields().size(), 4u);
+}
+
+TEST(BatchScheduler, DecompressSurfacesCorruptionWithPendingTasks) {
+  const Corpus corpus = make_corpus();
+  ThreadPool pool(2);
+  BatchScheduler sched(pool);
+  auto bytes = sched.compress(corpus.specs).serialize();
+
+  const Container intact = Container::deserialize(bytes);
+  const std::size_t payload_base = bytes.size() - intact.payload().size();
+  bytes[payload_base + 5] ^= 0x10;  // corrupt the first chunk's frame
+  const Container corrupted = Container::deserialize(bytes);
+
+  // The CRC failure propagates while sibling chunk tasks are still in
+  // flight; the scheduler must wait them out before rethrowing.
+  EXPECT_THROW(sched.decompress(corrupted), ContainerError);
+  EXPECT_EQ(sched.decompress(intact).fields.size(), 4u);
+}
+
+TEST(BatchDeterminism, MakespanShrinksWithSimulatedWorkers) {
+  const Corpus corpus = make_corpus();
+  ThreadPool p4(4);
+  BatchScheduler sched(p4);
+  const Container container = sched.compress(corpus.specs);
+  const BatchDecompressResult r = sched.decompress(container);
+  ASSERT_GE(r.chunk_seconds.size(), 16u);
+
+  const double ms1 = r.makespan(1);
+  const double ms4 = r.makespan(4);
+  // Same chunks, different summation grouping (per-chunk vs per-field).
+  EXPECT_DOUBLE_EQ(ms1, r.simulated_seconds);
+  EXPECT_GE(ms1 / ms4, 2.0);
+  // The makespan can never beat the critical path or perfect speedup.
+  double longest = 0.0;
+  for (double s : r.chunk_seconds) longest = std::max(longest, s);
+  EXPECT_GE(ms4, longest);
+  EXPECT_GE(ms4, r.simulated_seconds / 4.0 * (1 - 1e-12));
+}
+
+}  // namespace
+}  // namespace ohd::pipeline

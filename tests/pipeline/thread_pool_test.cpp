@@ -1,0 +1,78 @@
+#include "pipeline/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ohd::pipeline {
+namespace {
+
+TEST(ThreadPool, ReturnsResultsThroughFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RunsTasksConcurrently) {
+  // Four tasks rendezvous at a barrier: this can only complete if all four
+  // are in flight simultaneously, i.e. the pool really has four workers.
+  constexpr int kTasks = 4;
+  ThreadPool pool(kTasks);
+  std::mutex m;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&] {
+      std::unique_lock<std::mutex> lock(m);
+      if (++arrived == kTasks) {
+        cv.notify_all();
+      } else {
+        cv.wait(lock, [&] { return arrived == kTasks; });
+      }
+    }));
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    f.get();
+  }
+}
+
+TEST(ThreadPool, ZeroThreadsPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+}  // namespace
+}  // namespace ohd::pipeline

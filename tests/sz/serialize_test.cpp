@@ -76,6 +76,19 @@ TEST(BlobSerializationFailure, NonMonotonicOutliersRejected) {
   EXPECT_THROW(deserialize_blob(bytes), std::invalid_argument);
 }
 
+TEST(BlobSerializationFailure, OverflowingExtentsRejected) {
+  const auto bytes = serialize_blob(make_blob(6));
+  // Wire layout: magic (0..4), version u8 (4), rank u32 (5..9), then three
+  // u64 extents at 9, 17, 25.
+  auto crafted = bytes;
+  crafted[24] = 0x80;  // extent[1] = 2^63 on a rank-1 blob (trailing must be 1)
+  EXPECT_THROW(deserialize_blob(crafted), std::invalid_argument);
+  crafted = bytes;
+  crafted[5] = 3;      // rank 3 ...
+  crafted[24] = 0x80;  // ... so extent[0] * extent[1] wraps 64 bits
+  EXPECT_THROW(deserialize_blob(crafted), std::invalid_argument);
+}
+
 TEST(BlobSerializationFailure, DimsMismatchRejected) {
   auto blob = make_blob(5);
   blob.dims.extent[0] += 1;  // now inconsistent with the code count

@@ -1,0 +1,35 @@
+#include "util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ohd::util {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The IEEE 802.3 check value.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, DetectsEverySingleBitFlipInASmallFrame) {
+  const auto frame = bytes_of("chunk frame payload 0123456789");
+  const std::uint32_t good = crc32(frame);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto copy = frame;
+      copy[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(copy), good) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ohd::util
