@@ -5,13 +5,22 @@
 // container, then sweeps worker counts and chunk sizes over batch
 // decompression.
 //
+// Every chunk-size point builds the archive TWICE: with per-chunk private
+// codebooks (the PR 2 baseline) and with adaptive planning (per-chunk method
+// selection + field-level shared codebooks). The bytes-per-chunk curve of
+// both is reported; at the smallest chunk size the shared-codebook archive
+// must be strictly smaller — amortizing the per-chunk codebook bytes is the
+// whole point of the field-level book.
+//
 // Two throughput views are reported for every sweep point:
 //  * simulated — corpus bytes over the deterministic simulated-GPU batch
 //    makespan (BatchDecompressResult::makespan, list-scheduled over N
 //    virtual workers); machine-independent, this is the scaling headline;
 //  * host — corpus bytes over the measured wall time of the functional
 //    simulation on the ThreadPool (scales only with physical cores).
-// Every multi-threaded run is verified bit-identical to the 1-worker run.
+// Every multi-threaded run is verified bit-identical to the 1-worker run
+// (the sweep decodes the ADAPTIVE archive, so shared-codebook and
+// auto-method chunks are what the identity check covers).
 //
 //   ./bench_pipeline_throughput            # table on stdout
 //   ./bench_pipeline_throughput --json [path]   # also write BENCH_pipeline.json
@@ -120,6 +129,27 @@ bool results_identical(const pipeline::BatchDecompressResult& a,
   return true;
 }
 
+/// Archive-size comparison of one chunk-size point: the same corpus with
+/// per-chunk private codebooks vs adaptive planning (auto method + shared
+/// codebooks).
+struct ArchivePoint {
+  std::size_t chunk_divisor = 0;
+  std::size_t num_chunks = 0;
+  std::size_t private_bytes = 0;
+  std::size_t adaptive_bytes = 0;
+  std::size_t method_counts[5] = {0, 0, 0, 0, 0};  // by core::Method tag
+  std::size_t shared_ref_chunks = 0;
+
+  double bytes_per_chunk_private() const {
+    return static_cast<double>(private_bytes) /
+           static_cast<double>(num_chunks);
+  }
+  double bytes_per_chunk_adaptive() const {
+    return static_cast<double>(adaptive_bytes) /
+           static_cast<double>(num_chunks);
+  }
+};
+
 int run(bool emit_json, const char* json_path) {
   const double scale = bench_scale();
   const auto corpus = make_corpus(scale);
@@ -129,9 +159,12 @@ int run(bool emit_json, const char* json_path) {
               static_cast<double>(corpus_bytes) / 1e6, scale);
 
   const std::size_t thread_counts[] = {1, 2, 4, 8};
-  const std::size_t chunk_divisors[] = {16, 4};  // chunks per field, roughly
+  // Chunks per field, roughly; 64 produces the smallest chunks, where the
+  // per-chunk codebook overhead is at its worst.
+  const std::size_t chunk_divisors[] = {64, 16, 4};
 
   std::vector<SweepPoint> points;
+  std::vector<ArchivePoint> archives;
   double sim_speedup_4t = 0.0;
   double host_speedup_4t = 0.0;
   bool all_identical = true;
@@ -149,10 +182,37 @@ int run(bool emit_json, const char* json_path) {
     }
 
     pipeline::ThreadPool build_pool(0);
+    const pipeline::Container private_container =
+        pipeline::BatchScheduler(build_pool).compress(specs);
+    for (auto& spec : specs) {
+      spec.plan.auto_method = true;
+      spec.plan.shared_codebook = true;
+    }
     const pipeline::Container container =
         pipeline::BatchScheduler(build_pool).compress(specs);
+
+    ArchivePoint ap;
+    ap.chunk_divisor = divisor;
+    ap.private_bytes = private_container.serialize().size();
+    ap.adaptive_bytes = container.serialize().size();
     std::size_t num_chunks = 0;
-    for (const auto& f : container.fields()) num_chunks += f.chunks.size();
+    for (const auto& f : container.fields()) {
+      num_chunks += f.chunks.size();
+      for (const auto& rec : f.chunks) {
+        ap.method_counts[static_cast<std::size_t>(rec.method)]++;
+        ap.shared_ref_chunks +=
+            rec.codebook_ref == pipeline::CodebookRef::SharedField;
+      }
+    }
+    ap.num_chunks = num_chunks;
+    archives.push_back(ap);
+    std::printf(
+        "chunks=%-3zu archive: private %zu B, adaptive %zu B "
+        "(%.1f%% smaller; %zu/%zu chunks on the shared book)\n",
+        num_chunks, ap.private_bytes, ap.adaptive_bytes,
+        100.0 * (1.0 - static_cast<double>(ap.adaptive_bytes) /
+                           static_cast<double>(ap.private_bytes)),
+        ap.shared_ref_chunks, num_chunks);
 
     pipeline::ThreadPool ref_pool(1);
     util::WallTimer ref_timer;
@@ -204,9 +264,25 @@ int run(bool emit_json, const char* json_path) {
 
   std::printf("simulated decompress speedup at 4 workers: %.2fx (host %.2fx)\n",
               sim_speedup_4t, host_speedup_4t);
+  // The smallest chunk size is where per-chunk codebooks hurt the most; the
+  // shared-codebook archive must be STRICTLY smaller there.
+  const ArchivePoint& smallest = archives.front();
+  const bool shared_smaller = smallest.adaptive_bytes < smallest.private_bytes;
+  std::printf(
+      "smallest chunks (%zu): %.1f B/chunk private vs %.1f B/chunk adaptive "
+      "=> shared codebooks %s\n",
+      smallest.num_chunks, smallest.bytes_per_chunk_private(),
+      smallest.bytes_per_chunk_adaptive(),
+      shared_smaller ? "win" : "DO NOT WIN");
   if (!all_identical) {
     std::fprintf(stderr,
                  "FAIL: multi-threaded decompress diverged from sequential\n");
+    return 1;
+  }
+  if (!shared_smaller) {
+    std::fprintf(stderr,
+                 "FAIL: shared-codebook archive is not smaller than the "
+                 "per-chunk-codebook archive at the smallest chunk size\n");
     return 1;
   }
 
@@ -225,11 +301,32 @@ int run(bool emit_json, const char* json_path) {
                  "  \"all_identical\": %s,\n"
                  "  \"sim_decompress_speedup_4_workers\": %.3f,\n"
                  "  \"host_decompress_speedup_4_workers\": %.3f,\n"
-                 "  \"sweep\": [\n",
+                 "  \"shared_codebook_smaller_at_smallest_chunk\": %s,\n"
+                 "  \"shared_codebook_savings_at_smallest_chunk\": %.4f,\n"
+                 "  \"archives\": [\n",
                  corpus.size(),
                  static_cast<unsigned long long>(corpus_bytes), scale,
                  all_identical ? "true" : "false", sim_speedup_4t,
-                 host_speedup_4t);
+                 host_speedup_4t, shared_smaller ? "true" : "false",
+                 1.0 - static_cast<double>(smallest.adaptive_bytes) /
+                           static_cast<double>(smallest.private_bytes));
+    for (std::size_t i = 0; i < archives.size(); ++i) {
+      const ArchivePoint& a = archives[i];
+      std::fprintf(
+          f,
+          "    {\"chunk_divisor\": %zu, \"num_chunks\": %zu, "
+          "\"private_bytes\": %zu, \"adaptive_bytes\": %zu, "
+          "\"bytes_per_chunk_private\": %.1f, "
+          "\"bytes_per_chunk_adaptive\": %.1f, "
+          "\"shared_ref_chunks\": %zu, "
+          "\"method_counts\": [%zu, %zu, %zu, %zu, %zu]}%s\n",
+          a.chunk_divisor, a.num_chunks, a.private_bytes, a.adaptive_bytes,
+          a.bytes_per_chunk_private(), a.bytes_per_chunk_adaptive(),
+          a.shared_ref_chunks, a.method_counts[0], a.method_counts[1],
+          a.method_counts[2], a.method_counts[3], a.method_counts[4],
+          i + 1 < archives.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"sweep\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
       const SweepPoint& p = points[i];
       std::fprintf(f,

@@ -25,14 +25,21 @@ int main(int argc, char** argv) {
   const data::Field cesm = data::make_cesm(0.03);
   const data::Field exaalt = data::make_exaalt(0.03);
   std::vector<pipeline::FieldSpec> specs(3);
-  specs[0] = {hacc.name, hacc.data, hacc.dims, {}, 1u << 15};
+  specs[0] = {hacc.name, hacc.data, hacc.dims, {}, 1u << 15, {}};
   specs[0].config.method = core::Method::GapArrayOptimized;
-  specs[1] = {cesm.name, cesm.data, cesm.dims, {}, 1u << 15};
+  specs[1] = {cesm.name, cesm.data, cesm.dims, {}, 1u << 15, {}};
   specs[1].config.method = core::Method::SelfSyncOptimized;
   specs[1].config.rel_error_bound = 1e-4;
-  specs[2] = {exaalt.name, exaalt.data, exaalt.dims, {}, 1u << 15};
+  specs[2] = {exaalt.name, exaalt.data, exaalt.dims, {}, 1u << 15, {}};
   specs[2].config.method = core::Method::CuszNaive;
   specs[2].config.rel_error_bound = 5e-3;
+  // Adaptive planning (container v2): each chunk gets the cheapest decoder
+  // method for its local statistics, and chunks reference a field-level
+  // shared codebook whenever that is byte-cheaper than a private one.
+  for (auto& spec : specs) {
+    spec.plan.auto_method = true;
+    spec.plan.shared_codebook = true;
+  }
 
   pipeline::ThreadPool pool(4);
   pipeline::BatchScheduler scheduler(pool);
@@ -80,10 +87,16 @@ int main(int argc, char** argv) {
                                                batch.fields[i].decode.data);
     const double bound = parsed.fields()[i].abs_error_bound;
     within_bounds = within_bounds && stats.max_abs_error <= bound * (1 + 1e-6);
-    std::printf("  %-8s %8zu elems in %zu chunks, max err %.3g (bound %.3g)\n",
-                batch.fields[i].name.c_str(),
-                batch.fields[i].decode.data.size(),
-                parsed.fields()[i].chunks.size(), stats.max_abs_error, bound);
+    std::size_t shared_refs = 0;
+    for (const auto& rec : parsed.fields()[i].chunks) {
+      shared_refs += rec.codebook_ref == pipeline::CodebookRef::SharedField;
+    }
+    std::printf(
+        "  %-8s %8zu elems in %zu chunks (%zu on the shared codebook), "
+        "max err %.3g (bound %.3g)\n",
+        batch.fields[i].name.c_str(), batch.fields[i].decode.data.size(),
+        parsed.fields()[i].chunks.size(), shared_refs, stats.max_abs_error,
+        bound);
   }
   std::printf("batch simulated decompress: %.3f ms total, %.3f ms on 4 "
               "simulated workers\n",

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare a freshly produced bench JSON against a
+committed baseline and fail on regressions beyond the allowed tolerance.
+
+Usage:
+    check_bench_regression.py <current.json> <baseline.json>
+
+The baseline file declares which metrics to guard and how:
+
+    {
+      "benchmark": "pipeline_throughput",         # must match current
+      "tolerance": 0.25,                          # default allowed regression
+      "metrics": {
+        "sim_decompress_speedup_4_workers": {"value": 3.9,
+                                             "higher_is_better": true},
+        "lut_speedup": {"value": 2.0, "higher_is_better": true,
+                        "tolerance": 0.5},        # per-metric override
+        "all_identical": {"require": true}        # hard boolean gate
+      }
+    }
+
+Only regressions fail: a current value better than baseline always passes.
+Deterministic (simulated) metrics use the default 25% tolerance; wall-clock
+ratios carry wider per-metric tolerances in the baseline because CI runner
+generations differ.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    if current.get("benchmark") != baseline.get("benchmark"):
+        fail(
+            f"benchmark mismatch: current={current.get('benchmark')!r} "
+            f"baseline={baseline.get('benchmark')!r}"
+        )
+
+    default_tol = float(baseline.get("tolerance", 0.25))
+    failures = []
+    print(f"{'metric':<45} {'baseline':>12} {'current':>12} {'limit':>12}")
+    for name, spec in baseline["metrics"].items():
+        if name not in current:
+            failures.append(f"metric '{name}' missing from current output")
+            continue
+        got = current[name]
+        if "require" in spec:
+            ok = got == spec["require"]
+            print(f"{name:<45} {spec['require']!s:>12} {got!s:>12} "
+                  f"{'(exact)':>12} {'ok' if ok else 'REGRESSION'}")
+            if not ok:
+                failures.append(f"'{name}' must be {spec['require']}, got {got}")
+            continue
+        value = float(spec["value"])
+        tol = float(spec.get("tolerance", default_tol))
+        higher_is_better = bool(spec.get("higher_is_better", True))
+        if higher_is_better:
+            limit = value * (1.0 - tol)
+            ok = float(got) >= limit
+        else:
+            limit = value * (1.0 + tol)
+            ok = float(got) <= limit
+        print(f"{name:<45} {value:>12.4f} {float(got):>12.4f} {limit:>12.4f} "
+              f"{'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            failures.append(
+                f"'{name}' regressed: {got} vs baseline {value} "
+                f"(allowed {'>=' if higher_is_better else '<='} {limit:.4f})"
+            )
+
+    if failures:
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        fail(f"{len(failures)} bench metric(s) regressed beyond tolerance")
+    print("bench regression guard: all metrics within tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,6 +50,29 @@ std::vector<std::uint16_t> trim_to_8bit(std::span<const std::uint16_t> codes) {
   return out;
 }
 
+/// Payload construction shared by the private- and injected-codebook entry
+/// points: `enc.codebook` must already be set and cover every code.
+void encode_payload(EncodedStream& enc, std::span<const std::uint16_t> codes,
+                    const DecoderConfig& config) {
+  huffman::StreamGeometry geometry;
+  geometry.units_per_subseq = config.units_per_subseq;
+  geometry.subseqs_per_seq = config.threads_per_block;
+  switch (enc.method) {
+    case Method::CuszNaive:
+      enc.payload =
+          huffman::encode_chunked(codes, enc.codebook, config.chunk_symbols);
+      break;
+    case Method::SelfSyncOriginal:
+    case Method::SelfSyncOptimized:
+      enc.payload = huffman::encode_plain(codes, enc.codebook, geometry);
+      break;
+    case Method::GapArrayOriginal8Bit:
+    case Method::GapArrayOptimized:
+      enc.payload = huffman::encode_gap(codes, enc.codebook, geometry);
+      break;
+  }
+}
+
 }  // namespace
 
 EncodedStream encode_for_method(Method method,
@@ -59,35 +82,38 @@ EncodedStream encode_for_method(Method method,
   EncodedStream enc;
   enc.method = method;
   enc.num_symbols = codes.size();
-  huffman::StreamGeometry geometry;
-  geometry.units_per_subseq = config.units_per_subseq;
-  geometry.subseqs_per_seq = config.threads_per_block;
+  if (method == Method::GapArrayOriginal8Bit) {
+    const std::vector<std::uint16_t> trimmed = trim_to_8bit(codes);
+    enc.codebook = huffman::Codebook::from_data(trimmed, 256);
+    encode_payload(enc, trimmed, config);
+  } else {
+    enc.codebook = huffman::Codebook::from_data(codes, alphabet_size);
+    encode_payload(enc, codes, config);
+  }
+  return enc;
+}
 
-  switch (method) {
-    case Method::CuszNaive: {
-      enc.codebook = huffman::Codebook::from_data(codes, alphabet_size);
-      enc.payload =
-          huffman::encode_chunked(codes, enc.codebook, config.chunk_symbols);
-      break;
-    }
-    case Method::SelfSyncOriginal:
-    case Method::SelfSyncOptimized: {
-      enc.codebook = huffman::Codebook::from_data(codes, alphabet_size);
-      enc.payload = huffman::encode_plain(codes, enc.codebook, geometry);
-      break;
-    }
-    case Method::GapArrayOriginal8Bit: {
-      const std::vector<std::uint16_t> trimmed = trim_to_8bit(codes);
-      enc.codebook = huffman::Codebook::from_data(trimmed, 256);
-      enc.payload = huffman::encode_gap(trimmed, enc.codebook, geometry);
-      break;
-    }
-    case Method::GapArrayOptimized: {
-      enc.codebook = huffman::Codebook::from_data(codes, alphabet_size);
-      enc.payload = huffman::encode_gap(codes, enc.codebook, geometry);
-      break;
+EncodedStream encode_with_codebook(Method method,
+                                   std::span<const std::uint16_t> codes,
+                                   const huffman::Codebook& codebook,
+                                   const DecoderConfig& config) {
+  if (method == Method::GapArrayOriginal8Bit) {
+    throw std::invalid_argument(
+        "the 8-bit gap-array baseline trims codes to a private alphabet and "
+        "cannot encode against an injected codebook");
+  }
+  for (std::uint16_t s : codes) {
+    if (s >= codebook.alphabet_size() || codebook.code(s).len == 0) {
+      throw std::invalid_argument(
+          "symbol " + std::to_string(s) +
+          " has no codeword in the injected codebook");
     }
   }
+  EncodedStream enc;
+  enc.method = method;
+  enc.num_symbols = codes.size();
+  enc.codebook = codebook;
+  encode_payload(enc, codes, config);
   return enc;
 }
 

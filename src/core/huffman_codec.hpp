@@ -56,6 +56,17 @@ EncodedStream encode_for_method(Method method,
                                 std::uint32_t alphabet_size,
                                 const DecoderConfig& config = {});
 
+/// Encodes `codes` with an INJECTED codebook instead of one built from the
+/// chunk's own histogram — the shared-codebook path, where one field-level
+/// canonical book serves many chunks. Every code must have a codeword in
+/// `codebook` (throws std::invalid_argument otherwise, before any encoding).
+/// Method::GapArrayOriginal8Bit is rejected: its 8-bit trimming changes the
+/// alphabet, so it can only use a private book.
+EncodedStream encode_with_codebook(Method method,
+                                   std::span<const std::uint16_t> codes,
+                                   const huffman::Codebook& codebook,
+                                   const DecoderConfig& config = {});
+
 /// Decodes with the method's decoder. For GapArrayOriginal8Bit the decoded
 /// symbols are the trimmed 8-bit codes.
 DecodeResult decode(cudasim::SimContext& ctx, const EncodedStream& enc,

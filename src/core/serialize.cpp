@@ -48,13 +48,15 @@ huffman::StreamEncoding read_stream(util::ByteReader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> serialize_stream(const EncodedStream& enc) {
+std::vector<std::uint8_t> serialize_stream(const EncodedStream& enc,
+                                           bool include_codebook) {
   util::ByteWriter w;
   w.magic(kMagic);
   w.u8(kVersion);
   w.u8(static_cast<std::uint8_t>(enc.method));
   w.u64(enc.num_symbols);
-  const auto codebook_bytes = enc.codebook.serialize();
+  const auto codebook_bytes =
+      include_codebook ? enc.codebook.serialize() : std::vector<std::uint8_t>{};
   w.bytes(codebook_bytes);
 
   if (const auto* chunked =
@@ -76,7 +78,8 @@ std::vector<std::uint8_t> serialize_stream(const EncodedStream& enc) {
   return w.take();
 }
 
-EncodedStream deserialize_stream(std::span<const std::uint8_t> bytes) {
+EncodedStream deserialize_stream(std::span<const std::uint8_t> bytes,
+                                 const huffman::Codebook* shared_codebook) {
   util::ByteReader r(bytes);
   r.expect_magic(kMagic);
   if (r.u8() != kVersion) {
@@ -98,7 +101,18 @@ EncodedStream deserialize_stream(std::span<const std::uint8_t> bytes) {
   enc.method = method;
   enc.num_symbols = r.u64();
   const auto codebook_bytes = r.array<std::uint8_t>();
-  enc.codebook = huffman::Codebook::deserialize(codebook_bytes);
+  if (codebook_bytes.empty()) {
+    if (shared_codebook == nullptr) {
+      throw std::invalid_argument(
+          "stream omits its codebook and no shared codebook was provided");
+    }
+    // Copied by value to keep EncodedStream self-contained (every decoder
+    // and test relies on that); the ~tens-of-KB table copy per chunk is
+    // noise next to the functional decode of the chunk's symbols.
+    enc.codebook = *shared_codebook;
+  } else {
+    enc.codebook = huffman::Codebook::deserialize(codebook_bytes);
+  }
 
   switch (method) {
     case Method::CuszNaive: {

@@ -13,10 +13,19 @@
 namespace ohd::core {
 
 /// Serializes an encoded stream (method tag + codebook + payload + sidecars).
-std::vector<std::uint8_t> serialize_stream(const EncodedStream& enc);
+/// With `include_codebook == false` the codebook section is written as a
+/// zero-length array: the stream then deserializes only against an external
+/// (shared) codebook — the container v2 shared-codebook path, which stores
+/// one field-level codebook instead of one per chunk.
+std::vector<std::uint8_t> serialize_stream(const EncodedStream& enc,
+                                           bool include_codebook = true);
 
 /// Parses a serialized stream; throws std::invalid_argument on truncation,
-/// bad magic, or inconsistent metadata.
-EncodedStream deserialize_stream(std::span<const std::uint8_t> bytes);
+/// bad magic, or inconsistent metadata. A stream whose codebook section is
+/// empty resolves its codebook from `shared_codebook`; passing none for such
+/// a stream is an error (the stream is undecodable without a codebook).
+EncodedStream deserialize_stream(
+    std::span<const std::uint8_t> bytes,
+    const huffman::Codebook* shared_codebook = nullptr);
 
 }  // namespace ohd::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <memory>
 
 #include "cudasim/exec.hpp"
 #include "sz/serialize.hpp"
@@ -37,16 +38,32 @@ void wait_all(std::vector<std::future<T>>& futures) noexcept {
 }  // namespace
 
 Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
-  struct FieldPlan {
+  // A planned field's quantize tasks also PROBE their chunk (histogram +
+  // canonical lengths + statistics) in the pool, so only the cheap pooled
+  // work of plan_from_probes stays on the collecting thread.
+  struct ProbedChunk {
+    sz::QuantizedField q;
+    ChunkProbe probe;
+  };
+  struct FieldState {
     double abs_eb = 0.0;
     std::vector<ChunkExtent> layout;
+    bool planned = false;  // two-fan-out path (auto method / shared codebook)
+    // Fused path: one task per chunk produces the frame directly. Planned
+    // path: quantize+probe futures feed plan_from_probes, then encode
+    // futures.
     std::vector<std::future<std::vector<std::uint8_t>>> frames;
+    std::vector<std::future<ProbedChunk>> quants;
+    std::vector<sz::QuantizedField> quantized;  // collected, then moved out
+    FieldPlan plan;
+    std::shared_ptr<const huffman::Codebook> shared;
+    std::vector<ChunkMeta> meta;
   };
 
   // Phase 1: validate EVERY spec before any task is submitted — once the
   // fan-out starts, the only exceptions left are ones thrown by the chunk
   // tasks themselves.
-  std::vector<FieldPlan> plans(specs.size());
+  std::vector<FieldState> states(specs.size());
   for (std::size_t fi = 0; fi < specs.size(); ++fi) {
     const FieldSpec& spec = specs[fi];
     if (spec.data.size() != spec.dims.count()) {
@@ -66,41 +83,98 @@ Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
         throw ContainerError("duplicate field name '" + spec.name + "'");
       }
     }
-    plans[fi].abs_eb =
+    states[fi].abs_eb =
         sz::resolve_error_bound(spec.data, spec.config.rel_error_bound);
-    plans[fi].layout = chunk_layout(spec.dims, spec.chunk_elems);
+    states[fi].layout = chunk_layout(spec.dims, spec.chunk_elems);
+    states[fi].planned =
+        spec.plan.auto_method || spec.plan.shared_codebook;
   }
 
   // Phase 2: fan out ALL chunk tasks (field-major), so chunks of different
-  // fields overlap in the pool; phase 3: collect in deterministic (field,
-  // chunk) order. On ANY failure — submit or collect — wait out the
-  // remaining tasks before unwinding destroys plans/specs.
+  // fields overlap in the pool. Planned fields fan out QUANTIZE tasks; their
+  // plan is computed on this thread once the field's quantized chunks are
+  // all in (deterministic — a pure function of the field), and the encode
+  // tasks fan out immediately after, overlapping with other fields' work.
+  // Phase 3: collect frames in deterministic (field, chunk) order. On ANY
+  // failure — submit or collect — wait out the remaining tasks before
+  // unwinding destroys states/specs.
   Container container;
   try {
     for (std::size_t fi = 0; fi < specs.size(); ++fi) {
       const FieldSpec& spec = specs[fi];
-      FieldPlan& plan = plans[fi];
-      plan.frames.reserve(plan.layout.size());
-      for (const ChunkExtent& extent : plan.layout) {
-        plan.frames.push_back(pool_.submit([&spec, &plan, extent] {
-          const auto blob = sz::compress_with_abs_bound(
-              spec.data.subspan(extent.elem_offset, extent.dims.count()),
-              extent.dims, plan.abs_eb, spec.config);
-          return sz::serialize_blob(blob);
+      FieldState& state = states[fi];
+      if (state.planned) {
+        state.quants.reserve(state.layout.size());
+        for (const ChunkExtent& extent : state.layout) {
+          state.quants.push_back(pool_.submit([&spec, &state, extent] {
+            ProbedChunk out;
+            out.q = sz::quantize_with_abs_bound(
+                spec.data.subspan(extent.elem_offset, extent.dims.count()),
+                extent.dims, state.abs_eb, spec.config);
+            out.probe = probe_chunk(out.q);
+            return out;
+          }));
+        }
+      } else {
+        state.frames.reserve(state.layout.size());
+        for (const ChunkExtent& extent : state.layout) {
+          state.frames.push_back(pool_.submit([&spec, &state, extent] {
+            const auto blob = sz::compress_with_abs_bound(
+                spec.data.subspan(extent.elem_offset, extent.dims.count()),
+                extent.dims, state.abs_eb, spec.config);
+            return sz::serialize_blob(blob);
+          }));
+        }
+      }
+    }
+    for (std::size_t fi = 0; fi < specs.size(); ++fi) {
+      const FieldSpec& spec = specs[fi];
+      FieldState& state = states[fi];
+      if (!state.planned) continue;
+      state.quantized.reserve(state.quants.size());
+      std::vector<ChunkProbe> probes;
+      probes.reserve(state.quants.size());
+      for (auto& fut : state.quants) {
+        ProbedChunk chunk = fut.get();
+        state.quantized.push_back(std::move(chunk.q));
+        probes.push_back(std::move(chunk.probe));
+      }
+      const MethodSelector selector(spec.config.decoder);
+      state.plan = plan_from_probes(std::move(probes), spec.config.method,
+                                    spec.plan, selector);
+      if (state.plan.has_shared_codebook) {
+        state.shared = std::make_shared<const huffman::Codebook>(
+            std::move(state.plan.shared_codebook));
+      }
+      state.meta.reserve(state.layout.size());
+      state.frames.reserve(state.layout.size());
+      for (std::size_t ci = 0; ci < state.layout.size(); ++ci) {
+        const ChunkPlan& cp = state.plan.chunks[ci];
+        state.meta.push_back({cp.method, cp.use_shared_codebook
+                                             ? CodebookRef::SharedField
+                                             : CodebookRef::Private});
+        state.frames.push_back(pool_.submit([&spec, &state, ci] {
+          return encode_planned_chunk(std::move(state.quantized[ci]),
+                                      state.plan.chunks[ci], spec.config,
+                                      state.shared.get());
         }));
       }
     }
     for (std::size_t fi = 0; fi < specs.size(); ++fi) {
-      FieldPlan& plan = plans[fi];
+      FieldState& state = states[fi];
       std::vector<std::vector<std::uint8_t>> frames;
-      frames.reserve(plan.frames.size());
-      for (auto& fut : plan.frames) frames.push_back(fut.get());
-      container.add_field_frames(specs[fi].name, specs[fi].dims, plan.abs_eb,
+      frames.reserve(state.frames.size());
+      for (auto& fut : state.frames) frames.push_back(fut.get());
+      container.add_field_frames(specs[fi].name, specs[fi].dims, state.abs_eb,
                                  specs[fi].config.radius,
-                                 specs[fi].config.method, plan.layout, frames);
+                                 specs[fi].config.method, state.shared,
+                                 state.layout, frames, state.meta);
     }
   } catch (...) {
-    for (FieldPlan& plan : plans) wait_all(plan.frames);
+    for (FieldState& state : states) {
+      wait_all(state.quants);
+      wait_all(state.frames);
+    }
     throw;
   }
   return container;

@@ -34,6 +34,12 @@ struct FieldSpec {
   sz::Dims dims;
   sz::CompressorConfig config;
   std::size_t chunk_elems = std::size_t{1} << 16;
+  /// Adaptive planning: per-chunk method selection and/or a field-level
+  /// shared codebook. With both off the scheduler takes the fused
+  /// quantize+encode fast path; with either on, compression runs in two
+  /// fan-outs (quantize all chunks, plan the field on the collecting thread,
+  /// then encode all chunks) so the plan can see the whole field first.
+  PlanOptions plan;
 };
 
 struct FieldResult {

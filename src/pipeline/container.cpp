@@ -14,9 +14,20 @@ namespace {
 
 constexpr char kMagic[4] = {'O', 'H', 'D', 'C'};
 
-// Fixed wire size of one chunk record, used to bound untrusted chunk counts
-// before looping (see the layout table in container.hpp).
-constexpr std::uint64_t kChunkRecordBytes = 8 + 8 + 8 + 4 + 24 + 1 + 4;
+// Fixed wire sizes of one chunk record per container version, used to bound
+// untrusted chunk counts before looping (see the layout table in
+// container.hpp). Version 2 adds the codebook-ref byte.
+constexpr std::uint64_t kChunkRecordBytesV1 = 8 + 8 + 8 + 4 + 24 + 1 + 4;
+constexpr std::uint64_t kChunkRecordBytesV2 = kChunkRecordBytesV1 + 1;
+
+CodebookRef parse_codebook_ref(std::uint8_t tag) {
+  switch (static_cast<CodebookRef>(tag)) {
+    case CodebookRef::Private:
+    case CodebookRef::SharedField:
+      return static_cast<CodebookRef>(tag);
+  }
+  throw ContainerError("unknown codebook-ref tag in container");
+}
 
 core::Method parse_method_tag(std::uint8_t tag) {
   const auto method = static_cast<core::Method>(tag);
@@ -119,7 +130,8 @@ std::size_t Container::add_field(const std::string& name,
                                  std::span<const float> data,
                                  const sz::Dims& dims,
                                  const sz::CompressorConfig& config,
-                                 std::size_t chunk_elems) {
+                                 std::size_t chunk_elems,
+                                 const PlanOptions& plan) {
   if (data.size() != dims.count()) {
     throw ContainerError("field data size does not match dimensions");
   }
@@ -134,15 +146,52 @@ std::size_t Container::add_field(const std::string& name,
   const double abs_eb = sz::resolve_error_bound(data, config.rel_error_bound);
   const auto layout = chunk_layout(dims, chunk_elems);
 
-  std::vector<std::vector<std::uint8_t>> frames;
-  frames.reserve(layout.size());
+  // Nothing adaptive requested: stream chunk-at-a-time (O(chunk) peak
+  // memory), exactly as before planning existed.
+  if (!plan.auto_method && !plan.shared_codebook) {
+    std::vector<std::vector<std::uint8_t>> frames;
+    frames.reserve(layout.size());
+    for (const ChunkExtent& e : layout) {
+      const auto blob = sz::compress_with_abs_bound(
+          data.subspan(e.elem_offset, e.dims.count()), e.dims, abs_eb, config);
+      frames.push_back(sz::serialize_blob(blob));
+    }
+    return add_field_frames(name, dims, abs_eb, config.radius, config.method,
+                            layout, frames);
+  }
+
+  // Planned path: quantize every chunk first, so the planner can see the
+  // whole field (pooled histograms for the shared book, per-chunk probes
+  // for method selection) before any encoding commits.
+  std::vector<sz::QuantizedField> quantized;
+  quantized.reserve(layout.size());
   for (const ChunkExtent& e : layout) {
-    const auto blob = sz::compress_with_abs_bound(
-        data.subspan(e.elem_offset, e.dims.count()), e.dims, abs_eb, config);
-    frames.push_back(sz::serialize_blob(blob));
+    quantized.push_back(sz::quantize_with_abs_bound(
+        data.subspan(e.elem_offset, e.dims.count()), e.dims, abs_eb, config));
+  }
+  const MethodSelector selector(config.decoder);
+  FieldPlan field_plan =
+      plan_field(quantized, config.method, plan, selector);
+
+  std::shared_ptr<const huffman::Codebook> shared;
+  if (field_plan.has_shared_codebook) {
+    shared = std::make_shared<const huffman::Codebook>(
+        std::move(field_plan.shared_codebook));
+  }
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::vector<ChunkMeta> meta;
+  frames.reserve(layout.size());
+  meta.reserve(layout.size());
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    const ChunkPlan& cp = field_plan.chunks[i];
+    frames.push_back(encode_planned_chunk(std::move(quantized[i]), cp, config,
+                                          shared.get()));
+    meta.push_back({cp.method, cp.use_shared_codebook
+                                   ? CodebookRef::SharedField
+                                   : CodebookRef::Private});
   }
   return add_field_frames(name, dims, abs_eb, config.radius, config.method,
-                          layout, frames);
+                          std::move(shared), layout, frames, meta);
 }
 
 std::size_t Container::add_field_frames(
@@ -150,6 +199,17 @@ std::size_t Container::add_field_frames(
     std::uint32_t radius, core::Method method,
     std::span<const ChunkExtent> layout,
     const std::vector<std::vector<std::uint8_t>>& frames) {
+  return add_field_frames(name, dims, abs_error_bound, radius, method,
+                          nullptr, layout, frames, {});
+}
+
+std::size_t Container::add_field_frames(
+    const std::string& name, const sz::Dims& dims, double abs_error_bound,
+    std::uint32_t radius, core::Method default_method,
+    std::shared_ptr<const huffman::Codebook> shared_codebook,
+    std::span<const ChunkExtent> layout,
+    const std::vector<std::vector<std::uint8_t>>& frames,
+    std::span<const ChunkMeta> meta) {
   if (!(abs_error_bound > 0.0)) {
     throw ContainerError("non-positive error bound");
   }
@@ -158,6 +218,9 @@ std::size_t Container::add_field_frames(
   }
   if (frames.size() != layout.size()) {
     throw ContainerError("frame count does not match chunk layout");
+  }
+  if (!meta.empty() && meta.size() != layout.size()) {
+    throw ContainerError("chunk meta count does not match chunk layout");
   }
   check_coverage(dims, layout);
   for (const FieldEntry& f : fields_) {
@@ -171,7 +234,8 @@ std::size_t Container::add_field_frames(
   field.dims = dims;
   field.abs_error_bound = abs_error_bound;
   field.radius = radius;
-  field.method = method;
+  field.method = default_method;
+  field.shared_codebook = std::move(shared_codebook);
   field.chunks.reserve(layout.size());
   for (std::size_t i = 0; i < layout.size(); ++i) {
     if (frames[i].empty()) {
@@ -182,7 +246,14 @@ std::size_t Container::add_field_frames(
     rec.payload_bytes = frames[i].size();
     rec.elem_offset = layout[i].elem_offset;
     rec.dims = layout[i].dims;
-    rec.method = method;
+    rec.method = meta.empty() ? default_method : meta[i].method;
+    rec.codebook_ref =
+        meta.empty() ? CodebookRef::Private : meta[i].codebook_ref;
+    if (rec.codebook_ref == CodebookRef::SharedField &&
+        field.shared_codebook == nullptr) {
+      throw ContainerError(
+          "chunk references a shared codebook but the field has none");
+    }
     rec.crc32 = util::crc32(frames[i]);
     payload_.insert(payload_.end(), frames[i].begin(), frames[i].end());
     field.chunks.push_back(rec);
@@ -226,7 +297,11 @@ sz::DecompressionResult Container::decode_chunk(
                          std::to_string(chunk) +
                          ": CRC-32 mismatch (corrupted frame)");
   }
-  const sz::CompressedBlob blob = sz::deserialize_blob(frame);
+  const huffman::Codebook* shared =
+      rec.codebook_ref == CodebookRef::SharedField
+          ? fields_[field].shared_codebook.get()
+          : nullptr;
+  const sz::CompressedBlob blob = sz::deserialize_blob(frame, shared);
   if (blob.dims.count() != rec.dims.count()) {
     throw ContainerError("field '" + fields_[field].name + "' chunk " +
                          std::to_string(chunk) +
@@ -289,10 +364,13 @@ void Container::verify() const {
   }
 }
 
-std::vector<std::uint8_t> Container::serialize() const {
+/// One writer for both wire versions, so the layouts cannot drift apart:
+/// version 2 adds only the per-field shared-codebook record and the
+/// per-chunk codebook-ref byte.
+std::vector<std::uint8_t> Container::write_container(std::uint8_t version) const {
   util::ByteWriter w;
   w.magic(kMagic);
-  w.u8(kContainerVersion);
+  w.u8(version);
   w.u8(0);   // flags
   w.u16(0);  // reserved
   w.u32(static_cast<std::uint32_t>(fields_.size()));
@@ -303,6 +381,15 @@ std::vector<std::uint8_t> Container::serialize() const {
     w.f64(f.abs_error_bound);
     w.u32(f.radius);
     w.u8(static_cast<std::uint8_t>(f.method));
+    if (version >= 2) {
+      if (f.shared_codebook != nullptr) {
+        const auto cb_bytes = f.shared_codebook->serialize();
+        w.bytes(cb_bytes);
+        w.u32(util::crc32(cb_bytes));
+      } else {
+        w.u64(0);  // no shared codebook
+      }
+    }
     w.u64(f.chunks.size());
     for (const ChunkRecord& rec : f.chunks) {
       w.u64(rec.payload_offset);
@@ -310,11 +397,36 @@ std::vector<std::uint8_t> Container::serialize() const {
       w.u64(rec.elem_offset);
       write_dims(w, rec.dims);
       w.u8(static_cast<std::uint8_t>(rec.method));
+      if (version >= 2) {
+        w.u8(static_cast<std::uint8_t>(rec.codebook_ref));
+      }
       w.u32(rec.crc32);
     }
   }
   w.bytes(payload_);
   return w.take();
+}
+
+std::vector<std::uint8_t> Container::serialize() const {
+  return write_container(kContainerVersion);
+}
+
+std::vector<std::uint8_t> Container::serialize_v1() const {
+  for (const FieldEntry& f : fields_) {
+    if (f.shared_codebook != nullptr) {
+      throw ContainerError("field '" + f.name +
+                           "' carries a shared codebook, which the v1 format "
+                           "cannot represent");
+    }
+    for (const ChunkRecord& rec : f.chunks) {
+      if (rec.codebook_ref != CodebookRef::Private) {
+        throw ContainerError("field '" + f.name +
+                             "' has shared-codebook chunks, which the v1 "
+                             "format cannot represent");
+      }
+    }
+  }
+  return write_container(1);
 }
 
 Container Container::deserialize(std::span<const std::uint8_t> bytes) {
@@ -324,12 +436,15 @@ Container Container::deserialize(std::span<const std::uint8_t> bytes) {
   } catch (const std::invalid_argument& e) {
     throw ContainerError(e.what());
   }
-  if (r.u8() != kContainerVersion) {
+  const std::uint8_t version = r.u8();
+  if (version != 1 && version != kContainerVersion) {
     throw ContainerError("unsupported container version");
   }
   if (r.u8() != 0 || r.u16() != 0) {
     throw ContainerError("nonzero reserved container bytes");
   }
+  const std::uint64_t chunk_record_bytes =
+      version == 1 ? kChunkRecordBytesV1 : kChunkRecordBytesV2;
   const std::uint32_t field_count = r.u32();
   if (field_count > (1u << 20)) {
     throw ContainerError("implausible field count");
@@ -358,11 +473,32 @@ Container Container::deserialize(std::span<const std::uint8_t> bytes) {
       throw ContainerError("zero quantizer radius in container");
     }
     f.method = parse_method_tag(r.u8());
+    if (version >= 2) {
+      std::vector<std::uint8_t> cb_bytes;
+      try {
+        cb_bytes = r.array<std::uint8_t>();
+      } catch (const std::invalid_argument& e) {
+        throw ContainerError(e.what());
+      }
+      if (!cb_bytes.empty()) {
+        if (util::crc32(cb_bytes) != r.u32()) {
+          throw ContainerError("field '" + f.name +
+                               "': shared codebook CRC-32 mismatch");
+        }
+        try {
+          f.shared_codebook = std::make_shared<const huffman::Codebook>(
+              huffman::Codebook::deserialize(cb_bytes));
+        } catch (const std::invalid_argument& e) {
+          throw ContainerError("field '" + f.name +
+                               "': invalid shared codebook: " + e.what());
+        }
+      }
+    }
     const std::uint64_t chunk_count = r.u64();
     if (chunk_count == 0) {
       throw ContainerError("field has no chunks");
     }
-    if (chunk_count > r.remaining() / kChunkRecordBytes) {
+    if (chunk_count > r.remaining() / chunk_record_bytes) {
       throw ContainerError("chunk count exceeds blob size");
     }
     f.chunks.reserve(chunk_count);
@@ -374,6 +510,15 @@ Container Container::deserialize(std::span<const std::uint8_t> bytes) {
       rec.elem_offset = r.u64();
       rec.dims = read_dims(r);
       rec.method = parse_method_tag(r.u8());
+      if (version >= 2) {
+        rec.codebook_ref = parse_codebook_ref(r.u8());
+        if (rec.codebook_ref == CodebookRef::SharedField &&
+            f.shared_codebook == nullptr) {
+          throw ContainerError(
+              "field '" + f.name +
+              "': chunk references a shared codebook the field does not carry");
+        }
+      }
       rec.crc32 = r.u32();
       if (rec.payload_bytes == 0) {
         throw ContainerError("empty chunk frame in container index");

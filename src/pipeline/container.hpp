@@ -7,11 +7,11 @@
 // which is what the batch pipeline parallelizes over and what range decode
 // uses for partial reads.
 //
-// Byte layout, version 1 (all integers little-endian):
+// Byte layout, version 2 (all integers little-endian):
 //
 //   offset  size  field
 //   0       4     magic "OHDC"
-//   4       1     version (= 1)
+//   4       1     version (= 2)
 //   5       1     flags (= 0, reserved)
 //   6       2     reserved (= 0)
 //   8       4     field count (u32)
@@ -21,7 +21,10 @@
 //           24    extent[3] (u64 x, y, z; unused extents = 1)
 //           8     absolute error bound (f64, > 0)
 //           4     quantizer radius (u32)
-//           1     method tag (u8, core::Method)
+//           1     method tag (u8, core::Method; the field default)
+//           8+n   shared codebook (u64 byte length + Codebook::serialize
+//                 bytes; length 0 = the field has no shared codebook)
+//           [4]   CRC-32 of the shared-codebook bytes (present iff length>0)
 //           8     chunk count (u64, >= 1)
 //     then, per chunk:
 //           8     payload offset (u64, into the payload section)
@@ -30,9 +33,17 @@
 //           4     rank (u32)
 //           24    extent[3] (u64)
 //           1     method tag (u8)
+//           1     codebook ref (u8: 0 = private book embedded in the frame,
+//                 1 = the field's shared codebook; the frame then omits its
+//                 codebook bytes)
 //           4     CRC-32 of the frame bytes (u32)
 //   tail:   8+n   payload section (u64 length + concatenated frames, each
 //                 frame = sz::serialize_blob bytes)
+//
+// Version 1 (the PR 2 format) is the same layout WITHOUT the per-field
+// shared-codebook section and the per-chunk codebook-ref byte; deserialize()
+// reads both versions, serialize_v1() writes the old format for archives
+// that use no v2 feature.
 //
 // tests/pipeline/container_test.cpp pins this table with byte-offset
 // tampering tests; bump kContainerVersion when changing it.
@@ -40,6 +51,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -47,11 +59,12 @@
 
 #include "core/huffman_codec.hpp"
 #include "cudasim/exec.hpp"
+#include "pipeline/method_selector.hpp"
 #include "sz/compressor.hpp"
 
 namespace ohd::pipeline {
 
-inline constexpr std::uint8_t kContainerVersion = 1;
+inline constexpr std::uint8_t kContainerVersion = 2;
 
 /// Parse/validation failure of a container or one of its chunk frames.
 /// Derives from std::invalid_argument so callers can handle it uniformly
@@ -61,12 +74,19 @@ class ContainerError : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Where a chunk's Huffman codebook lives.
+enum class CodebookRef : std::uint8_t {
+  Private = 0,      // embedded in the chunk's frame (v1 behaviour)
+  SharedField = 1,  // the field's shared codebook; the frame omits its book
+};
+
 struct ChunkRecord {
   std::uint64_t payload_offset = 0;  // into the payload section
   std::uint64_t payload_bytes = 0;
   std::uint64_t elem_offset = 0;     // into the field's flat element order
   sz::Dims dims;                     // chunk geometry (slab of the field)
   core::Method method = core::Method::GapArrayOptimized;
+  CodebookRef codebook_ref = CodebookRef::Private;
   std::uint32_t crc32 = 0;           // over the frame bytes
 };
 
@@ -75,8 +95,20 @@ struct FieldEntry {
   sz::Dims dims;
   double abs_error_bound = 0.0;
   std::uint32_t radius = 512;
-  core::Method method = core::Method::GapArrayOptimized;
+  core::Method method = core::Method::GapArrayOptimized;  // field default
+  /// Field-level codebook shared by chunks whose record says SharedField;
+  /// null when the field has none. Shared so decode tasks can reference it
+  /// without copying the table per chunk.
+  std::shared_ptr<const huffman::Codebook> shared_codebook;
   std::vector<ChunkRecord> chunks;
+};
+
+/// Per-chunk encoding facts the parallel build path must declare when its
+/// frames were produced under a field plan (method selection and/or shared
+/// codebooks).
+struct ChunkMeta {
+  core::Method method = core::Method::GapArrayOptimized;
+  CodebookRef codebook_ref = CodebookRef::Private;
 };
 
 struct ChunkExtent {
@@ -115,18 +147,32 @@ class Container {
   /// Compresses `data` chunk by chunk (sequentially; BatchScheduler::compress
   /// is the parallel path) and appends the field. One absolute error bound is
   /// resolved from the WHOLE field's range, so chunking does not change the
-  /// error guarantee. Returns the field index.
+  /// error guarantee. `plan` enables adaptive per-chunk method selection
+  /// and/or a field-level shared codebook. Returns the field index.
   std::size_t add_field(const std::string& name, std::span<const float> data,
                         const sz::Dims& dims, const sz::CompressorConfig& config,
-                        std::size_t chunk_elems);
+                        std::size_t chunk_elems, const PlanOptions& plan = {});
 
   /// Appends a field from pre-compressed chunk frames (the parallel build
-  /// path): `frames[i]` must be sz::serialize_blob() bytes for `layout[i]`.
+  /// path): `frames[i]` must be sz::serialize_blob() bytes for `layout[i]`,
+  /// every frame self-contained and encoded with `method`.
   std::size_t add_field_frames(const std::string& name, const sz::Dims& dims,
                                double abs_error_bound, std::uint32_t radius,
                                core::Method method,
                                std::span<const ChunkExtent> layout,
                                const std::vector<std::vector<std::uint8_t>>& frames);
+
+  /// Planned variant: `meta[i]` declares each frame's method and codebook
+  /// reference; frames marked SharedField must have been encoded against
+  /// `shared_codebook` (required non-null in that case) and serialized
+  /// without their codebook bytes.
+  std::size_t add_field_frames(const std::string& name, const sz::Dims& dims,
+                               double abs_error_bound, std::uint32_t radius,
+                               core::Method default_method,
+                               std::shared_ptr<const huffman::Codebook> shared_codebook,
+                               std::span<const ChunkExtent> layout,
+                               const std::vector<std::vector<std::uint8_t>>& frames,
+                               std::span<const ChunkMeta> meta);
 
   const std::vector<FieldEntry>& fields() const { return fields_; }
   const std::vector<std::uint8_t>& payload() const { return payload_; }
@@ -156,17 +202,28 @@ class Container {
                                   const core::DecoderConfig& decoder = {}) const;
 
   /// Verifies every frame's CRC-32 without decoding; throws ContainerError
-  /// naming the first corrupted field/chunk.
+  /// naming the first corrupted field/chunk. (Shared-codebook CRCs are
+  /// checked eagerly by deserialize(), which is the only path that can see
+  /// corrupted codebook bytes.)
   void verify() const;
 
+  /// Serializes in the current (version 2) format.
   std::vector<std::uint8_t> serialize() const;
 
+  /// Serializes in the version 1 (PR 2) format for consumers that predate
+  /// shared codebooks. Throws ContainerError if any field carries a shared
+  /// codebook or any chunk references one — those archives have no v1
+  /// representation.
+  std::vector<std::uint8_t> serialize_v1() const;
+
   /// Parses and validates a serialized container (index structure, chunk
-  /// coverage, frame bounds). Frame checksums are verified lazily on access.
+  /// coverage, frame bounds, shared-codebook integrity); reads versions 1
+  /// and 2. Frame checksums are verified lazily on access.
   static Container deserialize(std::span<const std::uint8_t> bytes);
 
  private:
   const ChunkRecord& record(std::size_t field, std::size_t chunk) const;
+  std::vector<std::uint8_t> write_container(std::uint8_t version) const;
 
   std::vector<FieldEntry> fields_;
   std::vector<std::uint8_t> payload_;  // concatenated chunk frames

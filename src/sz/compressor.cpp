@@ -29,21 +29,53 @@ CompressedBlob compress(std::span<const float> data, const Dims& dims,
 CompressedBlob compress_with_abs_bound(std::span<const float> data,
                                        const Dims& dims, double abs_error_bound,
                                        const CompressorConfig& config) {
+  return encode_quantized(
+      quantize_with_abs_bound(data, dims, abs_error_bound, config),
+      config.method, config);
+}
+
+QuantizedField quantize_with_abs_bound(std::span<const float> data,
+                                       const Dims& dims, double abs_error_bound,
+                                       const CompressorConfig& config) {
   if (abs_error_bound <= 0.0) {
     throw std::invalid_argument("absolute error bound must be positive");
   }
   if (data.size() != dims.count()) {
     throw std::invalid_argument("data size does not match dimensions");
   }
-  CompressedBlob blob;
-  blob.dims = dims;
-  blob.abs_error_bound = abs_error_bound;
-  blob.radius = config.radius;
+  return lorenzo_quantize(data, dims, abs_error_bound, config.radius);
+}
 
-  QuantizedField q = lorenzo_quantize(data, dims, abs_error_bound, config.radius);
+namespace {
+
+CompressedBlob blob_from_quantized(QuantizedField&& q) {
+  CompressedBlob blob;
+  blob.dims = q.dims;
+  blob.abs_error_bound = q.error_bound;
+  blob.radius = q.radius;
   blob.outliers = std::move(q.outliers);
-  blob.encoded = core::encode_for_method(config.method, q.codes,
-                                         q.alphabet_size(), config.decoder);
+  return blob;
+}
+
+}  // namespace
+
+CompressedBlob encode_quantized(QuantizedField&& q, core::Method method,
+                                const CompressorConfig& config) {
+  const std::uint32_t alphabet = q.alphabet_size();
+  const std::vector<std::uint16_t> codes = std::move(q.codes);
+  CompressedBlob blob = blob_from_quantized(std::move(q));
+  blob.encoded =
+      core::encode_for_method(method, codes, alphabet, config.decoder);
+  return blob;
+}
+
+CompressedBlob encode_quantized(QuantizedField&& q, core::Method method,
+                                const CompressorConfig& config,
+                                const huffman::Codebook& codebook) {
+  const std::vector<std::uint16_t> codes = std::move(q.codes);
+  CompressedBlob blob = blob_from_quantized(std::move(q));
+  blob.encoded =
+      core::encode_with_codebook(method, codes, codebook, config.decoder);
   return blob;
 }
 

@@ -91,6 +91,26 @@ CompressedBlob compress_with_abs_bound(std::span<const float> data,
                                        const Dims& dims, double abs_error_bound,
                                        const CompressorConfig& config);
 
+/// Prediction + quantization half of the pipeline, split out so the batch
+/// planner can probe a chunk's quantized codes (entropy, outliers, runs)
+/// BEFORE committing to an encoding method or codebook.
+QuantizedField quantize_with_abs_bound(std::span<const float> data,
+                                       const Dims& dims, double abs_error_bound,
+                                       const CompressorConfig& config);
+
+/// Encoding half: Huffman-encodes an already-quantized chunk with a private
+/// codebook built from the chunk's own histogram. `method` overrides
+/// `config.method` so the planner can pick a method per chunk.
+CompressedBlob encode_quantized(QuantizedField&& q, core::Method method,
+                                const CompressorConfig& config);
+
+/// Codebook-injection variant: encodes against a caller-supplied (shared)
+/// codebook, which must cover every quant code of the chunk. The resulting
+/// blob serializes WITHOUT codebook bytes via serialize_blob(blob, false).
+CompressedBlob encode_quantized(QuantizedField&& q, core::Method method,
+                                const CompressorConfig& config,
+                                const huffman::Codebook& codebook);
+
 /// Decompresses on the simulated GPU. When `simulate_h2d` is set, the
 /// compressed payload is first "copied" host-to-device over the PCIe model
 /// (Figure 5's scenario); otherwise data is assumed device-resident

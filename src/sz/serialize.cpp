@@ -16,7 +16,8 @@ constexpr std::uint8_t kVersion = 1;
 static_assert(kOutlierEntryBytes == sizeof(std::uint64_t) + sizeof(float));
 }  // namespace
 
-std::vector<std::uint8_t> serialize_blob(const CompressedBlob& blob) {
+std::vector<std::uint8_t> serialize_blob(const CompressedBlob& blob,
+                                         bool embed_codebook) {
   util::ByteWriter w;
   w.magic(kMagic);
   w.u8(kVersion);
@@ -29,12 +30,13 @@ std::vector<std::uint8_t> serialize_blob(const CompressedBlob& blob) {
     w.u64(o.index);
     w.f32(o.value);
   }
-  const auto stream_bytes = core::serialize_stream(blob.encoded);
+  const auto stream_bytes = core::serialize_stream(blob.encoded, embed_codebook);
   w.bytes(stream_bytes);
   return w.take();
 }
 
-CompressedBlob deserialize_blob(std::span<const std::uint8_t> bytes) {
+CompressedBlob deserialize_blob(std::span<const std::uint8_t> bytes,
+                                const huffman::Codebook* shared_codebook) {
   util::ByteReader r(bytes);
   r.expect_magic(kMagic);
   if (r.u8() != kVersion) {
@@ -77,7 +79,7 @@ CompressedBlob deserialize_blob(std::span<const std::uint8_t> bytes) {
     blob.outliers.push_back(o);
   }
   const auto stream_bytes = r.array<std::uint8_t>();
-  blob.encoded = core::deserialize_stream(stream_bytes);
+  blob.encoded = core::deserialize_stream(stream_bytes, shared_codebook);
   if (blob.encoded.num_symbols != blob.dims.count()) {
     throw std::invalid_argument("code count does not match dimensions");
   }

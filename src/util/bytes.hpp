@@ -39,6 +39,7 @@ public:
 
 private:
   void raw(const void* data, std::size_t n) {
+    if (n == 0) return;  // an empty array's data() may be null
     const auto* p = static_cast<const std::uint8_t*>(data);
     bytes_.insert(bytes_.end(), p, p + n);
   }
@@ -91,8 +92,12 @@ private:
     if (n > remaining()) {
       throw std::invalid_argument("truncated blob");
     }
-    std::memcpy(out, bytes_.data() + pos_, n);
-    pos_ += n;
+    // memcpy with a null pointer is UB even for n == 0, and an empty
+    // destination vector's data() is null.
+    if (n > 0) {
+      std::memcpy(out, bytes_.data() + pos_, n);
+      pos_ += n;
+    }
   }
 
   std::span<const std::uint8_t> bytes_;

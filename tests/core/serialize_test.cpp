@@ -107,6 +107,25 @@ TEST(StreamSerializationFailure, BadMethodTagThrows) {
   EXPECT_THROW(deserialize_stream(bytes), std::invalid_argument);
 }
 
+TEST(StreamSerialization, CodebookOmittedResolvesAgainstSharedBook) {
+  const auto codes = quant_like(20000, 17);
+  const auto enc = encode_for_method(Method::GapArrayOptimized, codes, 1024);
+
+  const auto slim = serialize_stream(enc, /*include_codebook=*/false);
+  const auto full = serialize_stream(enc);
+  EXPECT_LT(slim.size(), full.size());
+
+  // Without the shared book the stream is undecodable...
+  EXPECT_THROW(deserialize_stream(slim), std::invalid_argument);
+  // ... with it, the parse reproduces the self-contained stream exactly.
+  const auto parsed = deserialize_stream(slim, &enc.codebook);
+  EXPECT_EQ(serialize_stream(parsed), full);
+
+  // A self-contained stream ignores any shared book offered alongside.
+  const auto parsed_full = deserialize_stream(full, &enc.codebook);
+  EXPECT_EQ(serialize_stream(parsed_full), full);
+}
+
 TEST(StreamSerializationFailure, RandomCorruptionNeverCrashes) {
   const auto codes = quant_like(5000, 13);
   const auto original =

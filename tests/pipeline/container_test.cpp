@@ -198,6 +198,93 @@ TEST(Container, CorruptedFrameRejectedWithClearError) {
   EXPECT_NO_THROW(parsed.decode_chunk(c2, 0, 1));
 }
 
+TEST(Container, SharedCodebookArchiveShrinksAndDecodesIdentically) {
+  const auto data = wavy_field(30000, 5);
+  sz::CompressorConfig cfg;
+  cfg.method = core::Method::GapArrayOptimized;
+
+  Container private_books;
+  private_books.add_field("f", data, sz::Dims::d1(30000), cfg, 1500);
+  Container shared_books;
+  PlanOptions plan;
+  plan.auto_method = true;
+  plan.shared_codebook = true;
+  shared_books.add_field("f", data, sz::Dims::d1(30000), cfg, 1500, plan);
+
+  ASSERT_NE(shared_books.fields()[0].shared_codebook, nullptr);
+  std::size_t shared_refs = 0;
+  for (const ChunkRecord& rec : shared_books.fields()[0].chunks) {
+    shared_refs += rec.codebook_ref == CodebookRef::SharedField;
+  }
+  EXPECT_GE(shared_refs, 2u);
+
+  // Amortizing the per-chunk codebooks must shrink the archive...
+  const auto private_bytes = private_books.serialize();
+  const auto shared_bytes = shared_books.serialize();
+  EXPECT_LT(shared_bytes.size(), private_bytes.size());
+
+  // ... while the decoded floats stay bit-identical through a round trip.
+  const Container parsed = Container::deserialize(shared_bytes);
+  parsed.verify();
+  cudasim::SimContext c1, c2;
+  const FieldDecode a = private_books.decode_field(c1, 0);
+  const FieldDecode b = parsed.decode_field(c2, 0);
+  EXPECT_EQ(a.data, b.data);
+  const auto stats = sz::compute_error_stats(data, b.data);
+  EXPECT_LE(stats.max_abs_error,
+            parsed.fields()[0].abs_error_bound * (1 + 1e-6));
+}
+
+TEST(Container, V1ArchiveDecodesBitIdentically) {
+  // An archive using no v2 feature must still serialize in the PR 2 byte
+  // layout and decode bit-identically from it.
+  const Corpus c = mixed_corpus();
+  const auto v1_bytes = c.container.serialize_v1();
+  const auto v2_bytes = c.container.serialize();
+  ASSERT_EQ(v1_bytes[4], 1);  // version byte
+  ASSERT_EQ(v2_bytes[4], 2);
+  EXPECT_LT(v1_bytes.size(), v2_bytes.size());
+
+  const Container from_v1 = Container::deserialize(v1_bytes);
+  from_v1.verify();
+  const Container from_v2 = Container::deserialize(v2_bytes);
+  ASSERT_EQ(from_v1.fields().size(), from_v2.fields().size());
+  for (std::size_t fi = 0; fi < from_v1.fields().size(); ++fi) {
+    EXPECT_EQ(from_v1.fields()[fi].shared_codebook, nullptr);
+    cudasim::SimContext c1, c2;
+    EXPECT_EQ(from_v1.decode_field(c1, fi).data,
+              from_v2.decode_field(c2, fi).data)
+        << "field " << fi;
+  }
+  // Round-tripping the v1 parse back through the v1 writer is stable.
+  EXPECT_EQ(from_v1.serialize_v1(), v1_bytes);
+}
+
+TEST(Container, V1WriterRejectsSharedCodebookArchives) {
+  Container c;
+  const auto data = wavy_field(20000, 6);
+  sz::CompressorConfig cfg;
+  PlanOptions plan;
+  plan.shared_codebook = true;
+  c.add_field("f", data, sz::Dims::d1(20000), cfg, 1024, plan);
+  ASSERT_NE(c.fields()[0].shared_codebook, nullptr);
+  EXPECT_THROW(c.serialize_v1(), ContainerError);
+}
+
+TEST(Container, V1TruncationAtEveryPrefixThrows) {
+  Container c;
+  const auto data = wavy_field(600, 21);
+  sz::CompressorConfig cfg;
+  cfg.method = core::Method::SelfSyncOptimized;
+  c.add_field("", data, sz::Dims::d1(600), cfg, 256);
+  const auto bytes = c.serialize_v1();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(Container::deserialize(prefix), std::invalid_argument)
+        << "cut=" << cut;
+  }
+}
+
 TEST(Container, EmptyContainerRoundTrips) {
   const Container empty;
   const auto bytes = empty.serialize();
@@ -225,8 +312,9 @@ TEST(Container, BuilderRejectsBadInput) {
 // ---- Malformed-input fuzzing of the parser -------------------------------
 
 /// Small single-field container with an EMPTY name, so the byte offsets of
-/// the layout table in container.hpp are fixed: method tag of the field at
-/// byte 60, chunk records from byte 69, 57 bytes each.
+/// the v2 layout table in container.hpp are fixed: method tag of the field
+/// at byte 60, the (empty) shared-codebook length at 61, chunk records from
+/// byte 77, 58 bytes each (the codebook-ref byte at record offset 53).
 std::vector<std::uint8_t> tiny_serialized() {
   Container c;
   const auto data = wavy_field(600, 21);
@@ -237,8 +325,25 @@ std::vector<std::uint8_t> tiny_serialized() {
 }
 
 constexpr std::size_t kFieldMethodOffset = 60;
-constexpr std::size_t kFirstChunkOffset = 69;
-constexpr std::size_t kChunkRecordBytes = 57;
+constexpr std::size_t kSharedCodebookLenOffset = 61;
+constexpr std::size_t kFirstChunkOffset = 77;
+constexpr std::size_t kChunkRecordBytes = 58;
+constexpr std::size_t kCodebookRefOffsetInRecord = 53;
+
+/// Same shape but with a SHARED codebook (small radius keeps the codebook
+/// section short): the field's codebook record spans
+/// [kSharedCodebookLenOffset + 8, ...codebook bytes..., 4-byte CRC].
+std::vector<std::uint8_t> tiny_shared_serialized() {
+  Container c;
+  const auto data = wavy_field(600, 21);
+  sz::CompressorConfig cfg;
+  cfg.method = core::Method::SelfSyncOptimized;
+  cfg.radius = 64;
+  PlanOptions plan;
+  plan.shared_codebook = true;
+  c.add_field("", data, sz::Dims::d1(600), cfg, 256, plan);
+  return c.serialize();
+}
 
 TEST(ContainerParserFuzz, TruncationAtEveryPrefixThrows) {
   const auto bytes = tiny_serialized();
@@ -274,6 +379,78 @@ TEST(ContainerParserFuzz, NonContiguousChunkOffsetsThrow) {
   ASSERT_LT(off, bytes.size());
   bytes[off] ^= 0x01;
   EXPECT_THROW(Container::deserialize(bytes), ContainerError);
+}
+
+TEST(ContainerParserFuzz, BadCodebookRefTagThrows) {
+  auto bytes = tiny_serialized();
+  const std::size_t off = kFirstChunkOffset + kCodebookRefOffsetInRecord;
+  ASSERT_EQ(bytes[off], 0);  // Private, pinning the layout offset
+  bytes[off] = 0xEE;
+  EXPECT_THROW(Container::deserialize(bytes), ContainerError);
+}
+
+TEST(ContainerParserFuzz, SharedRefWithoutFieldCodebookThrows) {
+  auto bytes = tiny_serialized();
+  // The field carries no shared codebook (length 0 at its offset)...
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(bytes[kSharedCodebookLenOffset + i], 0);
+  }
+  // ... so a chunk claiming SharedField is inconsistent index data.
+  bytes[kFirstChunkOffset + kCodebookRefOffsetInRecord] =
+      static_cast<std::uint8_t>(CodebookRef::SharedField);
+  EXPECT_THROW(Container::deserialize(bytes), ContainerError);
+}
+
+TEST(ContainerParserFuzz, SharedCodebookCrcMismatchThrows) {
+  const auto original = tiny_shared_serialized();
+  std::uint64_t cb_len = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    cb_len |= static_cast<std::uint64_t>(original[kSharedCodebookLenOffset + i])
+              << (8 * i);
+  }
+  ASSERT_GT(cb_len, 0u);
+  // Flip a byte in the middle of the codebook's length table.
+  auto bytes = original;
+  bytes[kSharedCodebookLenOffset + 8 + cb_len / 2] ^= 0x01;
+  try {
+    Container::deserialize(bytes);
+    FAIL() << "corrupted shared codebook was accepted";
+  } catch (const ContainerError& e) {
+    EXPECT_NE(std::string(e.what()).find("shared codebook"),
+              std::string::npos);
+  }
+  // The intact bytes parse, and the codebook is attached to the field.
+  const Container parsed = Container::deserialize(original);
+  ASSERT_EQ(parsed.fields().size(), 1u);
+  EXPECT_NE(parsed.fields()[0].shared_codebook, nullptr);
+}
+
+TEST(ContainerParserFuzz, SharedTruncationAtEveryPrefixThrows) {
+  // Covers the v2 field-record section (shared-codebook length, bytes, CRC,
+  // and the codebook-ref byte of every chunk record).
+  const auto bytes = tiny_shared_serialized();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(Container::deserialize(prefix), std::invalid_argument)
+        << "cut=" << cut;
+  }
+}
+
+TEST(ContainerParserFuzz, SharedRandomSingleByteCorruptionNeverCrashes) {
+  const auto original = tiny_shared_serialized();
+  util::Xoshiro256 rng(79);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = original;
+    const std::size_t pos = rng.bounded(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    try {
+      const Container parsed = Container::deserialize(bytes);
+      cudasim::SimContext ctx;
+      (void)parsed.decode_chunk(ctx, 0, 0);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  SUCCEED();
 }
 
 TEST(ContainerParserFuzz, OverflowingExtentRejected) {

@@ -125,6 +125,70 @@ TEST(BatchDeterminism, DecodeCoversAllFiveMethods) {
   }
 }
 
+/// The planned (two-fan-out) compress path: adaptive method selection plus
+/// shared codebooks must stay worker-count invariant AND byte-identical to
+/// the sequential Container::add_field build.
+TEST(BatchDeterminism, PlannedCompressIsWorkerCountInvariant) {
+  Corpus corpus = make_corpus();
+  for (FieldSpec& spec : corpus.specs) {
+    spec.plan.auto_method = true;
+    spec.plan.shared_codebook = true;
+  }
+  // The 8-bit-incapable methods only: auto selection re-picks per chunk, so
+  // the spec method is just the fallback.
+  ThreadPool p1(1), p4(4);
+  const Container a = BatchScheduler(p1).compress(corpus.specs);
+  const Container b = BatchScheduler(p4).compress(corpus.specs);
+  EXPECT_EQ(a.serialize(), b.serialize());
+
+  Container sequential;
+  for (const FieldSpec& spec : corpus.specs) {
+    sequential.add_field(spec.name, spec.data, spec.dims, spec.config,
+                         spec.chunk_elems, spec.plan);
+  }
+  EXPECT_EQ(sequential.serialize(), a.serialize());
+
+  // The planned corpus actually exercises shared codebooks somewhere.
+  std::size_t shared_fields = 0;
+  for (const FieldEntry& f : a.fields()) {
+    shared_fields += f.shared_codebook != nullptr;
+  }
+  EXPECT_GE(shared_fields, 1u);
+}
+
+TEST(BatchDeterminism, PlannedDecompressIsBitIdenticalAcrossWorkerCounts) {
+  Corpus corpus = make_corpus();
+  for (FieldSpec& spec : corpus.specs) {
+    spec.plan.auto_method = true;
+    spec.plan.shared_codebook = true;
+  }
+  ThreadPool p4(4);
+  const Container container = BatchScheduler(p4).compress(corpus.specs);
+
+  ThreadPool p1(1), p3(3);
+  const BatchDecompressResult seq = BatchScheduler(p1).decompress(container);
+  for (std::size_t workers : {std::size_t{3}, std::size_t{4}}) {
+    ThreadPool& pool = workers == 3 ? p3 : p4;
+    const BatchDecompressResult par =
+        BatchScheduler(pool).decompress(container);
+    ASSERT_EQ(par.fields.size(), seq.fields.size());
+    for (std::size_t fi = 0; fi < seq.fields.size(); ++fi) {
+      EXPECT_EQ(par.fields[fi].decode.data, seq.fields[fi].decode.data)
+          << "workers=" << workers << " field=" << fi;
+    }
+    expect_phases_identical(par.phases, seq.phases);
+    EXPECT_EQ(par.chunk_seconds, seq.chunk_seconds);
+  }
+
+  // And the archive itself survives a serialize/deserialize round trip with
+  // decoding bit-identical to the in-memory container.
+  const Container parsed = Container::deserialize(container.serialize());
+  const BatchDecompressResult reparsed = BatchScheduler(p4).decompress(parsed);
+  for (std::size_t fi = 0; fi < seq.fields.size(); ++fi) {
+    EXPECT_EQ(reparsed.fields[fi].decode.data, seq.fields[fi].decode.data);
+  }
+}
+
 TEST(BatchScheduler, CompressRejectsInvalidSpecsBeforeFanOut) {
   const Corpus corpus = make_corpus();
   ThreadPool pool(2);

@@ -1,0 +1,230 @@
+// MethodSelector: chunk probing, the analytic per-method cost estimates, and
+// field planning (auto method selection + shared-codebook references).
+#include "pipeline/method_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ohd::pipeline {
+namespace {
+
+sz::QuantizedField quantized_from_codes(std::vector<std::uint16_t> codes,
+                                        std::uint32_t radius = 512,
+                                        std::size_t num_outliers = 0) {
+  sz::QuantizedField q;
+  q.dims = sz::Dims::d1(codes.size());
+  q.error_bound = 1e-3;
+  q.radius = radius;
+  q.codes = std::move(codes);
+  for (std::size_t i = 0; i < num_outliers; ++i) {
+    q.outliers.push_back({i, 1.0f});
+  }
+  return q;
+}
+
+std::vector<std::uint16_t> skewed_codes(std::size_t n, std::uint16_t center,
+                                        double spread, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint16_t> codes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = center + spread * rng.normal();
+    codes[i] = static_cast<std::uint16_t>(
+        std::min(1023.0, std::max(1.0, std::round(v))));
+  }
+  return codes;
+}
+
+TEST(ChunkProbeTest, ComputesEntropyRunsAndOutliers) {
+  // Constant stream: zero entropy, one run spanning the chunk, 1-bit code.
+  const auto constant = probe_chunk(
+      quantized_from_codes(std::vector<std::uint16_t>(1000, 512)));
+  EXPECT_EQ(constant.num_symbols, 1000u);
+  EXPECT_DOUBLE_EQ(constant.entropy_bits, 0.0);
+  EXPECT_DOUBLE_EQ(constant.mean_run_length, 1000.0);
+  EXPECT_DOUBLE_EQ(constant.avg_code_bits, 1.0);
+  EXPECT_DOUBLE_EQ(constant.outlier_fraction, 0.0);
+
+  // Four equiprobable symbols in round-robin: entropy 2 bits, runs of 1.
+  std::vector<std::uint16_t> four(4096);
+  for (std::size_t i = 0; i < four.size(); ++i) {
+    four[i] = static_cast<std::uint16_t>(500 + i % 4);
+  }
+  const auto uniform4 = probe_chunk(quantized_from_codes(std::move(four)));
+  EXPECT_NEAR(uniform4.entropy_bits, 2.0, 1e-9);
+  EXPECT_NEAR(uniform4.avg_code_bits, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(uniform4.mean_run_length, 1.0);
+
+  const auto with_outliers =
+      probe_chunk(quantized_from_codes(std::vector<std::uint16_t>(200, 7),
+                                       512, 20));
+  EXPECT_DOUBLE_EQ(with_outliers.outlier_fraction, 0.1);
+
+  EXPECT_THROW(probe_chunk(quantized_from_codes({})), std::invalid_argument);
+}
+
+TEST(MethodSelectorTest, SelectIsTheCheapestRankedCandidate) {
+  const MethodSelector selector;
+  const auto probe =
+      probe_chunk(quantized_from_codes(skewed_codes(20000, 512, 12.0, 1)));
+  const auto ranked = selector.rank(probe);
+  ASSERT_EQ(ranked.size(), selector.candidates().size());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].total_seconds(), ranked[i].total_seconds());
+  }
+  EXPECT_EQ(selector.select(probe), ranked.front().method);
+  // Deterministic: same probe, same answer.
+  EXPECT_EQ(selector.select(probe), selector.select(probe));
+}
+
+TEST(MethodSelectorTest, EstimatesReflectTheFamilies) {
+  const MethodSelector selector;
+  // A chunk small enough that the fine-grained families' sequence padding
+  // (16 KiB of bits per sequence) is visible against the naive layout's
+  // per-coarse-chunk unit padding.
+  const auto probe =
+      probe_chunk(quantized_from_codes(skewed_codes(3000, 512, 30.0, 2)));
+
+  const auto naive = selector.estimate(core::Method::CuszNaive, probe);
+  const auto selfsync =
+      selector.estimate(core::Method::SelfSyncOptimized, probe);
+  const auto gap = selector.estimate(core::Method::GapArrayOptimized, probe);
+
+  // The naive decoder is critical-path bound (one thread per coarse chunk);
+  // the fine-grained families beat it by orders of magnitude on decode.
+  EXPECT_GT(naive.decode_seconds, 5.0 * gap.decode_seconds);
+  // Self-sync pays speculative re-decoding the gap array avoids.
+  EXPECT_GT(selfsync.decode_seconds, gap.decode_seconds);
+  // The gap sidecar is exactly one byte per subsequence on top of the same
+  // sequence-padded stream.
+  EXPECT_GT(gap.stored_bytes, selfsync.stored_bytes);
+  EXPECT_LT(gap.stored_bytes - selfsync.stored_bytes,
+            selfsync.stored_bytes / 8);
+  // The naive layout pads per coarse chunk, not per 16-KiB sequence, so its
+  // stored bytes are the smallest of the three.
+  EXPECT_LT(naive.stored_bytes, selfsync.stored_bytes);
+}
+
+TEST(MethodSelectorTest, ObjectiveChangesTheTradeoff) {
+  // Device-resident data (DecodeOnly) must always prefer the optimized
+  // gap array, the paper's fastest decoder.
+  const MethodSelector decode_only({}, cudasim::DeviceSpec::v100(),
+                                   SelectionObjective::DecodeOnly);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto probe = probe_chunk(quantized_from_codes(
+        skewed_codes(4000 * seed, 512, 5.0 * static_cast<double>(seed), seed)));
+    EXPECT_EQ(decode_only.select(probe), core::Method::GapArrayOptimized);
+  }
+}
+
+TEST(PlanFieldTest, FixedPlanKeepsMethodAndPrivateBooks) {
+  std::vector<sz::QuantizedField> chunks;
+  for (int i = 0; i < 4; ++i) {
+    chunks.push_back(quantized_from_codes(skewed_codes(5000, 512, 9.0, i)));
+  }
+  const MethodSelector selector;
+  const FieldPlan plan =
+      plan_field(chunks, core::Method::SelfSyncOptimized, {}, selector);
+  ASSERT_EQ(plan.chunks.size(), 4u);
+  EXPECT_FALSE(plan.has_shared_codebook);
+  for (const ChunkPlan& cp : plan.chunks) {
+    EXPECT_EQ(cp.method, core::Method::SelfSyncOptimized);
+    EXPECT_FALSE(cp.use_shared_codebook);
+  }
+}
+
+TEST(PlanFieldTest, AutoMethodMatchesSelector) {
+  std::vector<sz::QuantizedField> chunks;
+  for (int i = 0; i < 3; ++i) {
+    chunks.push_back(quantized_from_codes(skewed_codes(8000, 512, 20.0, i)));
+  }
+  const MethodSelector selector;
+  PlanOptions options;
+  options.auto_method = true;
+  const FieldPlan plan =
+      plan_field(chunks, core::Method::CuszNaive, options, selector);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(plan.chunks[i].method,
+              selector.select(probe_chunk(chunks[i])));
+  }
+}
+
+TEST(PlanFieldTest, SimilarChunksShareTheFieldCodebook) {
+  // Chunks drawn from the same distribution: the pooled book codes each of
+  // them almost as well as its private book, so dropping ~1 KiB of codebook
+  // per chunk wins.
+  std::vector<sz::QuantizedField> chunks;
+  for (int i = 0; i < 6; ++i) {
+    chunks.push_back(quantized_from_codes(skewed_codes(4000, 512, 10.0, i)));
+  }
+  PlanOptions options;
+  options.shared_codebook = true;
+  const FieldPlan plan =
+      plan_field(chunks, core::Method::GapArrayOptimized, options,
+                 MethodSelector());
+  EXPECT_TRUE(plan.has_shared_codebook);
+  for (const ChunkPlan& cp : plan.chunks) {
+    EXPECT_TRUE(cp.use_shared_codebook);
+    EXPECT_LT(cp.est_shared_bytes, cp.est_private_bytes);
+  }
+}
+
+TEST(PlanFieldTest, DivergentChunkKeepsItsPrivateBook) {
+  // Five large chunks around one center plus one SMALL chunk around a
+  // disjoint center: the pooled book is dominated by the majority, so the
+  // divergent chunk's symbols get codes ~log2(pool/chunk) bits longer than
+  // its private ones — more than a private book costs — while the majority
+  // chunks lose almost nothing to pooling. The divergent chunk must stay
+  // private while the rest share.
+  std::vector<sz::QuantizedField> chunks;
+  for (int i = 0; i < 5; ++i) {
+    chunks.push_back(quantized_from_codes(skewed_codes(30000, 100, 3.0, i)));
+  }
+  chunks.push_back(quantized_from_codes(skewed_codes(4000, 900, 80.0, 99)));
+  PlanOptions options;
+  options.shared_codebook = true;
+  const FieldPlan plan =
+      plan_field(chunks, core::Method::GapArrayOptimized, options,
+                 MethodSelector());
+  ASSERT_TRUE(plan.has_shared_codebook);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(plan.chunks[i].use_shared_codebook) << "chunk " << i;
+  }
+  EXPECT_FALSE(plan.chunks[5].use_shared_codebook);
+}
+
+TEST(PlanFieldTest, EightBitChunksNeverShare) {
+  // The 8-bit baseline re-trims its codes to a private alphabet, so it can
+  // never reference a field book; plan_field must keep such chunks private
+  // even when sharing is requested (encode_with_codebook would throw).
+  std::vector<sz::QuantizedField> chunks;
+  for (int i = 0; i < 4; ++i) {
+    chunks.push_back(quantized_from_codes(skewed_codes(4000, 512, 10.0, i)));
+  }
+  PlanOptions options;
+  options.shared_codebook = true;
+  const FieldPlan plan =
+      plan_field(chunks, core::Method::GapArrayOriginal8Bit, options,
+                 MethodSelector());
+  EXPECT_FALSE(plan.has_shared_codebook);
+  for (const ChunkPlan& cp : plan.chunks) {
+    EXPECT_FALSE(cp.use_shared_codebook);
+  }
+}
+
+TEST(PlanFieldTest, SingleChunkFieldNeverShares) {
+  std::vector<sz::QuantizedField> one;
+  one.push_back(quantized_from_codes(skewed_codes(4000, 512, 10.0, 3)));
+  PlanOptions options;
+  options.shared_codebook = true;
+  const FieldPlan plan = plan_field(one, core::Method::GapArrayOptimized,
+                                    options, MethodSelector());
+  EXPECT_FALSE(plan.has_shared_codebook);
+  EXPECT_FALSE(plan.chunks[0].use_shared_codebook);
+}
+
+}  // namespace
+}  // namespace ohd::pipeline

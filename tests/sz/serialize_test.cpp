@@ -96,5 +96,21 @@ TEST(BlobSerializationFailure, DimsMismatchRejected) {
   EXPECT_THROW(deserialize_blob(bytes), std::invalid_argument);
 }
 
+TEST(BlobSerialization, SharedCodebookFrameRoundTrips) {
+  const auto blob = make_blob(7);
+  const auto slim = serialize_blob(blob, /*embed_codebook=*/false);
+  const auto full = serialize_blob(blob);
+  EXPECT_LT(slim.size(), full.size());
+
+  EXPECT_THROW(deserialize_blob(slim), std::invalid_argument);
+  const auto parsed = deserialize_blob(slim, &blob.encoded.codebook);
+  EXPECT_EQ(serialize_blob(parsed), full);
+
+  cudasim::SimContext c1, c2;
+  const auto a = decompress(c1, blob);
+  const auto b = decompress(c2, parsed);
+  EXPECT_EQ(a.data, b.data);
+}
+
 }  // namespace
 }  // namespace ohd::sz
