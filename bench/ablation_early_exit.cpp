@@ -23,8 +23,8 @@ int main() {
     const auto cb = huffman::Codebook::from_data(p.codes, p.alphabet);
     const auto enc = huffman::encode_plain(p.codes, cb);
     cudasim::SimContext c1, c2;
-    const auto original = core::selfsync_synchronize(c1, enc, cb, {}, false);
-    const auto optimized = core::selfsync_synchronize(c2, enc, cb, {}, true);
+    const auto original = core::selfsync_synchronize(c1, enc, cb, bench::paper_decoder_config(), false);
+    const auto optimized = core::selfsync_synchronize(c2, enc, cb, bench::paper_decoder_config(), true);
     const double g_ori = bench::gbps(p.quant_bytes(), original.intra_seconds);
     const double g_opt = bench::gbps(p.quant_bytes(), optimized.intra_seconds);
     speedups.push_back(original.intra_seconds / optimized.intra_seconds);

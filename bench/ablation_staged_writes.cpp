@@ -31,9 +31,9 @@ int main() {
     direct.staged_writes = false;
     direct.tune_shared_memory = false;
     const double s_direct =
-        core::decode_gap_array(c1, enc, cb, {}, direct).phases.decode_write_s;
+        core::decode_gap_array(c1, enc, cb, bench::paper_decoder_config(), direct).phases.decode_write_s;
     const double s_staged =
-        core::decode_gap_array(c2, enc, cb, {},
+        core::decode_gap_array(c2, enc, cb, bench::paper_decoder_config(),
                                core::GapArrayOptions::optimized())
             .phases.decode_write_s;
     const double speedup = s_direct / s_staged;

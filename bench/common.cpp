@@ -34,9 +34,10 @@ std::vector<PreparedDataset> prepare_suite(double rel_eb) {
 core::PhaseTimings timed_decode(core::Method method,
                                 std::span<const std::uint16_t> codes,
                                 std::uint32_t alphabet) {
-  const auto enc = core::encode_for_method(method, codes, alphabet);
+  const auto enc =
+      core::encode_for_method(method, codes, alphabet, paper_decoder_config());
   cudasim::SimContext ctx;
-  const auto result = core::decode(ctx, enc);
+  const auto result = core::decode(ctx, enc, paper_decoder_config());
   if (method == core::Method::GapArrayOriginal8Bit) {
     for (std::size_t i = 0; i < codes.size(); ++i) {
       if (result.symbols[i] != (codes[i] & 0xFF)) {

@@ -29,7 +29,7 @@ int main() {
     opts.tune_shared_memory = false;
     opts.fixed_buffer_symbols = buffer;
     const double s =
-        core::decode_gap_array(ctx, enc, cb, {}, opts).phases.decode_write_s;
+        core::decode_gap_array(ctx, enc, cb, bench::paper_decoder_config(), opts).phases.decode_write_s;
     const double g = bench::gbps(p.quant_bytes(), s);
     std::printf("%10u  %12u  %10.1f\n", buffer, buffer * 2, g);
     if (g > best) {

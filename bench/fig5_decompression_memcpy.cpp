@@ -33,7 +33,7 @@ int main() {
       cfg.method = m;
       const auto blob = sz::compress(field.data, field.dims, cfg);
       cudasim::SimContext ctx;
-      const auto r = sz::decompress(ctx, blob, {}, /*simulate_h2d=*/true);
+      const auto r = sz::decompress(ctx, blob, bench::paper_decoder_config(), /*simulate_h2d=*/true);
       gbps.push_back(bench::gbps(blob.original_bytes(), r.total_seconds()));
     }
     ss_speedups.push_back(gbps[1] / gbps[0]);

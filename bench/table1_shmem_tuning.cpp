@@ -34,7 +34,7 @@ SweepResult sweep(const bench::PreparedDataset& p) {
     opts.tune_shared_memory = false;
     opts.fixed_buffer_symbols = buffer;
     const double s =
-        core::decode_gap_array(ctx, enc, cb, {}, opts).phases.decode_write_s;
+        core::decode_gap_array(ctx, enc, cb, bench::paper_decoder_config(), opts).phases.decode_write_s;
     if (s < r.best_s) {
       r.best_s = s;
       r.best_buffer = buffer;
@@ -45,7 +45,7 @@ SweepResult sweep(const bench::PreparedDataset& p) {
     }
   }
   cudasim::SimContext ctx;
-  const auto tuned = core::decode_gap_array(ctx, enc, cb, {},
+  const auto tuned = core::decode_gap_array(ctx, enc, cb, bench::paper_decoder_config(),
                                             core::GapArrayOptions::optimized());
   r.tuned_s = tuned.phases.decode_write_s;
   r.tune_overhead_s = tuned.phases.tune_s;

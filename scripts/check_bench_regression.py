@@ -23,9 +23,22 @@ Only regressions fail: a current value better than baseline always passes.
 Deterministic (simulated) metrics use the default 25% tolerance; wall-clock
 ratios carry wider per-metric tolerances in the baseline because CI runner
 generations differ.
+
+Key-set drift rules:
+  * ADDED metrics keys in the current output (fields the baseline does not
+    guard yet — e.g. a bench gaining multi-symbol or fused-write numbers)
+    never fail the guard; they are listed as "unguarded" so refreshing the
+    baseline stays a conscious, visible step. The baseline's optional
+    "params" list names corpus/config parameters (e.g. num_symbols, scale)
+    to exclude from that listing — they are inputs, not metrics.
+  * A guarded metric MISSING from the current output still fails: silently
+    dropping a reported number is itself a regression.
+  * A guarded metric whose current value is not numeric (null / string /
+    nested object) fails with a clear message instead of a traceback.
 """
 
 import json
+import numbers
 import sys
 
 
@@ -64,6 +77,11 @@ def main() -> None:
             if not ok:
                 failures.append(f"'{name}' must be {spec['require']}, got {got}")
             continue
+        if not isinstance(got, numbers.Real) or isinstance(got, bool):
+            failures.append(
+                f"'{name}' is guarded as numeric but the current output "
+                f"holds {got!r}")
+            continue
         value = float(spec["value"])
         tol = float(spec.get("tolerance", default_tol))
         higher_is_better = bool(spec.get("higher_is_better", True))
@@ -80,6 +98,21 @@ def main() -> None:
                 f"'{name}' regressed: {got} vs baseline {value} "
                 f"(allowed {'>=' if higher_is_better else '<='} {limit:.4f})"
             )
+
+    # Metrics the bench now reports but the baseline does not guard yet.
+    # Never a failure — new fields must be able to land before their baseline
+    # refresh — but surfaced so the refresh is not forgotten. Corpus/config
+    # parameters declared in the baseline's "params" list are inputs, not
+    # metrics, and stay out of the listing.
+    params = set(baseline.get("params", []))
+    unguarded = sorted(
+        name for name in current
+        if name not in baseline["metrics"] and name != "benchmark"
+        and name not in params
+        and isinstance(current[name], numbers.Real))
+    if unguarded:
+        print(f"unguarded current metrics (add to baseline to guard): "
+              f"{', '.join(unguarded)}")
 
     if failures:
         for f_ in failures:

@@ -1,34 +1,39 @@
 #include "bitio/bit_reader.hpp"
 
+#include <algorithm>
+
 namespace ohd::bitio {
 
 void BitReader::refill() const {
-  // Invariant on entry and between iterations: the buffer holds the
-  // buf_bits_ bits starting at pos_, left-aligned, and the first missing bit
-  // (pos_ + buf_bits_) is either where a seek/skip landed or a unit boundary
-  // (every completed iteration extends the buffer to a unit boundary).
-  while (buf_bits_ <= 32) {
-    const std::uint64_t next = pos_ + buf_bits_;  // first bit not buffered
-    const std::uint64_t unit = next >> 5;
-    const auto offset = static_cast<std::uint32_t>(next & 31);
-    const std::uint32_t width = 32 - offset;  // bits fetched this iteration
-    std::uint64_t chunk = 0;
-    if (unit < units_.size()) {
-      // Bits [offset, 32) of the unit, right-aligned into `width` bits.
-      chunk = units_[unit] & (0xFFFFFFFFu >> offset);
-      // Zero any bits at or past total_bits_: the unit tail may hold
-      // sequence padding, but the reader's contract is that bits beyond the
-      // valid stream read as zero.
-      if ((unit + 1) * 32 > total_bits_) {
-        const std::uint64_t valid = total_bits_ > next ? total_bits_ - next : 0;
-        chunk = valid == 0
-                    ? 0
-                    : chunk & ~((1ull << (width - valid)) - 1);
-      }
+  // Invariant on entry: the buffer holds the buf_bits_ bits starting at
+  // pos_, left-aligned, with buf_bits_ < kMinRefillBits (callers only refill
+  // when short). Fetch the two 32-bit units covering stream bits
+  // [next, next + 64) in one go, left-align them behind the buffered bits,
+  // and claim however many of them fit — at least 33, since at most 31
+  // already-buffered bits of the first unit are dropped.
+  const std::uint64_t next = pos_ + buf_bits_;  // first bit not buffered
+  const std::uint64_t unit = next >> 5;
+  const auto offset = static_cast<std::uint32_t>(next & 31);
+  std::uint64_t wide = 0;
+  if (unit < units_.size()) {
+    wide = static_cast<std::uint64_t>(units_[unit]) << 32;
+    if (unit + 1 < units_.size()) {
+      wide |= units_[unit + 1];
     }
-    buf_ |= chunk << (64 - buf_bits_ - width);
-    buf_bits_ += width;
   }
+  // Drop the already-buffered head bits of the first unit; `wide` now holds
+  // bits [next, next + 64 - offset) left-aligned, zero-filled at the tail.
+  wide <<= offset;
+  // Zero any bits at or past total_bits_: the unit tail may hold sequence
+  // padding, but the reader's contract is that bits beyond the valid stream
+  // read as zero.
+  if (total_bits_ < next + 64) {
+    const std::uint64_t valid = total_bits_ > next ? total_bits_ - next : 0;
+    wide = valid == 0 ? 0 : wide & (~0ull << (64 - valid));
+  }
+  buf_ |= wide >> buf_bits_;
+  buf_bits_ = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(64, buf_bits_ + 64 - offset));
 }
 
 }  // namespace ohd::bitio

@@ -17,6 +17,12 @@ namespace ohd::bitio {
 
 class BitReader {
 public:
+  /// Bits guaranteed buffered after a refill (when the stream has them; tail
+  /// bits read as zero either way). 33 > 32 means a full-width peek — and in
+  /// particular a multi-symbol LUT probe of up to 32 bits — never straddles
+  /// two refills.
+  static constexpr std::uint32_t kMinRefillBits = 33;
+
   BitReader(std::span<const std::uint32_t> units, std::uint64_t total_bits)
       : units_(units), total_bits_(total_bits) {}
 
@@ -60,9 +66,12 @@ public:
   }
 
 private:
-  /// Refill the buffer to at least 33 valid bits (bits past total_bits_, and
-  /// bits past the unit array, enter as zeros), so a 32-bit peek never needs
-  /// a second refill.
+  /// Refill the buffer to at least kMinRefillBits valid bits (bits past
+  /// total_bits_, and bits past the unit array, enter as zeros), so a 32-bit
+  /// peek never needs a second refill. One wide fetch: the two units covering
+  /// the next 64 stream bits are combined and inserted in a single pass, so
+  /// the decode loop's peek->probe->skip cadence pays at most one refill per
+  /// probe and no per-unit loop.
   void refill() const;
 
   std::span<const std::uint32_t> units_;

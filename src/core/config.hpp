@@ -31,6 +31,17 @@ struct CostModel {
   // the tree walk below.
   std::uint32_t cycles_per_symbol_lut_naive = 36;
 
+  // Multi-symbol LUT probes (DecodeTable::MultiEntry): one 64-bit table read
+  // retires up to kMaxMultiSymbols complete short codewords, so the probe
+  // cost is paid once per BATCH and each symbol beyond the first adds only
+  // the unpack/store increment. The probe is slightly dearer than the
+  // single-symbol one (8-byte entry, batch bookkeeping); for the naive
+  // decoder the serialized gather dominates either way, so amortizing it
+  // over a batch is where that family gains.
+  std::uint32_t cycles_per_probe_multi = 6;
+  std::uint32_t cycles_per_probe_multi_naive = 38;
+  std::uint32_t cycles_per_extra_symbol_multi = 1;
+
   // cuSZ's naive decoder walks a serialized Huffman tree one bit at a time
   // (a DEPENDENT node fetch + branch per bit; the tree stays L1/L2-resident
   // so no global transactions are charged, but each hop serializes on cache
@@ -74,6 +85,24 @@ struct DecoderConfig {
   // (huffman::DecodeTable) is the default; set false to force the legacy
   // bit-by-bit first-code ladder (decode_one), e.g. for A/B benchmarks.
   bool use_lut_decode = true;
+
+  // Multi-symbol LUT probes on top of the flat LUT (requires
+  // use_lut_decode): each probe retires up to DecodeTable::kMaxMultiSymbols
+  // complete short codewords. Decoded output is bit-identical to the
+  // single-symbol paths; only the charged cycles (cycles_per_probe_multi*)
+  // differ. Applies to the OPTIMIZED variants and the naive baseline; the
+  // Original decoders fetch tables from global memory per codeword, where
+  // scattering across the wider MultiEntry array wins nothing, so they
+  // keep the single-symbol probe. Set false to A/B the single-symbol LUT.
+  bool use_multisym_lut = true;
+
+  // Fused decode->dequantize->reconstruct write path (sz::decompress and the
+  // pipeline chunk decode): stream decoded quantization codes through the
+  // 1-D Lorenzo sink straight into the destination float buffer instead of
+  // staging a quant-code vector, an int64 lattice vector, and a separate
+  // reconstruct pass. Floats are exactly identical; rank-2/3 blobs always
+  // use the staged path (their predictor needs random access to neighbors).
+  bool use_fused_write = true;
 
   CostModel cost;
 };

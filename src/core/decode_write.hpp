@@ -12,16 +12,27 @@
 //    than the block's total output.
 //  * decode_write_tuned — the paper's Algorithm 2 (shmem_tuner.hpp) drives
 //    decode_write_staged with per-compression-ratio-class buffer sizes.
+//
+// Alongside the simulated kernels lives the HOST-side decode-write sink
+// (host_decode_symbols): a sequential multi-symbol-LUT decode of a whole
+// encoded stream that hands each quantization code to a caller sink in
+// stream order — the front half of the fused decode→dequantize→reconstruct
+// path (sz::Lorenzo1DSink supplies the back half), with no intermediate
+// quant-code vector.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <variant>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/huffman_codec.hpp"
 #include "core/phase_timings.hpp"
 #include "cudasim/exec.hpp"
 #include "huffman/codebook.hpp"
+#include "huffman/decode_step.hpp"
 #include "huffman/encoder.hpp"
 
 namespace ohd::core {
@@ -88,5 +99,69 @@ TunedDecodeResult decode_write_tuned(cudasim::SimContext& ctx,
                                      const WritePlan& plan,
                                      std::span<std::uint16_t> out,
                                      const DecoderConfig& config);
+
+// ---------------------------------------------------------------------------
+// Host-side decode-write sink (no simulation).
+
+namespace detail {
+
+/// Decodes exactly `n` codewords from `units`/`total_bits` starting at
+/// `start_bit`, invoking sink(symbol) for each, with the multi-symbol LUT on
+/// the bulk and single-symbol steps on the < kMaxMultiSymbols tail. Throws
+/// if the stream desynchronizes (an unassigned prefix), which a well-formed
+/// encoding never produces.
+template <typename Sink>
+void host_decode_span(std::span<const std::uint32_t> units,
+                      std::uint64_t total_bits, std::uint64_t start_bit,
+                      std::uint64_t n, const huffman::Codebook& cb,
+                      Sink&& sink) {
+  const huffman::DecodeTable& table = cb.decode_table();
+  bitio::BitReader reader(units, total_bits);
+  reader.seek(start_bit);
+  std::uint64_t emitted = 0;
+  while (emitted + huffman::DecodeTable::kMaxMultiSymbols <= n) {
+    const huffman::DecodedBatch batch = huffman::decode_multi(reader, cb, table);
+    if (batch.count == 0) [[unlikely]] {
+      throw std::runtime_error("host decode desynchronized");
+    }
+    for (std::uint32_t i = 0; i < batch.count; ++i) sink(batch.symbols[i]);
+    emitted += batch.count;
+  }
+  while (emitted < n) {
+    const huffman::DecodedSymbol d = huffman::decode_one_lut(reader, cb, table);
+    if (!d.valid) [[unlikely]] {
+      throw std::runtime_error("host decode desynchronized");
+    }
+    sink(d.symbol);
+    ++emitted;
+  }
+}
+
+}  // namespace detail
+
+/// Sequentially decodes ALL of an encoded stream's symbols on the host (no
+/// simulated kernels, no intermediate symbol vector) and hands each one to
+/// `sink(std::uint16_t)` in stream order. Handles every payload layout: the
+/// plain and gap-array streams decode front to back (the gap sidecar is a
+/// parallel-decoder aid and is not needed sequentially); the chunked layout
+/// decodes chunk by chunk from its unit-aligned offsets.
+template <typename Sink>
+void host_decode_symbols(const EncodedStream& enc, Sink&& sink) {
+  if (const auto* plain = std::get_if<huffman::StreamEncoding>(&enc.payload)) {
+    detail::host_decode_span(plain->units, plain->total_bits, 0,
+                             enc.num_symbols, enc.codebook, sink);
+  } else if (const auto* gap = std::get_if<huffman::GapEncoding>(&enc.payload)) {
+    detail::host_decode_span(gap->stream.units, gap->stream.total_bits, 0,
+                             enc.num_symbols, enc.codebook, sink);
+  } else {
+    const auto& chunked = std::get<huffman::ChunkedEncoding>(enc.payload);
+    for (std::uint32_t c = 0; c < chunked.num_chunks(); ++c) {
+      detail::host_decode_span(chunked.units, chunked.total_bits,
+                               chunked.chunk_bit_offset[c],
+                               chunked.chunk_num_symbols[c], enc.codebook,
+                               sink);
+    }
+  }
+}
 
 }  // namespace ohd::core

@@ -23,6 +23,7 @@ DecodeResult decode_naive_chunked(cudasim::SimContext& ctx,
   const CostModel& cost = config.cost;
   const huffman::DecodeTable& table = cb.decode_table();
   const bool use_lut = config.use_lut_decode && !table.empty();
+  const bool use_multi = use_lut && config.use_multisym_lut;
   const std::uint32_t lut_bits = table.index_bits();
 
   const auto r = ctx.launch(
@@ -37,11 +38,49 @@ DecodeResult decode_naive_chunked(cudasim::SimContext& ctx,
           const std::uint64_t out_base =
               c * static_cast<std::uint64_t>(enc.chunk_symbols);
           std::uint64_t last_unit = ~0ull;
-          for (std::uint32_t k = 0; k < enc.chunk_num_symbols[c]; ++k) {
+          const std::uint32_t chunk_syms = enc.chunk_num_symbols[c];
+          std::uint32_t k = 0;
+          while (k < chunk_syms) {
             const std::uint64_t unit = reader.position() / 32;
             if (unit != last_unit) {
               t.global_read(units_addr + unit * 4, 4);
               last_unit = unit;
+            }
+            // Multi-symbol probe while a full batch cannot overrun the
+            // chunk's symbol count; the chunk tail (< kMaxMultiSymbols
+            // symbols) decodes one codeword at a time.
+            if (use_multi &&
+                k + huffman::DecodeTable::kMaxMultiSymbols <= chunk_syms) {
+              const huffman::DecodedBatch batch =
+                  huffman::decode_multi(reader, cb, table);
+              for (std::uint64_t u = unit + 1;
+                   u <= (reader.position() - 1) / 32; ++u) {
+                t.global_read(units_addr + u * 4, 4);
+                last_unit = u;
+              }
+              if (!batch.fallback) {
+                // One serialized MultiEntry gather amortized over the batch.
+                t.charge(cost.cycles_per_probe_multi_naive +
+                         static_cast<std::uint64_t>(batch.count - 1) *
+                             cost.cycles_per_extra_symbol_multi);
+                for (std::uint32_t i = 0; i < batch.count; ++i) {
+                  result.symbols[out_base + k] = batch.symbols[i];
+                  t.global_write(out_addr + (out_base + k) * 2, 2);
+                  ++k;
+                }
+              } else {
+                // Slow probe: exactly the single-symbol LUT step (and like
+                // it, an unassigned prefix still stores one symbol slot).
+                const std::uint32_t ladder =
+                    batch.bits > lut_bits ? batch.bits - lut_bits : 0;
+                t.charge(cost.cycles_per_symbol_lut_naive +
+                         static_cast<std::uint64_t>(ladder) *
+                             cost.cycles_per_bit_naive);
+                result.symbols[out_base + k] = batch.symbols[0];
+                t.global_write(out_addr + (out_base + k) * 2, 2);
+                ++k;
+              }
+              continue;
             }
             const huffman::DecodedSymbol d =
                 use_lut ? huffman::decode_one_lut(reader, cb, table)
@@ -66,6 +105,7 @@ DecodeResult decode_naive_chunked(cudasim::SimContext& ctx,
             // One thread per chunk: warp lanes write one chunk apart, so
             // stores never coalesce.
             t.global_write(out_addr + (out_base + k) * 2, 2);
+            ++k;
           }
         });
       });

@@ -5,13 +5,21 @@
 // crossed), and — for the ORIGINAL decoders, which do not keep the decode
 // tables cache-resident — per-symbol table lookups.
 //
-// Two decode paths, selected by DecoderConfig::use_lut_decode:
-//  * LUT (default): peek(K) -> DecodeTable probe -> skip(len). One table
-//    read per symbol; codewords longer than K add a first-code ladder walk
-//    charged per extra bit.
+// Three decode paths, selected by DecoderConfig::use_lut_decode /
+// use_multisym_lut:
+//  * multi-symbol LUT (default): peek(K) -> MultiEntry probe -> skip(bits),
+//    retiring up to DecodeTable::kMaxMultiSymbols complete codewords per
+//    probe. Used only while a whole probe window fits below the span limit
+//    (and the stream end), so no symbol starting at or past the limit is
+//    ever retired; the tail of the span falls back to single-symbol steps.
+//  * LUT: peek(K) -> DecodeTable probe -> skip(len). One table read per
+//    symbol; codewords longer than K add a first-code ladder walk charged
+//    per extra bit.
 //  * legacy: the bit-by-bit first-code walk (decode_one), charged per bit
 //    examined, with two dependent scattered table reads per codeword when
 //    the original implementations fetch tables from global memory.
+// All three consume identical bits and emit identical symbols; only the
+// charged cycles differ.
 #pragma once
 
 #include <cstdint>
@@ -53,13 +61,25 @@ SubseqDecodeResult decode_span(cudasim::ThreadCtx& t,
   const CostModel& cost = config.cost;
   const huffman::DecodeTable& table = cb.decode_table();
   const bool use_lut = config.use_lut_decode && !table.empty();
+  // The multi-symbol batch is an OPTIMIZED-variant feature: the original
+  // decoders (record_table_reads) fetch tables from global memory per
+  // codeword, and scattering their per-codeword gathers across the 32 KiB
+  // MultiEntry array costs more transactions than the batch saves — exactly
+  // the effect that makes the paper pair table optimizations with
+  // shared-memory residence. They keep the single-symbol probe.
+  const bool use_multi =
+      use_lut && config.use_multisym_lut && !record_table_reads;
   const std::uint32_t lut_bits = table.index_bits();
+  // Symbols are decoded iff they start below both bounds; a multi probe may
+  // only run while its whole K-bit window sits below this, so every symbol
+  // it retires starts strictly inside the span.
+  const std::uint64_t hard_limit = std::min(limit, enc.total_bits);
 
   bitio::BitReader reader(enc.units, enc.total_bits);
   reader.seek(start);
   std::uint64_t last_unit_fetched = ~0ull;
 
-  while (reader.position() < limit && reader.position() < enc.total_bits) {
+  while (reader.position() < hard_limit) {
     const std::uint64_t sym_start = reader.position();
     // Fetch every 32-bit unit the codeword may touch (kept in a register in
     // the real kernel — the buffered BitReader mirrors exactly this —
@@ -69,6 +89,38 @@ SubseqDecodeResult decode_span(cudasim::ThreadCtx& t,
       t.global_read(units_addr + first_unit * 4, 4);
       last_unit_fetched = first_unit;
     }
+
+    if (use_multi && sym_start + lut_bits <= hard_limit) [[likely]] {
+      // Multi-symbol probe: identical bits and symbols to repeated
+      // single-symbol steps, one shared/L1-resident table read per batch.
+      const huffman::DecodedBatch batch =
+          huffman::decode_multi(reader, cb, table);
+      for (std::uint64_t u = first_unit + 1;
+           u <= (reader.position() - 1) / 32; ++u) {
+        t.global_read(units_addr + u * 4, 4);
+        last_unit_fetched = u;
+      }
+      if (!batch.fallback) {
+        t.charge(cost.cycles_per_probe_multi +
+                 static_cast<std::uint64_t>(batch.count - 1) *
+                     cost.cycles_per_extra_symbol_multi);
+      } else {
+        // Slow probe (long codeword / unassigned prefix): charged exactly
+        // like the single-symbol LUT step below.
+        const std::uint32_t ladder_bits =
+            batch.bits > lut_bits ? batch.bits - lut_bits : 0;
+        t.charge(cost.cycles_per_symbol_lut +
+                 static_cast<std::uint64_t>(ladder_bits) *
+                     cost.cycles_per_bit);
+      }
+      for (std::uint32_t i = 0; i < batch.count; ++i) {
+        on_symbol(batch.symbols[i], res.num_symbols);
+        ++res.num_symbols;
+      }
+      res.end_bit = reader.position();
+      continue;
+    }
+
     // The LUT probe index doubles as the table-read address for the
     // coalescing model; peeking it again here is free (buffered).
     const std::uint32_t window =

@@ -1,5 +1,5 @@
-// The single-codeword decode step shared by every decoder in this repository
-// (naive cuSZ, self-synchronization, gap-array), in two interchangeable
+// The per-codeword decode step shared by every decoder in this repository
+// (naive cuSZ, self-synchronization, gap-array), in three interchangeable
 // implementations with identical bit-consumption semantics:
 //
 //  * decode_one     — canonical first-code decoding: accumulate bits
@@ -11,12 +11,19 @@
 //                     table read, and finish longer codewords (or unassigned
 //                     prefixes) on the first-code ladder starting from the K
 //                     bits already examined.
+//  * decode_multi   — multi-symbol LUT fast path: one probe retires EVERY
+//                     complete codeword the K-bit window holds (up to
+//                     DecodeTable::kMaxMultiSymbols), falling back to the
+//                     single-symbol step when the window's first codeword is
+//                     long or unassigned. Retires the exact symbol/bit
+//                     sequence that repeated decode_one calls would.
 //
-// Both always consume at least one bit, consume exactly `len` bits for a
-// valid codeword, and consume max_len bits returning valid=false on an
+// All paths always consume at least one bit, consume exactly `len` bits for
+// a valid codeword, and consume max_len bits reporting invalid on an
 // unassigned prefix (possible only for incomplete codes, e.g. a
 // single-symbol alphabet, or when decoding desynchronized garbage) — the
-// equivalence is locked in by tests/huffman/decode_table_test.cpp.
+// equivalence is locked in by tests/huffman/decode_table_test.cpp and the
+// property suites.
 #pragma once
 
 #include <cstdint>
@@ -128,6 +135,52 @@ inline DecodedSymbol decode_one_lut(bitio::BitReader& reader,
     return detail::decode_one_lut_slow(reader, cb, k, window);
   }
   return detail::decode_one_lut_slow(reader, cb, 0, 0);
+}
+
+/// Result of one multi-symbol probe: `count` decoded symbols consuming
+/// `bits` stream bits in total. count == 0 with bits > 0 marks an unassigned
+/// prefix (bits consumed, nothing emitted), exactly like an invalid
+/// DecodedSymbol. `fallback` is true when the probe could not pack (first
+/// codeword longer than the index width, unassigned prefix, or empty
+/// codebook) and the result came from the single-symbol path instead.
+struct DecodedBatch {
+  std::uint16_t symbols[DecodeTable::kMaxMultiSymbols] = {0, 0, 0};
+  std::uint8_t count = 0;
+  std::uint8_t bits = 0;
+  bool fallback = false;
+};
+
+/// Decodes up to DecodeTable::kMaxMultiSymbols codewords in one probe of
+/// `table` (must be built for `cb`). The emitted symbols and consumed bits
+/// are exactly what `count` repeated decode_one calls would produce, so
+/// multi-symbol decoding is a drop-in for the single-symbol loop anywhere
+/// the caller can accept up to kMaxMultiSymbols symbols at once.
+inline DecodedBatch decode_multi(bitio::BitReader& reader, const Codebook& cb,
+                                 const DecodeTable& table) {
+  DecodedBatch out;
+  const std::uint32_t k = table.index_bits();
+  if (k != 0) [[likely]] {  // empty table <=> empty codebook
+    const std::uint32_t window = reader.peek(k);
+    const DecodeTable::MultiEntry& m = table.multi_entry(window);
+    if (m.count != 0) [[likely]] {
+      reader.skip(m.bits);
+      for (std::uint32_t i = 0; i < DecodeTable::kMaxMultiSymbols; ++i) {
+        out.symbols[i] = m.symbols[i];
+      }
+      out.count = m.count;
+      out.bits = m.bits;
+      return out;
+    }
+  }
+  // First codeword long/unassigned (or empty codebook): one slow symbol.
+  const DecodedSymbol d = decode_one_lut(reader, cb, table);
+  out.fallback = true;
+  out.bits = d.len;
+  if (d.valid) {
+    out.symbols[0] = d.symbol;
+    out.count = 1;
+  }
+  return out;
 }
 
 }  // namespace ohd::huffman

@@ -26,6 +26,29 @@ DecodeTable::DecodeTable(const Codebook& cb, std::uint32_t index_bits) {
       entries_[base + i] = Entry{static_cast<std::uint16_t>(s), c.len, 0};
     }
   }
+
+  // Multi-symbol entries, derived from the single-symbol fill: for each
+  // window, greedily re-probe the single table on the bits remaining after
+  // each retired codeword (left-aligned, zero-filled). A codeword is CERTAIN
+  // only while its length fits the remaining window bits — prefix-freeness
+  // guarantees that if any codeword of length <= remaining prefixes the real
+  // stream, the zero-filled probe resolves to exactly that codeword — so
+  // packing stops at the first entry that is a fallback or overruns the
+  // window. count == 0 iff the single entry is a fallback, keeping the two
+  // probe kinds' fallback conditions identical.
+  multi_.assign(entries_.size(), MultiEntry{});
+  const auto mask = static_cast<std::uint32_t>(entries_.size() - 1);
+  for (std::uint32_t w = 0; w < entries_.size(); ++w) {
+    MultiEntry& m = multi_[w];
+    std::uint32_t used = 0;
+    while (m.count < kMaxMultiSymbols) {
+      const Entry& e = entries_[(w << used) & mask];
+      if (e.len == 0 || e.len + used > index_bits_) break;
+      m.symbols[m.count++] = e.symbol;
+      used += e.len;
+    }
+    m.bits = static_cast<std::uint8_t>(used);
+  }
 }
 
 }  // namespace ohd::huffman

@@ -8,10 +8,20 @@
 // while desynchronized) hit a fallback entry and finish on the compact
 // first-code ladder, continuing from the K bits already examined.
 //
-// This models the paper's shared-memory decode-table discussion: the table
-// is 4 bytes/entry (16 KiB at K=12), small enough to stay resident, and
-// costs ONE read per symbol instead of the two dependent scattered reads of
-// the per-length first-code walk.
+// On top of the single-symbol entries the table carries MULTI-SYMBOL entries:
+// each K-bit window also records every COMPLETE codeword it contains, up to
+// kMaxMultiSymbols of them, so one probe can retire several short codewords
+// at once (quantization codes concentrate on 2-4 bit codewords, so a 12-bit
+// window typically holds 3+). A codeword is packed only when its length fits
+// the bits remaining in the window — by prefix-freeness the zero-filled
+// probe then identifies it unambiguously — which keeps multi-symbol decoding
+// bit-identical to repeated single-symbol steps.
+//
+// This models the paper's shared-memory decode-table discussion: the
+// single-symbol table is 4 bytes/entry (16 KiB at K=12) and the multi-symbol
+// table 8 bytes/entry (32 KiB), small enough to stay resident, and costing
+// ONE read per probe instead of the two dependent scattered reads of the
+// per-length first-code walk.
 #pragma once
 
 #include <cstdint>
@@ -29,12 +39,30 @@ public:
   /// keeping the table at 16 KiB — one shared-memory-resident tile.
   static constexpr std::uint32_t kDefaultIndexBits = 12;
 
+  /// Complete codewords one multi-symbol entry can retire per probe. Three
+  /// keeps the entry at one 64-bit word (2 bytes/symbol + count + bits) and
+  /// already saturates a 12-bit window at the ~3-4 bit codeword lengths of
+  /// skewed quantization streams.
+  static constexpr std::uint32_t kMaxMultiSymbols = 3;
+
   struct Entry {
     std::uint16_t symbol = 0;
     std::uint8_t len = 0;  // 0 => fallback to the first-code ladder
     std::uint8_t reserved = 0;
   };
   static_assert(sizeof(Entry) == 4, "entries must pack to one 32-bit word");
+
+  /// One K-bit window's worth of complete codewords. count == 0 means the
+  /// window's FIRST codeword is longer than the index width (or an
+  /// unassigned prefix) and the probe must fall back to the ladder;
+  /// otherwise the first `count` symbols consume `bits` stream bits total.
+  struct MultiEntry {
+    std::uint16_t symbols[kMaxMultiSymbols] = {0, 0, 0};
+    std::uint8_t count = 0;
+    std::uint8_t bits = 0;
+  };
+  static_assert(sizeof(MultiEntry) == 8,
+                "multi entries must pack to one 64-bit word");
 
   DecodeTable() = default;
 
@@ -48,13 +76,22 @@ public:
   std::uint32_t index_bits() const { return index_bits_; }
   bool empty() const { return entries_.empty(); }
   std::uint64_t size_bytes() const { return entries_.size() * sizeof(Entry); }
+  std::uint64_t multi_size_bytes() const {
+    return multi_.size() * sizeof(MultiEntry);
+  }
 
   const Entry& entry(std::uint32_t idx) const { return entries_[idx]; }
   std::span<const Entry> entries() const { return entries_; }
 
+  const MultiEntry& multi_entry(std::uint32_t idx) const {
+    return multi_[idx];
+  }
+  std::span<const MultiEntry> multi_entries() const { return multi_; }
+
 private:
   std::uint32_t index_bits_ = 0;
   std::vector<Entry> entries_;
+  std::vector<MultiEntry> multi_;
 };
 
 }  // namespace ohd::huffman

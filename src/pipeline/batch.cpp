@@ -183,33 +183,43 @@ Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
 BatchDecompressResult BatchScheduler::decompress(
     const Container& container, const core::DecoderConfig& decoder) const {
   // Fan out, then collect in deterministic (field, chunk) order via the
-  // same chunk-merge path the sequential decode_field uses. On any failure
-  // — a submit throw or a CRC mismatch surfacing through get() — wait out
-  // the remaining tasks before unwinding: they still reference `container`
-  // and `decoder`.
+  // same chunk-merge path the sequential decode_field uses. Every field
+  // buffer is allocated BEFORE the fan-out and each task reconstructs its
+  // chunk straight into its (disjoint) slice via the fused decode-write
+  // path, so floats are written once, in place, by whichever worker decodes
+  // the chunk — bit-identical for any worker count, with no per-chunk float
+  // vector or merge copy. On any failure — a submit throw or a CRC mismatch
+  // surfacing through get() — wait out the remaining tasks before
+  // unwinding: they still reference `container`, `decoder`, and the output
+  // buffers.
   std::vector<std::vector<std::future<sz::DecompressionResult>>> futures(
       container.fields().size());
   BatchDecompressResult out;
   out.fields.resize(container.fields().size());
+  for (std::size_t fi = 0; fi < container.fields().size(); ++fi) {
+    out.fields[fi].name = container.fields()[fi].name;
+    out.fields[fi].decode.data.resize(container.fields()[fi].dims.count());
+  }
   try {
     for (std::size_t fi = 0; fi < container.fields().size(); ++fi) {
-      const std::size_t n_chunks = container.fields()[fi].chunks.size();
-      futures[fi].reserve(n_chunks);
-      for (std::size_t ci = 0; ci < n_chunks; ++ci) {
-        futures[fi].push_back(pool_.submit([&container, &decoder, fi, ci] {
-          cudasim::SimContext ctx;
-          return container.decode_chunk(ctx, fi, ci, decoder);
-        }));
+      const FieldEntry& entry = container.fields()[fi];
+      futures[fi].reserve(entry.chunks.size());
+      for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
+        const std::span<float> dest(
+            out.fields[fi].decode.data.data() + entry.chunks[ci].elem_offset,
+            entry.chunks[ci].dims.count());
+        futures[fi].push_back(
+            pool_.submit([&container, &decoder, fi, ci, dest] {
+              cudasim::SimContext ctx;
+              return container.decode_chunk_into(ctx, fi, ci, dest, decoder);
+            }));
       }
     }
     for (std::size_t fi = 0; fi < container.fields().size(); ++fi) {
       const FieldEntry& entry = container.fields()[fi];
       FieldResult& field = out.fields[fi];
-      field.name = entry.name;
-      field.decode.data.resize(entry.dims.count());
       for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
-        field.decode.absorb(futures[fi][ci].get(),
-                            entry.chunks[ci].elem_offset);
+        field.decode.absorb_timings(futures[fi][ci].get());
       }
       out.phases += field.decode.huffman_phases;
       out.simulated_seconds += field.decode.simulated_seconds;

@@ -88,10 +88,7 @@ void check_coverage(const sz::Dims& field_dims,
 
 }  // namespace
 
-void FieldDecode::absorb(const sz::DecompressionResult& chunk,
-                         std::uint64_t elem_offset) {
-  std::copy(chunk.data.begin(), chunk.data.end(),
-            data.begin() + static_cast<std::ptrdiff_t>(elem_offset));
+void FieldDecode::absorb_timings(const sz::DecompressionResult& chunk) {
   huffman_phases += chunk.huffman_phases;
   huffman_seconds += chunk.huffman_seconds;
   reverse_lorenzo_seconds += chunk.reverse_lorenzo_seconds;
@@ -287,27 +284,49 @@ std::span<const std::uint8_t> Container::frame_bytes(std::size_t field,
                                        rec.payload_bytes);
 }
 
-sz::DecompressionResult Container::decode_chunk(
-    cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
-    const core::DecoderConfig& decoder) const {
-  const ChunkRecord& rec = record(field, chunk);
-  const auto frame = frame_bytes(field, chunk);
+namespace {
+
+/// Checksum + parse + geometry validation shared by the chunk decoders.
+sz::CompressedBlob parse_chunk_blob(const FieldEntry& field,
+                                    const ChunkRecord& rec,
+                                    std::span<const std::uint8_t> frame,
+                                    std::size_t chunk) {
   if (util::crc32(frame) != rec.crc32) {
-    throw ContainerError("field '" + fields_[field].name + "' chunk " +
+    throw ContainerError("field '" + field.name + "' chunk " +
                          std::to_string(chunk) +
                          ": CRC-32 mismatch (corrupted frame)");
   }
   const huffman::Codebook* shared =
       rec.codebook_ref == CodebookRef::SharedField
-          ? fields_[field].shared_codebook.get()
+          ? field.shared_codebook.get()
           : nullptr;
-  const sz::CompressedBlob blob = sz::deserialize_blob(frame, shared);
+  sz::CompressedBlob blob = sz::deserialize_blob(frame, shared);
   if (blob.dims.count() != rec.dims.count()) {
-    throw ContainerError("field '" + fields_[field].name + "' chunk " +
+    throw ContainerError("field '" + field.name + "' chunk " +
                          std::to_string(chunk) +
                          ": frame geometry disagrees with the index");
   }
+  return blob;
+}
+
+}  // namespace
+
+sz::DecompressionResult Container::decode_chunk(
+    cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
+    const core::DecoderConfig& decoder) const {
+  const ChunkRecord& rec = record(field, chunk);
+  const sz::CompressedBlob blob = parse_chunk_blob(
+      fields_[field], rec, frame_bytes(field, chunk), chunk);
   return sz::decompress(ctx, blob, decoder);
+}
+
+sz::DecompressionResult Container::decode_chunk_into(
+    cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
+    std::span<float> out, const core::DecoderConfig& decoder) const {
+  const ChunkRecord& rec = record(field, chunk);
+  const sz::CompressedBlob blob = parse_chunk_blob(
+      fields_[field], rec, frame_bytes(field, chunk), chunk);
+  return sz::decompress_into(ctx, blob, out, decoder);
 }
 
 FieldDecode Container::decode_field(cudasim::SimContext& ctx,
@@ -321,7 +340,11 @@ FieldDecode Container::decode_field(cudasim::SimContext& ctx,
   out.data.resize(f.dims.count());
   out.chunk_seconds.reserve(f.chunks.size());
   for (std::size_t c = 0; c < f.chunks.size(); ++c) {
-    out.absorb(decode_chunk(ctx, field, c, decoder), f.chunks[c].elem_offset);
+    // Fused write: each chunk reconstructs straight into its slice of the
+    // field buffer.
+    const std::span<float> dest(out.data.data() + f.chunks[c].elem_offset,
+                                f.chunks[c].dims.count());
+    out.absorb_timings(decode_chunk_into(ctx, field, c, dest, decoder));
   }
   return out;
 }

@@ -135,11 +135,11 @@ struct FieldDecode {
   double simulated_seconds = 0.0;     // sum over chunks, chunk-id order
   std::vector<double> chunk_seconds;  // per-chunk simulated cost
 
-  /// Merges one decoded chunk: copies its floats at `elem_offset` (data must
-  /// already be sized to the field) and adds its timings. The single merge
-  /// path shared by sequential decode_field and the batch scheduler; call in
-  /// chunk-id order to keep runs bit-identical.
-  void absorb(const sz::DecompressionResult& chunk, std::uint64_t elem_offset);
+  /// Merges one decoded chunk's timings. The chunk's floats are not copied
+  /// here: both decode_field and the batch scheduler reconstruct each chunk
+  /// straight into its slice of `data` via decode_chunk_into before
+  /// merging. Call in chunk-id order to keep runs bit-identical.
+  void absorb_timings(const sz::DecompressionResult& chunk);
 };
 
 class Container {
@@ -189,6 +189,16 @@ class Container {
   sz::DecompressionResult decode_chunk(
       cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
       const core::DecoderConfig& decoder = {}) const;
+
+  /// Fused variant: reconstructs the chunk's floats straight into `out`
+  /// (sized to the CHUNK's element count — typically a subspan of the field
+  /// buffer at the chunk's elem_offset) via sz::decompress_into; the
+  /// returned result carries timings only. This is the write path
+  /// decode_field and the batch scheduler use, so a chunk's floats are
+  /// written once, in place, with no per-chunk vector or merge copy.
+  sz::DecompressionResult decode_chunk_into(
+      cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
+      std::span<float> out, const core::DecoderConfig& decoder = {}) const;
 
   /// Decodes a whole field chunk by chunk in chunk-id order.
   FieldDecode decode_field(cudasim::SimContext& ctx, std::size_t field,

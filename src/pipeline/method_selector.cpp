@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "huffman/decode_table.hpp"
+#include "pipeline/selector_calibration.hpp"
 #include "sz/serialize.hpp"
 
 namespace ohd::pipeline {
@@ -37,6 +38,47 @@ constexpr double kNaiveChunkPadBits = 16.0;
 
 std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
+}
+
+/// Expected complete codewords one multi-symbol probe retires: the K-bit
+/// window holds ~K/b codewords of average length b, capped by the entry's
+/// packing limit and never below one.
+double multi_symbols_per_probe(double avg_code_bits) {
+  const double per_window =
+      static_cast<double>(huffman::DecodeTable::kDefaultIndexBits) /
+      std::max(1.0, avg_code_bits);
+  return std::clamp(per_window, 1.0,
+                    static_cast<double>(huffman::DecodeTable::kMaxMultiSymbols));
+}
+
+/// Per-symbol decode cycles of the fine-grained families (self-sync and
+/// gap-array share the warp-broadcast LUT rates).
+double fine_symbol_cycles(const ohd::core::CostModel& c, bool lut,
+                          bool multisym, double b, double ladder_bits) {
+  if (!lut) return b * c.cycles_per_bit + c.cycles_per_symbol;
+  if (multisym) {
+    const double m = multi_symbols_per_probe(b);
+    return (c.cycles_per_probe_multi +
+            (m - 1.0) * c.cycles_per_extra_symbol_multi) /
+               m +
+           ladder_bits * c.cycles_per_bit;
+  }
+  return c.cycles_per_symbol_lut + ladder_bits * c.cycles_per_bit;
+}
+
+/// Per-symbol decode cycles of the naive coarse-grained decoder (serialized
+/// table gathers; the multi-symbol batch amortizes the gather itself).
+double naive_symbol_cycles(const ohd::core::CostModel& c, bool lut,
+                           bool multisym, double b, double ladder_bits) {
+  if (!lut) return b * c.cycles_per_bit_naive + c.cycles_per_symbol_naive;
+  if (multisym) {
+    const double m = multi_symbols_per_probe(b);
+    return (c.cycles_per_probe_multi_naive +
+            (m - 1.0) * c.cycles_per_extra_symbol_multi) /
+               m +
+           ladder_bits * c.cycles_per_bit_naive;
+  }
+  return c.cycles_per_symbol_lut_naive + ladder_bits * c.cycles_per_bit_naive;
 }
 
 }  // namespace
@@ -86,11 +128,18 @@ MethodEstimate MethodSelector::estimate(core::Method method,
   if (probe.num_symbols == 0) {
     throw std::invalid_argument("cannot estimate an empty chunk");
   }
+  // Guards the calibration-slot indexing below against a future enumerator
+  // added to core::Method without a matching kMethodSlots bump.
+  const auto slot = static_cast<std::size_t>(method);
+  if (slot >= kMethodSlots) {
+    throw std::invalid_argument("method out of calibration range");
+  }
   const core::CostModel& c = decoder_.cost;
   const double n = static_cast<double>(probe.num_symbols);
   const double b = std::max(1.0, probe.avg_code_bits);
   const double total_bits = n * b;
   const bool lut = decoder_.use_lut_decode;
+  const bool multisym = lut && decoder_.use_multisym_lut;
   // Average ladder overspill past the flat LUT's index width; zero for the
   // common case of codes shorter than the table.
   const double ladder_bits =
@@ -112,8 +161,7 @@ MethodEstimate MethodSelector::estimate(core::Method method,
       const std::uint64_t coarse =
           div_ceil(probe.num_symbols, decoder_.chunk_symbols);
       const double per_symbol =
-          lut ? c.cycles_per_symbol_lut_naive + ladder_bits * c.cycles_per_bit_naive
-              : b * c.cycles_per_bit_naive + c.cycles_per_symbol_naive;
+          naive_symbol_cycles(c, lut, multisym, b, ladder_bits);
       threads = static_cast<double>(coarse);
       thread_cycles =
           std::min<double>(n, decoder_.chunk_symbols) * per_symbol;
@@ -128,14 +176,21 @@ MethodEstimate MethodSelector::estimate(core::Method method,
       const std::uint64_t subseqs =
           std::max<std::uint64_t>(1, div_ceil(static_cast<std::uint64_t>(total_bits),
                                               subseq_bits));
-      const double per_symbol =
-          lut ? c.cycles_per_symbol_lut + ladder_bits * c.cycles_per_bit
-              : b * c.cycles_per_bit + c.cycles_per_symbol;
+      double per_symbol = fine_symbol_cycles(c, lut, multisym, b, ladder_bits);
       const double sym_per_subseq = n / static_cast<double>(subseqs);
       const double passes =
           kGapDecodePasses +
           kSelfSyncSpeculativePasses /
               std::sqrt(std::max(1.0, probe.mean_run_length));
+      if (method == core::Method::SelfSyncOriginal && multisym) {
+        // The Original's decode+write pass keeps the single-symbol probe
+        // (its per-codeword global-memory table fetches gain nothing from
+        // the wider MultiEntry); only the sync passes batch.
+        per_symbol =
+            (per_symbol * (passes - 1.0) +
+             fine_symbol_cycles(c, lut, /*multisym=*/false, b, ladder_bits)) /
+            passes;
+      }
       threads = static_cast<double>(subseqs);
       thread_cycles = sym_per_subseq * per_symbol * passes +
                       kSelfSyncVoteIters *
@@ -151,9 +206,15 @@ MethodEstimate MethodSelector::estimate(core::Method method,
       const std::uint64_t subseqs =
           std::max<std::uint64_t>(1, div_ceil(static_cast<std::uint64_t>(total_bits),
                                               subseq_bits));
-      const double per_symbol =
-          lut ? c.cycles_per_symbol_lut + ladder_bits * c.cycles_per_bit
-              : b * c.cycles_per_bit + c.cycles_per_symbol;
+      double per_symbol = fine_symbol_cycles(c, lut, multisym, b, ladder_bits);
+      if (method == core::Method::GapArrayOriginal8Bit && multisym) {
+        // As above: of the Original's two passes (count, decode+write), only
+        // the count pass takes the multi-symbol batch.
+        per_symbol =
+            (per_symbol * (kGapDecodePasses - 1.0) +
+             fine_symbol_cycles(c, lut, /*multisym=*/false, b, ladder_bits)) /
+            kGapDecodePasses;
+      }
       threads = static_cast<double>(subseqs);
       thread_cycles =
           n / static_cast<double>(subseqs) * per_symbol * kGapDecodePasses;
@@ -175,8 +236,11 @@ MethodEstimate MethodSelector::estimate(core::Method method,
       spec_.clock_hz();
   const double throughput_s = (warps * thread_cycles + outlier_cycles) / issue_rate;
   const double critical_s = thread_cycles / spec_.clock_hz();
+  // Fitted correction (identity unless calibrate() was called).
   e.decode_seconds =
-      std::max(throughput_s, critical_s) + spec_.launch_overhead_s;
+      scale_[slot] *
+          (std::max(throughput_s, critical_s) + spec_.launch_overhead_s) +
+      offset_s_[slot];
 
   const std::uint64_t shipped =
       e.stored_bytes +
@@ -206,6 +270,26 @@ std::vector<MethodEstimate> MethodSelector::rank(const ChunkProbe& probe) const 
 
 core::Method MethodSelector::select(const ChunkProbe& probe) const {
   return rank(probe).front().method;
+}
+
+void MethodSelector::calibrate(std::span<const MethodCalibration> calibration) {
+  for (const MethodCalibration& mc : calibration) {
+    const auto slot = static_cast<std::size_t>(mc.method);
+    if (slot >= kMethodSlots) {
+      throw std::invalid_argument("calibration names an unknown method");
+    }
+    if (!(mc.scale > 0.0) || !std::isfinite(mc.scale) ||
+        !std::isfinite(mc.offset_s)) {
+      throw std::invalid_argument(
+          "calibration scale must be positive and finite");
+    }
+    scale_[slot] = mc.scale;
+    offset_s_[slot] = mc.offset_s;
+  }
+}
+
+std::span<const MethodCalibration> default_calibration() {
+  return kDefaultCalibration;
 }
 
 FieldPlan plan_field(std::span<const sz::QuantizedField> chunks,

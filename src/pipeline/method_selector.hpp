@@ -21,6 +21,7 @@
 // histogram diverges keep a private book).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -74,6 +75,24 @@ enum class SelectionObjective {
   DecodeOnly,
 };
 
+/// Regression-fitted correction of one method's analytic decode estimate
+/// against MEASURED simulated chunk costs:
+///   decode_seconds = scale * analytic + offset_s.
+/// Produced by scripts/calibrate_selector.py from `bench_micro_kernels
+/// --calibrate` output; the committed fit is default_calibration().
+struct MethodCalibration {
+  core::Method method = core::Method::GapArrayOptimized;
+  double scale = 1.0;
+  double offset_s = 0.0;
+};
+
+/// The committed calibration (src/pipeline/selector_calibration.hpp),
+/// regression-fitted over the calibration corpus with the current CostModel
+/// defaults. Apply with MethodSelector::calibrate(); selectors start
+/// uncalibrated (identity) so rankings stay a pure function of the probe
+/// unless the caller opts in.
+std::span<const MethodCalibration> default_calibration();
+
 /// Ranks the float-capable decoder families for a chunk. Candidates are the
 /// best member of each family evaluated in the paper (naive cuSZ, optimized
 /// self-sync, optimized gap-array); the Original variants exist for A/B
@@ -97,14 +116,23 @@ class MethodSelector {
   /// The cheapest method for this chunk.
   core::Method select(const ChunkProbe& probe) const;
 
+  /// Installs fitted per-method corrections (scale must be positive and
+  /// finite; throws std::invalid_argument otherwise). Estimates for methods
+  /// without an entry keep the identity correction.
+  void calibrate(std::span<const MethodCalibration> calibration);
+
   const core::DecoderConfig& decoder() const { return decoder_; }
   const cudasim::DeviceSpec& device() const { return spec_; }
   SelectionObjective objective() const { return objective_; }
 
  private:
+  static constexpr std::size_t kMethodSlots = 5;  // |core::Method|
+
   core::DecoderConfig decoder_;
   cudasim::DeviceSpec spec_;
   SelectionObjective objective_ = SelectionObjective::DecodePlusTransfer;
+  std::array<double, kMethodSlots> scale_{1.0, 1.0, 1.0, 1.0, 1.0};
+  std::array<double, kMethodSlots> offset_s_{0.0, 0.0, 0.0, 0.0, 0.0};
 };
 
 /// Field-level planning knobs (FieldSpec::plan / Container::add_field).

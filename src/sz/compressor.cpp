@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/decode_write.hpp"
+
 namespace ohd::sz {
 
 double resolve_error_bound(std::span<const float> data,
@@ -79,16 +81,21 @@ CompressedBlob encode_quantized(QuantizedField&& q, core::Method method,
   return blob;
 }
 
-DecompressionResult decompress(cudasim::SimContext& ctx,
-                               const CompressedBlob& blob,
-                               const core::DecoderConfig& decoder_config,
-                               bool simulate_h2d) {
+namespace {
+
+/// The simulated decompression stages shared by decompress and
+/// decompress_into: H2D (optional), Huffman decode, outlier scatter, reverse
+/// Lorenzo. Returns the timings (data empty) and the decoded quant codes.
+core::DecodeResult run_simulated_stages(cudasim::SimContext& ctx,
+                                        const CompressedBlob& blob,
+                                        const core::DecoderConfig& decoder_config,
+                                        bool simulate_h2d,
+                                        DecompressionResult& result) {
   if (blob.encoded.method == core::Method::GapArrayOriginal8Bit) {
     throw std::invalid_argument(
         "the 8-bit gap-array baseline cannot reconstruct multi-byte "
         "quantization codes; it exists for decode benchmarking only");
   }
-  DecompressionResult result;
 
   if (simulate_h2d) {
     result.h2d_seconds =
@@ -145,10 +152,87 @@ DecompressionResult decompress(cudasim::SimContext& ctx,
         });
     result.reverse_lorenzo_seconds = r.timing.seconds;
   }
+  return decoded;
+}
 
-  result.data = lorenzo_reconstruct(decoded.symbols, blob.outliers, blob.dims,
-                                    blob.abs_error_bound, blob.radius);
+/// The fused write path applies when the blob is 1-D (the streaming sink
+/// carries the whole predictor neighborhood in one register) and the config
+/// has not opted out.
+bool fused_write_applies(const CompressedBlob& blob,
+                         const core::DecoderConfig& decoder_config) {
+  return decoder_config.use_fused_write && blob.dims.rank == 1;
+}
+
+}  // namespace
+
+DecompressionResult decompress(cudasim::SimContext& ctx,
+                               const CompressedBlob& blob,
+                               const core::DecoderConfig& decoder_config,
+                               bool simulate_h2d) {
+  DecompressionResult result;
+  const core::DecodeResult decoded =
+      run_simulated_stages(ctx, blob, decoder_config, simulate_h2d, result);
+  if (fused_write_applies(blob, decoder_config)) {
+    // Fused write: one pass over the decoded codes, dequantize + 1-D
+    // Lorenzo straight into the result buffer (no int64 lattice vector).
+    result.data.resize(blob.dims.count());
+    Lorenzo1DSink sink(result.data, blob.outliers, blob.abs_error_bound,
+                       blob.radius);
+    for (const std::uint16_t code : decoded.symbols) sink(code);
+    sink.finish();
+  } else {
+    result.data = lorenzo_reconstruct(decoded.symbols, blob.outliers,
+                                      blob.dims, blob.abs_error_bound,
+                                      blob.radius);
+  }
   return result;
+}
+
+DecompressionResult decompress_into(cudasim::SimContext& ctx,
+                                    const CompressedBlob& blob,
+                                    std::span<float> out,
+                                    const core::DecoderConfig& decoder_config,
+                                    bool simulate_h2d) {
+  if (out.size() != blob.dims.count()) {
+    throw std::invalid_argument(
+        "destination size does not match blob dimensions");
+  }
+  DecompressionResult result;
+  const core::DecodeResult decoded =
+      run_simulated_stages(ctx, blob, decoder_config, simulate_h2d, result);
+  if (fused_write_applies(blob, decoder_config)) {
+    Lorenzo1DSink sink(out, blob.outliers, blob.abs_error_bound, blob.radius);
+    for (const std::uint16_t code : decoded.symbols) sink(code);
+    sink.finish();
+  } else {
+    const std::vector<float> recon =
+        lorenzo_reconstruct(decoded.symbols, blob.outliers, blob.dims,
+                            blob.abs_error_bound, blob.radius);
+    std::copy(recon.begin(), recon.end(), out.begin());
+  }
+  return result;
+}
+
+void fused_decode_reconstruct(const CompressedBlob& blob,
+                              std::span<float> out) {
+  if (blob.dims.rank != 1) {
+    throw std::invalid_argument(
+        "the fused decode-write sink is 1-D only; rank-2/3 blobs need the "
+        "staged reconstruct");
+  }
+  if (out.size() != blob.dims.count()) {
+    throw std::invalid_argument(
+        "destination size does not match blob dimensions");
+  }
+  if (blob.encoded.method == core::Method::GapArrayOriginal8Bit) {
+    throw std::invalid_argument(
+        "the 8-bit gap-array baseline cannot reconstruct multi-byte "
+        "quantization codes; it exists for decode benchmarking only");
+  }
+  Lorenzo1DSink sink(out, blob.outliers, blob.abs_error_bound, blob.radius);
+  core::host_decode_symbols(blob.encoded,
+                            [&sink](std::uint16_t code) { sink(code); });
+  sink.finish();
 }
 
 }  // namespace ohd::sz

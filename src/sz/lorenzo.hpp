@@ -2,11 +2,20 @@
 // a Lorenzo predictor (1-D/2-D/3-D) over the RECONSTRUCTED field and a linear
 // quantizer with a user error bound. Out-of-range predictions become
 // outliers stored exactly, as in cuSZ (code 0 is reserved for them).
+//
+// Decompression-side counterparts: the staged lorenzo_reconstruct (any rank,
+// needs the whole code vector), and the streaming Lorenzo1DSink — the back
+// half of the fused decode→dequantize→reconstruct write path, which consumes
+// quantization codes one at a time in stream order and writes reconstructed
+// floats straight into the destination buffer, with no lattice vector and
+// float-for-float identical output to the staged path.
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace ohd::sz {
@@ -71,5 +80,60 @@ std::vector<float> lorenzo_reconstruct(std::span<const std::uint16_t> codes,
                                        std::span<const Outlier> outliers,
                                        const Dims& dims, double abs_error_bound,
                                        std::uint32_t radius);
+
+/// Streaming 1-D Lorenzo reconstruction: push(code) dequantizes and writes
+/// out[i] for consecutive i, carrying only the previous lattice value (the
+/// 1-D predictor's whole neighborhood). Outlier records are consumed in
+/// index order exactly like the staged path; finish() validates that every
+/// element was produced and every outlier used. Arithmetic is identical to
+/// lorenzo_reconstruct at rank 1, so the floats match bit for bit.
+class Lorenzo1DSink {
+ public:
+  Lorenzo1DSink(std::span<float> out, std::span<const Outlier> outliers,
+                double abs_error_bound, std::uint32_t radius)
+      : out_(out),
+        outliers_(outliers),
+        ebx2_(2.0 * abs_error_bound),
+        r_(static_cast<std::int64_t>(radius)) {}
+
+  void operator()(std::uint16_t code) {
+    if (i_ >= out_.size()) {
+      throw std::invalid_argument("more quant codes than output elements");
+    }
+    if (code == 0) {
+      if (next_outlier_ >= outliers_.size() ||
+          outliers_[next_outlier_].index != i_) {
+        throw std::invalid_argument("missing outlier record");
+      }
+      const float v = outliers_[next_outlier_++].value;
+      out_[i_] = v;
+      lattice_ = std::llround(static_cast<double>(v) / ebx2_);
+    } else {
+      lattice_ += static_cast<std::int64_t>(code) - r_;
+      out_[i_] = static_cast<float>(static_cast<double>(lattice_) * ebx2_);
+    }
+    ++i_;
+  }
+
+  std::size_t produced() const { return i_; }
+
+  void finish() const {
+    if (i_ != out_.size()) {
+      throw std::invalid_argument("fewer quant codes than output elements");
+    }
+    if (next_outlier_ != outliers_.size()) {
+      throw std::invalid_argument("unused outlier records");
+    }
+  }
+
+ private:
+  std::span<float> out_;
+  std::span<const Outlier> outliers_;
+  std::size_t next_outlier_ = 0;
+  std::size_t i_ = 0;
+  std::int64_t lattice_ = 0;
+  double ebx2_;
+  std::int64_t r_;
+};
 
 }  // namespace ohd::sz

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace ohd::bitio {
 namespace {
 
@@ -146,6 +148,63 @@ TEST(BitReader, InterleavedPeekSkipGetBitMatchesReference) {
     r.skip(len);
     pos += len;
     ASSERT_EQ(r.position(), pos);
+  }
+}
+
+TEST(BitReader, WideRefillExhaustiveSeekPeekSweep) {
+  // The refill pulls TWO units in one pass; sweep every (seek position,
+  // peek width) pair across a stream whose valid tail ends mid-unit, so the
+  // second fetched unit is variously missing, partial, and full.
+  std::vector<std::uint32_t> units = {0xDEADBEEF, 0x01234567, 0x89ABCDEF,
+                                      0xFFFFFFFF, 0x00000001};
+  const std::uint64_t total = 4 * 32 + 9;  // 9 valid bits in the last unit
+  auto ref_bit = [&](std::uint64_t p) -> std::uint32_t {
+    if (p >= total) return 0;
+    return (units[p / 32] >> (31 - p % 32)) & 1u;
+  };
+  BitReader r(units, total);
+  for (std::uint64_t pos = 0; pos <= total + 40; ++pos) {
+    for (const std::uint32_t len : {1u, 5u, 12u, 31u, 32u}) {
+      std::uint32_t expect = 0;
+      for (std::uint32_t i = 0; i < len; ++i) {
+        expect = (expect << 1) | ref_bit(pos + i);
+      }
+      r.seek(pos);
+      ASSERT_EQ(r.peek(len), expect) << "pos " << pos << " len " << len;
+      // And via the consuming path, which refills differently.
+      r.seek(pos);
+      for (std::uint32_t i = 0; i < len; ++i) {
+        ASSERT_EQ(r.get_bit(), ref_bit(pos + i)) << "pos " << pos + i;
+      }
+    }
+  }
+}
+
+TEST(BitReader, MinRefillGuaranteeHoldsMidStream) {
+  // After any refill there are at least kMinRefillBits buffered, so a
+  // peek(32) immediately after a misaligned skip is served by one refill:
+  // equivalently, peek(32) then skip(32) repeatedly must walk the stream
+  // without ever returning stale bits.
+  std::vector<std::uint32_t> units(64);
+  util::Xoshiro256 rng(21);
+  for (auto& u : units) u = static_cast<std::uint32_t>(rng());
+  const std::uint64_t total = units.size() * 32;
+  auto ref_bit = [&](std::uint64_t p) -> std::uint32_t {
+    if (p >= total) return 0;
+    return (units[p / 32] >> (31 - p % 32)) & 1u;
+  };
+  BitReader r(units, total);
+  std::uint64_t pos = 0;
+  r.seek(0);
+  while (pos + 32 <= total) {
+    std::uint32_t expect = 0;
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      expect = (expect << 1) | ref_bit(pos + i);
+    }
+    ASSERT_EQ(r.peek(32), expect) << "pos " << pos;
+    const std::uint32_t step = 1 + static_cast<std::uint32_t>(pos % 31);
+    r.skip(step);
+    pos += step;
   }
 }
 

@@ -95,6 +95,61 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, CodecDecodePath,
                                            Method::GapArrayOriginal8Bit,
                                            Method::GapArrayOptimized));
 
+class CodecMultiSymPath : public ::testing::TestWithParam<Method> {};
+
+TEST_P(CodecMultiSymPath, MultiSymbolPathDecodesIdentically) {
+  // Every decoder family must produce the same output through the
+  // multi-symbol LUT batch (default), the single-symbol LUT, and the legacy
+  // bit-by-bit walk.
+  const auto codes = quant_like(60000, 37);
+  DecoderConfig multi_config;
+  ASSERT_TRUE(multi_config.use_multisym_lut);  // documented default
+  DecoderConfig single_config;
+  single_config.use_multisym_lut = false;
+  DecoderConfig legacy_config;
+  legacy_config.use_lut_decode = false;
+
+  const auto enc = encode_for_method(GetParam(), codes, 1024, multi_config);
+  cudasim::SimContext multi_ctx, single_ctx, legacy_ctx;
+  const auto multi = decode(multi_ctx, enc, multi_config);
+  const auto single = decode(single_ctx, enc, single_config);
+  const auto legacy = decode(legacy_ctx, enc, legacy_config);
+  EXPECT_EQ(multi.symbols, single.symbols);
+  EXPECT_EQ(multi.symbols, legacy.symbols);
+
+  // Simulated time: the batch amortizes the probe everywhere the decode
+  // table is cache/shared-resident — every phase of the naive and optimized
+  // decoders, and the Original decoders' synchronization/count phases. Only
+  // the Original decode+write phase (per-codeword global-memory table
+  // fetches) keeps the single-symbol probe, so even the Originals get
+  // strictly faster overall.
+  EXPECT_LT(multi.seconds(), single.seconds());
+}
+
+TEST_P(CodecMultiSymPath, MultiSymbolTimingsAreDeterministic) {
+  // Same stream + config => identical PhaseTimings, run to run.
+  const auto codes = quant_like(20000, 41);
+  const DecoderConfig config;
+  const auto enc = encode_for_method(GetParam(), codes, 1024, config);
+  cudasim::SimContext ctx_a, ctx_b;
+  const auto a = decode(ctx_a, enc, config);
+  const auto b = decode(ctx_b, enc, config);
+  EXPECT_EQ(a.symbols, b.symbols);
+  EXPECT_DOUBLE_EQ(a.phases.intra_sync_s, b.phases.intra_sync_s);
+  EXPECT_DOUBLE_EQ(a.phases.inter_sync_s, b.phases.inter_sync_s);
+  EXPECT_DOUBLE_EQ(a.phases.output_index_s, b.phases.output_index_s);
+  EXPECT_DOUBLE_EQ(a.phases.tune_s, b.phases.tune_s);
+  EXPECT_DOUBLE_EQ(a.phases.decode_write_s, b.phases.decode_write_s);
+  EXPECT_DOUBLE_EQ(a.phases.other_s, b.phases.other_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, CodecMultiSymPath,
+                         ::testing::Values(Method::CuszNaive,
+                                           Method::SelfSyncOriginal,
+                                           Method::SelfSyncOptimized,
+                                           Method::GapArrayOriginal8Bit,
+                                           Method::GapArrayOptimized));
+
 TEST(Codec, CompressedBytesIncludeSidecars) {
   const auto codes = quant_like(50000, 19);
   const auto plain = encode_for_method(Method::SelfSyncOptimized, codes, 1024);

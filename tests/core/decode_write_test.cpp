@@ -165,5 +165,55 @@ TEST(DecodeWriteTuned, ClassFrequenciesCoverAllSequences) {
   EXPECT_EQ(total, (f.enc.stream.num_subseqs() + block - 1) / block);
 }
 
+// ---------------------------------------------------------------------------
+// Host-side decode-write sink.
+
+TEST(HostDecodeSymbols, EveryPayloadLayoutStreamsInOrder) {
+  Fixture f = make_fixture(30000, 700, 0.5, 3);
+  for (const Method method :
+       {Method::SelfSyncOptimized, Method::GapArrayOptimized,
+        Method::CuszNaive}) {
+    const EncodedStream enc = encode_for_method(method, f.data, 1024);
+    std::vector<std::uint16_t> sunk;
+    sunk.reserve(f.data.size());
+    host_decode_symbols(enc, [&](std::uint16_t s) { sunk.push_back(s); });
+    EXPECT_EQ(sunk, f.data) << method_name(method);
+  }
+}
+
+TEST(HostDecodeSymbols, TailShorterThanABatchDecodes) {
+  // Stream lengths around the multi-symbol batch width exercise the
+  // single-symbol tail loop (n mod kMaxMultiSymbols in {0, 1, 2}).
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 64u}) {
+    Fixture f = make_fixture(n, 16, 0.5, static_cast<std::uint64_t>(n));
+    const EncodedStream enc =
+        encode_for_method(Method::SelfSyncOptimized, f.data, 1024);
+    std::vector<std::uint16_t> sunk;
+    host_decode_symbols(enc, [&](std::uint16_t s) { sunk.push_back(s); });
+    EXPECT_EQ(sunk, f.data) << "n=" << n;
+  }
+}
+
+TEST(HostDecodeSymbols, ThrowsOnDesynchronizedStream) {
+  // A stream claiming more symbols than its bits hold walks into the zero
+  // padding; with an incomplete code the unassigned prefix must surface as
+  // an exception, not garbage symbols.
+  const std::vector<std::uint16_t> data(10, 0);
+  const huffman::Codebook cb = huffman::Codebook::from_data(data, 1);
+  EncodedStream enc;
+  enc.method = Method::SelfSyncOptimized;
+  enc.codebook = cb;
+  huffman::StreamEncoding stream = huffman::encode_plain(data, cb);
+  // Symbol 0 has code '1' or '0'; flip a unit so decoding hits the
+  // unassigned branch of the incomplete single-symbol code.
+  stream.units[0] = ~stream.units[0];
+  enc.payload = stream;
+  enc.num_symbols = data.size();
+  std::vector<std::uint16_t> sunk;
+  EXPECT_THROW(
+      host_decode_symbols(enc, [&](std::uint16_t s) { sunk.push_back(s); }),
+      std::runtime_error);
+}
+
 }  // namespace
 }  // namespace ohd::core

@@ -42,6 +42,38 @@ void expect_lockstep(std::span<const std::uint32_t> units,
   }
 }
 
+/// Multi-symbol lockstep: decode_multi on one reader must retire exactly the
+/// symbols (and bit positions) that repeated decode_one calls produce on
+/// another, on every input — including desynchronized garbage, where an
+/// unassigned prefix surfaces as a zero-count batch consuming max_len bits.
+void expect_multi_lockstep(std::span<const std::uint32_t> units,
+                           std::uint64_t total_bits, const Codebook& cb,
+                           std::uint64_t start_bit, std::uint32_t max_steps) {
+  bitio::BitReader ref(units, total_bits);
+  bitio::BitReader multi(units, total_bits);
+  ref.seek(start_bit);
+  multi.seek(start_bit);
+  const DecodeTable& table = cb.decode_table();
+  for (std::uint32_t step = 0;
+       step < max_steps && multi.position() < total_bits; ++step) {
+    const DecodedBatch batch = decode_multi(multi, cb, table);
+    ASSERT_GT(batch.bits, 0u) << "step " << step << " from " << start_bit;
+    if (batch.count == 0) {
+      const DecodedSymbol x = decode_one(ref, cb);
+      ASSERT_FALSE(x.valid) << "step " << step << " from " << start_bit;
+    } else {
+      for (std::uint32_t i = 0; i < batch.count; ++i) {
+        const DecodedSymbol x = decode_one(ref, cb);
+        ASSERT_TRUE(x.valid) << "step " << step << " from " << start_bit;
+        ASSERT_EQ(x.symbol, batch.symbols[i])
+            << "step " << step << " symbol " << i << " from " << start_bit;
+      }
+    }
+    ASSERT_EQ(ref.position(), multi.position())
+        << "step " << step << " from " << start_bit;
+  }
+}
+
 std::vector<std::uint16_t> random_stream(util::Xoshiro256& rng, std::size_t n,
                                          std::uint32_t alphabet,
                                          double skew) {
@@ -177,6 +209,148 @@ TEST(DecodeTable, IndexBitsClampToMaxLen) {
   EXPECT_EQ(cb.decode_table().entries().size(), 4u);
   EXPECT_EQ(DecodeTable(cb, 30).index_bits(), 2u);
   EXPECT_TRUE(DecodeTable().empty());
+}
+
+TEST(MultiEntry, PacksCompleteCodewordsOnly) {
+  // lengths {1, 2, 3, 3}: canonical codes 0, 10, 110, 111, K = 3.
+  const std::vector<std::uint8_t> lengths = {1, 2, 3, 3};
+  const Codebook cb = Codebook::from_lengths(lengths);
+  const DecodeTable t(cb, 3);
+  ASSERT_EQ(t.multi_entries().size(), 8u);
+
+  // 000 = three 1-bit codewords (saturates kMaxMultiSymbols).
+  const DecodeTable::MultiEntry& m0 = t.multi_entry(0b000);
+  EXPECT_EQ(m0.count, 3);
+  EXPECT_EQ(m0.bits, 3);
+  EXPECT_EQ(m0.symbols[0], 0);
+  EXPECT_EQ(m0.symbols[1], 0);
+  EXPECT_EQ(m0.symbols[2], 0);
+
+  // 010 = codeword 0, then codeword 10: two complete codewords, 3 bits.
+  const DecodeTable::MultiEntry& m2 = t.multi_entry(0b010);
+  EXPECT_EQ(m2.count, 2);
+  EXPECT_EQ(m2.bits, 3);
+  EXPECT_EQ(m2.symbols[0], 0);
+  EXPECT_EQ(m2.symbols[1], 1);
+
+  // 011 = codeword 0, then the prefix 11 of a 3-bit codeword — NOT complete
+  // within the window, so only the first symbol packs.
+  const DecodeTable::MultiEntry& m3 = t.multi_entry(0b011);
+  EXPECT_EQ(m3.count, 1);
+  EXPECT_EQ(m3.bits, 1);
+  EXPECT_EQ(m3.symbols[0], 0);
+
+  // 100 = codeword 10, then codeword 0: both fit exactly.
+  const DecodeTable::MultiEntry& m4 = t.multi_entry(0b100);
+  EXPECT_EQ(m4.count, 2);
+  EXPECT_EQ(m4.bits, 3);
+  EXPECT_EQ(m4.symbols[0], 1);
+  EXPECT_EQ(m4.symbols[1], 0);
+
+  // 110 / 111 = one full-window codeword each.
+  EXPECT_EQ(t.multi_entry(0b110).count, 1);
+  EXPECT_EQ(t.multi_entry(0b110).bits, 3);
+  EXPECT_EQ(t.multi_entry(0b110).symbols[0], 2);
+  EXPECT_EQ(t.multi_entry(0b111).count, 1);
+  EXPECT_EQ(t.multi_entry(0b111).symbols[0], 3);
+}
+
+TEST(MultiEntry, FallbackConditionMatchesSingleEntries) {
+  // Deep codebook: windows whose first codeword exceeds the index width must
+  // be fallbacks in BOTH tables, and every non-fallback multi entry's first
+  // symbol must match the single entry.
+  std::vector<std::uint8_t> lengths;
+  for (std::uint8_t l = 1; l <= 23; ++l) lengths.push_back(l);
+  lengths.push_back(24);
+  lengths.push_back(24);
+  const Codebook cb = Codebook::from_lengths(lengths);
+  const DecodeTable& t = cb.decode_table();
+  for (std::uint32_t w = 0; w < t.entries().size(); ++w) {
+    const DecodeTable::Entry& e = t.entry(w);
+    const DecodeTable::MultiEntry& m = t.multi_entry(w);
+    if (e.len == 0) {
+      EXPECT_EQ(m.count, 0) << "window " << w;
+      EXPECT_EQ(m.bits, 0) << "window " << w;
+    } else {
+      ASSERT_GE(m.count, 1) << "window " << w;
+      EXPECT_EQ(m.symbols[0], e.symbol) << "window " << w;
+      EXPECT_GE(m.bits, e.len) << "window " << w;
+      EXPECT_LE(m.bits, t.index_bits()) << "window " << w;
+    }
+  }
+}
+
+TEST(MultiDecodeEquivalence, RandomizedCodebooksAndStreams) {
+  util::Xoshiro256 rng(202);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint32_t alphabet =
+        static_cast<std::uint32_t>(2 + rng.bounded(1023));
+    const double skew = rng.uniform();
+    const auto data = random_stream(rng, 2000, alphabet, skew);
+    const Codebook cb = Codebook::from_data(data, alphabet);
+    const StreamEncoding enc = encode_plain(data, cb);
+
+    expect_multi_lockstep(enc.units, enc.total_bits, cb, 0, 3000);
+    // Desynchronized garbage starts, including mid-codeword ones.
+    for (int s = 0; s < 8; ++s) {
+      expect_multi_lockstep(enc.units, enc.total_bits, cb,
+                            rng.bounded(enc.total_bits), 200);
+    }
+  }
+}
+
+TEST(MultiDecodeEquivalence, SingleSymbolIncompleteCode) {
+  const std::vector<std::uint16_t> data(64, 0);
+  const Codebook cb = Codebook::from_data(data, 1);
+  const StreamEncoding enc = encode_plain(data, cb);
+  expect_multi_lockstep(enc.units, enc.total_bits, cb, 0, 100);
+  // Garbage hits the unassigned '1' branch (invalid single-bit steps).
+  const std::vector<std::uint32_t> garbage = {0xFFFF0000, 0x12345678};
+  expect_multi_lockstep(garbage, 64, cb, 0, 100);
+  expect_multi_lockstep(garbage, 64, cb, 13, 100);
+}
+
+TEST(MultiDecodeEquivalence, MaxLength24Codes) {
+  std::vector<std::uint8_t> lengths;
+  for (std::uint8_t l = 1; l <= 23; ++l) lengths.push_back(l);
+  lengths.push_back(24);
+  lengths.push_back(24);
+  const Codebook cb = Codebook::from_lengths(lengths);
+  std::vector<std::uint16_t> data;
+  for (std::uint16_t s = 0; s < lengths.size(); ++s) {
+    data.push_back(s);
+    data.push_back(static_cast<std::uint16_t>(lengths.size() - 1 - s));
+  }
+  const StreamEncoding enc = encode_plain(data, cb);
+  expect_multi_lockstep(enc.units, enc.total_bits, cb, 0, 200);
+  util::Xoshiro256 rng(99);
+  for (int s = 0; s < 32; ++s) {
+    expect_multi_lockstep(enc.units, enc.total_bits, cb,
+                          rng.bounded(enc.total_bits), 64);
+  }
+  std::vector<std::uint32_t> garbage(64);
+  for (auto& u : garbage) u = static_cast<std::uint32_t>(rng());
+  expect_multi_lockstep(garbage, garbage.size() * 32, cb, 0, 2000);
+}
+
+TEST(MultiDecodeEquivalence, SharedPooledCodebook) {
+  // The shared-codebook path decodes one chunk's stream with a book built
+  // from a DIFFERENT (pooled) histogram: codewords the chunk never uses
+  // still shape the table. Multi-symbol decode must stay in lockstep.
+  util::Xoshiro256 rng(303);
+  const auto chunk_a = random_stream(rng, 3000, 600, 0.9);
+  const auto chunk_b = random_stream(rng, 3000, 600, 0.2);
+  std::vector<std::uint16_t> pooled = chunk_a;
+  pooled.insert(pooled.end(), chunk_b.begin(), chunk_b.end());
+  const Codebook shared = Codebook::from_data(pooled, 600);
+  for (const auto& chunk : {chunk_a, chunk_b}) {
+    const StreamEncoding enc = encode_plain(chunk, shared);
+    expect_multi_lockstep(enc.units, enc.total_bits, shared, 0, 4000);
+    for (int s = 0; s < 8; ++s) {
+      expect_multi_lockstep(enc.units, enc.total_bits, shared,
+                            rng.bounded(enc.total_bits), 200);
+    }
+  }
 }
 
 }  // namespace

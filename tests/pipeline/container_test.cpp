@@ -156,6 +156,42 @@ TEST(Container, SingleChunkDecodeNeverTouchesOtherFrames) {
   EXPECT_THROW(vandalized.decode_chunk(c3, field, 0), ContainerError);
 }
 
+TEST(Container, DecodeChunkIntoWritesInPlaceIdentically) {
+  // The fused chunk-decode entry point must land the same floats (and the
+  // same timings) in a caller buffer slice as decode_chunk returns, for 1-D
+  // (fused sink) and higher-rank (staged copy) fields alike.
+  const Corpus c = mixed_corpus();
+  for (const char* name : {"hacc1d", "plane2d", "vol3d"}) {
+    const std::size_t field = c.container.field_index(name);
+    const auto& entry = c.container.fields()[field];
+    std::vector<float> buffer(entry.dims.count(),
+                              -12345.0f);  // poison: every slot must be hit
+    FieldDecode merged;
+    for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
+      cudasim::SimContext c1, c2;
+      const auto& rec = entry.chunks[ci];
+      const std::span<float> dest(buffer.data() + rec.elem_offset,
+                                  rec.dims.count());
+      const auto into = c.container.decode_chunk_into(c1, field, ci, dest);
+      const auto whole = c.container.decode_chunk(c2, field, ci);
+      EXPECT_TRUE(into.data.empty());
+      EXPECT_DOUBLE_EQ(into.total_seconds(), whole.total_seconds()) << name;
+      ASSERT_EQ(std::vector<float>(dest.begin(), dest.end()), whole.data)
+          << name << " chunk " << ci;
+    }
+    cudasim::SimContext c3;
+    const FieldDecode full = c.container.decode_field(c3, field);
+    EXPECT_EQ(buffer, full.data) << name;
+
+    // A destination sized to the FIELD instead of the chunk is rejected.
+    cudasim::SimContext c4;
+    if (entry.chunks.size() > 1) {
+      EXPECT_THROW(c.container.decode_chunk_into(c4, field, 0, buffer),
+                   std::invalid_argument);
+    }
+  }
+}
+
 TEST(Container, RangeDecodeMatchesFullDecode) {
   const Corpus c = mixed_corpus();
   const std::size_t field = c.container.field_index("hacc1d");
