@@ -1,0 +1,384 @@
+#include "pipeline/archive_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pipeline/method_selector.hpp"
+#include "pipeline/wire_format.hpp"
+#include "sz/serialize.hpp"
+#include "util/checksum.hpp"
+
+namespace ohd::pipeline {
+
+ArchiveWriter::ArchiveWriter(ByteSink& sink) : sink_(sink) {
+  util::ByteWriter w;
+  wire::write_archive_header(w, kContainerVersion);
+  const auto head = w.take();
+  sink_.write(head);
+}
+
+void ArchiveWriter::begin_field(const ArchiveFieldSpec& spec) {
+  if (finished_) {
+    throw ContainerError("begin_field on a finished archive session");
+  }
+  if (in_field_) {
+    throw ContainerError("begin_field before the previous field ended");
+  }
+  if (!(spec.abs_error_bound > 0.0)) {
+    throw ContainerError("non-positive error bound");
+  }
+  if (spec.radius == 0) {
+    throw ContainerError("zero quantizer radius");
+  }
+  for (const FieldEntry& f : fields_) {
+    if (f.name == spec.name) {
+      throw ContainerError("duplicate field name '" + spec.name + "'");
+    }
+  }
+  current_ = FieldEntry{};
+  current_.name = spec.name;
+  current_.dims = spec.dims;
+  current_.abs_error_bound = spec.abs_error_bound;
+  current_.radius = spec.radius;
+  current_.method = spec.method;
+  current_.shared_codebook = spec.shared_codebook;
+  next_elem_ = 0;
+  in_field_ = true;
+}
+
+void ArchiveWriter::write_chunk(const ChunkExtent& extent,
+                                std::span<const std::uint8_t> frame) {
+  // current_ is default-constructed outside a field session, and the
+  // delegate throws in that case anyway.
+  write_chunk(extent, frame, ChunkMeta{current_.method, CodebookRef::Private});
+}
+
+void ArchiveWriter::write_chunk(const ChunkExtent& extent,
+                                std::span<const std::uint8_t> frame,
+                                const ChunkMeta& meta) {
+  write_chunk(extent, frame, meta, util::crc32(frame));
+}
+
+void ArchiveWriter::write_chunk(const ChunkExtent& extent,
+                                std::span<const std::uint8_t> frame,
+                                const ChunkMeta& meta, std::uint32_t crc32) {
+  if (!in_field_) {
+    throw ContainerError("write_chunk outside a begin_field session");
+  }
+  if (frame.empty()) {
+    throw ContainerError("empty chunk frame");
+  }
+  if (extent.elem_offset != next_elem_) {
+    throw ContainerError("chunk element offsets are not contiguous");
+  }
+  if (extent.dims.count() > current_.dims.count() - next_elem_) {
+    throw ContainerError("chunks do not cover the field");
+  }
+  if (meta.codebook_ref == CodebookRef::SharedField &&
+      current_.shared_codebook == nullptr) {
+    throw ContainerError(
+        "chunk references a shared codebook but the field has none");
+  }
+  ChunkRecord rec;
+  rec.payload_offset = payload_bytes_;
+  rec.payload_bytes = frame.size();
+  rec.elem_offset = extent.elem_offset;
+  rec.dims = extent.dims;
+  rec.method = meta.method;
+  rec.codebook_ref = meta.codebook_ref;
+  rec.crc32 = crc32;
+  // The frame goes straight to the sink; only the index record stays.
+  sink_.write(frame);
+  payload_bytes_ += frame.size();
+  next_elem_ += extent.dims.count();
+  current_.chunks.push_back(rec);
+}
+
+void ArchiveWriter::end_field() {
+  if (!in_field_) {
+    throw ContainerError("end_field without begin_field");
+  }
+  if (current_.chunks.empty()) {
+    throw ContainerError("field has no chunks");
+  }
+  if (next_elem_ != current_.dims.count()) {
+    throw ContainerError("chunks do not cover the field");
+  }
+  fields_.push_back(std::move(current_));
+  current_ = FieldEntry{};
+  in_field_ = false;
+}
+
+std::size_t ArchiveWriter::add_field(const std::string& name,
+                                     std::span<const float> data,
+                                     const sz::Dims& dims,
+                                     const sz::CompressorConfig& config,
+                                     std::size_t chunk_elems,
+                                     const PlanOptions& plan) {
+  compress_field_frames(
+      data, dims, config, chunk_elems, plan,
+      [&](double abs_eb, std::shared_ptr<const huffman::Codebook> shared) {
+        ArchiveFieldSpec spec;
+        spec.name = name;
+        spec.dims = dims;
+        spec.abs_error_bound = abs_eb;
+        spec.radius = config.radius;
+        spec.method = config.method;
+        spec.shared_codebook = std::move(shared);
+        begin_field(spec);
+      },
+      [&](const ChunkExtent& extent, std::vector<std::uint8_t> frame,
+          const ChunkMeta& meta) { write_chunk(extent, frame, meta); });
+  end_field();
+  return fields_.size() - 1;
+}
+
+std::uint64_t ArchiveWriter::finish() {
+  if (finished_) {
+    throw ContainerError("finish on a finished archive session");
+  }
+  if (in_field_) {
+    throw ContainerError("finish with an unclosed field session");
+  }
+  std::uint64_t index_size = 4;  // field count
+  for (const FieldEntry& f : fields_) {
+    index_size += wire::field_entry_bytes(f, kContainerVersion);
+  }
+  // Index and footer share one buffer reserved to the exact tail size, so
+  // the deferred metadata reaches the sink in a single write.
+  util::ByteWriter w;
+  w.reserve(index_size + wire::kFooterBytes);
+  w.u32(static_cast<std::uint32_t>(fields_.size()));
+  for (const FieldEntry& f : fields_) {
+    wire::write_field_entry(w, f, kContainerVersion);
+  }
+
+  wire::Footer footer;
+  footer.index_offset = wire::kHeaderBytes + payload_bytes_;
+  footer.index_bytes = w.size();
+  footer.index_crc32 = util::crc32(w.bytes());
+  footer.field_count = static_cast<std::uint32_t>(fields_.size());
+  footer.payload_bytes = payload_bytes_;
+  wire::write_footer(w, footer);
+
+  sink_.write(w.bytes());
+  sink_.flush();
+  finished_ = true;
+  return wire::kHeaderBytes + payload_bytes_ + w.size();
+}
+
+FrameResidency::FrameResidency(const ArchiveReader& reader,
+                               std::uint64_t bytes)
+    : reader_(reader), bytes_(bytes) {
+  const std::uint64_t live =
+      reader_.live_frame_bytes_.fetch_add(bytes_) + bytes_;
+  std::uint64_t peak = reader_.peak_frame_bytes_.load();
+  while (live > peak &&
+         !reader_.peak_frame_bytes_.compare_exchange_weak(peak, live)) {
+  }
+}
+
+FrameResidency::~FrameResidency() {
+  reader_.live_frame_bytes_.fetch_sub(bytes_);
+}
+
+ArchiveReader::ArchiveReader(const ByteSource& source) : source_(source) {
+  const std::uint64_t total = source_.size();
+  if (total < wire::kHeaderBytes + wire::kFooterBytes) {
+    throw ContainerError("archive too small to hold a header and footer");
+  }
+  std::uint8_t head[wire::kHeaderBytes];
+  source_.read_at(0, head);
+  if (std::memcmp(head, wire::kMagic, 4) != 0) {
+    throw ContainerError("bad magic, expected OHDC");
+  }
+  const std::uint8_t version = head[4];
+  if (version == 1 || version == 2) {
+    throw ContainerError(
+        "version " + std::to_string(version) +
+        " archives are head-indexed whole-buffer images; read them with "
+        "Container::deserialize");
+  }
+  if (version != kContainerVersion) {
+    throw ContainerError("unsupported container version");
+  }
+  if (head[5] != 0 || head[6] != 0 || head[7] != 0) {
+    throw ContainerError("nonzero reserved container bytes");
+  }
+
+  std::uint8_t tail[wire::kFooterBytes];
+  source_.read_at(total - wire::kFooterBytes, tail);
+  const wire::Footer footer = wire::read_footer(tail, total);
+
+  std::vector<std::uint8_t> index(footer.index_bytes);
+  source_.read_at(footer.index_offset, index);
+  fields_ = wire::read_index(index, footer.field_count, footer.index_crc32,
+                             footer.payload_bytes);
+  payload_bytes_ = footer.payload_bytes;
+  resident_bytes_ =
+      wire::kHeaderBytes + footer.index_bytes + wire::kFooterBytes;
+  for (const FieldEntry& f : fields_) {
+    for (const ChunkRecord& rec : f.chunks) {
+      max_frame_bytes_ = std::max(max_frame_bytes_, rec.payload_bytes);
+    }
+  }
+}
+
+std::size_t ArchiveReader::field_index(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  throw ContainerError("no field named '" + name + "' in container");
+}
+
+const ChunkRecord& ArchiveReader::record(std::size_t field,
+                                         std::size_t chunk) const {
+  if (field >= fields_.size()) {
+    throw ContainerError("field index out of range");
+  }
+  if (chunk >= fields_[field].chunks.size()) {
+    throw ContainerError("chunk index out of range");
+  }
+  return fields_[field].chunks[chunk];
+}
+
+std::vector<std::uint8_t> ArchiveReader::fetch_frame(
+    const ChunkRecord& rec) const {
+  std::vector<std::uint8_t> frame(rec.payload_bytes);
+  source_.read_at(wire::kHeaderBytes + rec.payload_offset, frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> ArchiveReader::read_frame(std::size_t field,
+                                                    std::size_t chunk) const {
+  const ChunkRecord& rec = record(field, chunk);
+  const FrameResidency lease(*this, rec.payload_bytes);
+  std::vector<std::uint8_t> frame = fetch_frame(rec);
+  if (util::crc32(frame) != rec.crc32) {
+    throw ContainerError("field '" + fields_[field].name + "' chunk " +
+                         std::to_string(chunk) +
+                         ": CRC-32 mismatch (corrupted frame)");
+  }
+  return frame;
+}
+
+std::vector<std::uint8_t> ArchiveReader::read_frame_unverified(
+    std::size_t field, std::size_t chunk) const {
+  const ChunkRecord& rec = record(field, chunk);
+  const FrameResidency lease(*this, rec.payload_bytes);
+  return fetch_frame(rec);
+}
+
+sz::DecompressionResult ArchiveReader::decode_chunk(
+    cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
+    const core::DecoderConfig& decoder) const {
+  const ChunkRecord& rec = record(field, chunk);
+  const FrameResidency lease(*this, rec.payload_bytes);
+  const std::vector<std::uint8_t> frame = fetch_frame(rec);
+  const sz::CompressedBlob blob =
+      wire::parse_chunk_frame(fields_[field], chunk, frame);
+  return sz::decompress(ctx, blob, decoder);
+}
+
+sz::DecompressionResult ArchiveReader::decode_chunk_into(
+    cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
+    std::span<float> out, const core::DecoderConfig& decoder) const {
+  const ChunkRecord& rec = record(field, chunk);
+  const FrameResidency lease(*this, rec.payload_bytes);
+  const std::vector<std::uint8_t> frame = fetch_frame(rec);
+  const sz::CompressedBlob blob =
+      wire::parse_chunk_frame(fields_[field], chunk, frame);
+  return sz::decompress_into(ctx, blob, out, decoder);
+}
+
+FieldDecode ArchiveReader::decode_field(
+    cudasim::SimContext& ctx, std::size_t field,
+    const core::DecoderConfig& decoder) const {
+  return decode_field_chunks(*this, ctx, field, decoder);
+}
+
+std::vector<float> ArchiveReader::decode_range(
+    cudasim::SimContext& ctx, std::size_t field, std::uint64_t elem_begin,
+    std::uint64_t elem_end, const core::DecoderConfig& decoder) const {
+  return decode_range_chunks(*this, ctx, field, elem_begin, elem_end, decoder);
+}
+
+void ArchiveReader::verify() const {
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    for (std::size_t c = 0; c < fields_[f].chunks.size(); ++c) {
+      const ChunkRecord& rec = fields_[f].chunks[c];
+      const FrameResidency lease(*this, rec.payload_bytes);
+      if (util::crc32(fetch_frame(rec)) != rec.crc32) {
+        throw ContainerError("field '" + fields_[f].name + "' chunk " +
+                             std::to_string(c) +
+                             ": CRC-32 mismatch (corrupted frame)");
+      }
+    }
+  }
+}
+
+void compress_field_frames(
+    std::span<const float> data, const sz::Dims& dims,
+    const sz::CompressorConfig& config, std::size_t chunk_elems,
+    const PlanOptions& plan,
+    const std::function<void(double, std::shared_ptr<const huffman::Codebook>)>&
+        on_plan,
+    const std::function<void(const ChunkExtent&, std::vector<std::uint8_t>,
+                             const ChunkMeta&)>& on_frame) {
+  if (data.size() != dims.count()) {
+    throw ContainerError("field data size does not match dimensions");
+  }
+  if (config.method == core::Method::GapArrayOriginal8Bit) {
+    throw ContainerError(
+        "the 8-bit gap-array method is decode-only and cannot reconstruct "
+        "float fields; pick a multi-byte method for container fields");
+  }
+  if (config.radius == 0) {
+    throw ContainerError("zero quantizer radius");
+  }
+  const double abs_eb = sz::resolve_error_bound(data, config.rel_error_bound);
+  const auto layout = chunk_layout(dims, chunk_elems);
+
+  // Nothing adaptive requested: stream chunk-at-a-time (O(chunk) peak
+  // memory), exactly as before planning existed.
+  if (!plan.auto_method && !plan.shared_codebook) {
+    on_plan(abs_eb, nullptr);
+    for (const ChunkExtent& e : layout) {
+      const auto blob = sz::compress_with_abs_bound(
+          data.subspan(e.elem_offset, e.dims.count()), e.dims, abs_eb, config);
+      on_frame(e, sz::serialize_blob(blob),
+               ChunkMeta{config.method, CodebookRef::Private});
+    }
+    return;
+  }
+
+  // Planned path: quantize every chunk first, so the planner can see the
+  // whole field (pooled histograms for the shared book, per-chunk probes
+  // for method selection) before any encoding commits.
+  std::vector<sz::QuantizedField> quantized;
+  quantized.reserve(layout.size());
+  for (const ChunkExtent& e : layout) {
+    quantized.push_back(sz::quantize_with_abs_bound(
+        data.subspan(e.elem_offset, e.dims.count()), e.dims, abs_eb, config));
+  }
+  const MethodSelector selector(config.decoder);
+  FieldPlan field_plan = plan_field(quantized, config.method, plan, selector);
+
+  std::shared_ptr<const huffman::Codebook> shared;
+  if (field_plan.has_shared_codebook) {
+    shared = std::make_shared<const huffman::Codebook>(
+        std::move(field_plan.shared_codebook));
+  }
+  on_plan(abs_eb, shared);
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    const ChunkPlan& cp = field_plan.chunks[i];
+    on_frame(layout[i],
+             encode_planned_chunk(std::move(quantized[i]), cp, config,
+                                  shared.get()),
+             ChunkMeta{cp.method, cp.use_shared_codebook
+                                      ? CodebookRef::SharedField
+                                      : CodebookRef::Private});
+  }
+}
+
+}  // namespace ohd::pipeline

@@ -1,0 +1,239 @@
+// Streaming archive IO sessions — the public API of the pipeline layer.
+//
+// ArchiveWriter appends a version-3 "OHDC" archive to any ByteSink as an
+// incremental session: open → begin_field(spec) → write_chunk(frame)... →
+// end_field() → finish(). Chunk frames hit the sink the moment they exist —
+// compression can emit frames as worker futures complete — and only the
+// per-chunk index records (a few dozen bytes each) stay resident until
+// finish() writes the deferred index and footer. Peak writer memory is
+// therefore O(index), never O(archive).
+//
+// ArchiveReader opens a v3 archive from any ByteSource footer-first: the
+// trailing 40-byte footer locates the index, the index is read and validated
+// once, and every chunk frame is fetched lazily (one read_at + CRC check per
+// access) — decoding never materializes the archive. Reads are thread-safe,
+// so the batch scheduler overlaps frame IO with ThreadPool decode.
+//
+// The in-memory Container is a thin convenience over the same framing:
+// Container::serialize() runs an ArchiveWriter over a MemorySink, and
+// Container::deserialize() reads versions 1-3. See wire_format.hpp for the
+// byte layout and tests/pipeline/archive_io_test.cpp for the round-trip and
+// robustness properties.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pipeline/byte_stream.hpp"
+#include "pipeline/container.hpp"
+
+namespace ohd::pipeline {
+
+/// Declares one field of a streaming write session before its chunk frames
+/// arrive (the session-API analogue of batch.hpp's FieldSpec, which carries
+/// the uncompressed floats as well).
+struct ArchiveFieldSpec {
+  std::string name;
+  sz::Dims dims;
+  double abs_error_bound = 0.0;
+  std::uint32_t radius = 512;
+  core::Method method = core::Method::GapArrayOptimized;  // field default
+  /// Field-level shared codebook; frames whose ChunkMeta says SharedField
+  /// must have been encoded against it and serialized without their book.
+  std::shared_ptr<const huffman::Codebook> shared_codebook;
+};
+
+/// Incremental archive write session over a ByteSink. Not thread-safe: one
+/// session, one producer (the batch scheduler serializes its deterministic
+/// (field, chunk) collect order through it). Abandoning a session without
+/// finish() leaves the sink holding a headerless torso no reader accepts.
+class ArchiveWriter {
+ public:
+  /// Writes the 8-byte archive head immediately.
+  explicit ArchiveWriter(ByteSink& sink);
+
+  /// Opens a field. Validates the spec (positive error bound and radius,
+  /// unique name) and throws ContainerError on violations.
+  void begin_field(const ArchiveFieldSpec& spec);
+
+  /// Appends one chunk frame (sz::serialize_blob bytes for `extent`) to the
+  /// open field. Extents must arrive contiguously in flat element order.
+  /// The two-argument form records the field's default method with a
+  /// private codebook.
+  void write_chunk(const ChunkExtent& extent,
+                   std::span<const std::uint8_t> frame);
+  void write_chunk(const ChunkExtent& extent,
+                   std::span<const std::uint8_t> frame, const ChunkMeta& meta);
+
+  /// Replay variant: records `crc32` instead of hashing `frame` — for
+  /// producers replaying frames whose checksum is already on record
+  /// (Container::serialize). Besides skipping a payload-sized CRC pass,
+  /// this keeps in-memory corruption of the replayed bytes detectable
+  /// downstream instead of re-stamping a fresh checksum over it.
+  void write_chunk(const ChunkExtent& extent,
+                   std::span<const std::uint8_t> frame, const ChunkMeta& meta,
+                   std::uint32_t crc32);
+
+  /// Closes the open field; throws ContainerError unless its chunks tile the
+  /// declared dims exactly.
+  void end_field();
+
+  /// Compresses `data` chunk by chunk into the session (sequential; the
+  /// parallel path is BatchScheduler::compress_to) — each frame is written
+  /// as soon as it is encoded, so peak memory is O(chunk), not O(field).
+  /// Exactly Container::add_field's semantics, including planning. Returns
+  /// the field index.
+  std::size_t add_field(const std::string& name, std::span<const float> data,
+                        const sz::Dims& dims, const sz::CompressorConfig& config,
+                        std::size_t chunk_elems, const PlanOptions& plan = {});
+
+  /// Writes the deferred index and footer and flushes the sink; the session
+  /// is complete and unusable afterwards. Returns the total archive bytes.
+  std::uint64_t finish();
+
+  bool finished() const { return finished_; }
+  /// True between begin_field and end_field.
+  bool field_open() const { return in_field_; }
+  std::uint64_t payload_bytes() const { return payload_bytes_; }
+  /// Index records accumulated so far (the writer's only per-chunk state).
+  const std::vector<FieldEntry>& fields() const { return fields_; }
+
+ private:
+  ByteSink& sink_;
+  std::vector<FieldEntry> fields_;
+  FieldEntry current_;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t next_elem_ = 0;
+  bool in_field_ = false;
+  bool finished_ = false;
+};
+
+/// Random-access read session over a version-3 archive. Construction reads
+/// ONLY the footer and index; every frame access is a lazy, CRC-checked
+/// fetch. All decode entry points are const and thread-safe (the source
+/// contract requires concurrent read_at), so chunks of one reader can be
+/// decoded from many threads at once.
+class ArchiveReader {
+ public:
+  /// Footer-first open: validates the head, footer, and index (structure,
+  /// CRC, chunk coverage, frame bounds). Throws ContainerError on format
+  /// violations — including versions 1/2, which are whole-buffer formats
+  /// (use Container::deserialize for those) — and ArchiveError on IO
+  /// failures.
+  explicit ArchiveReader(const ByteSource& source);
+
+  const std::vector<FieldEntry>& fields() const { return fields_; }
+
+  /// Field index by name; throws ContainerError on unknown names.
+  std::size_t field_index(const std::string& name) const;
+
+  std::uint64_t payload_bytes() const { return payload_bytes_; }
+  /// Bytes this reader keeps resident after open: head + index + footer.
+  std::uint64_t resident_bytes() const { return resident_bytes_; }
+  /// The largest frame in the index — with resident_bytes() and the worker
+  /// count, the exact peak-memory budget of a streaming decompress.
+  std::uint64_t max_frame_bytes() const { return max_frame_bytes_; }
+
+  /// High-water mark of concurrently fetched frame bytes across all decode
+  /// calls so far (the streaming-decompress residency tests pin this to
+  /// workers * max_frame_bytes()).
+  std::uint64_t peak_frame_bytes() const { return peak_frame_bytes_; }
+
+  /// Fetches one chunk's frame bytes (one source read + CRC check).
+  std::vector<std::uint8_t> read_frame(std::size_t field,
+                                       std::size_t chunk) const;
+
+  /// Fetches one chunk's frame WITHOUT the CRC check — for prefetching
+  /// consumers whose decode path runs the frame through
+  /// wire::parse_chunk_frame (which verifies the CRC) anyway, so the bytes
+  /// are hashed once, on the decoding thread instead of the fetching one.
+  /// Once returned the bytes are caller-owned; wrap them in a FrameResidency
+  /// to keep peak_frame_bytes() honest while they stay resident.
+  std::vector<std::uint8_t> read_frame_unverified(std::size_t field,
+                                                  std::size_t chunk) const;
+
+  /// Decodes ONE chunk — fetch, checksum, frame parse, decompression —
+  /// without reading any other frame's bytes.
+  sz::DecompressionResult decode_chunk(
+      cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
+      const core::DecoderConfig& decoder = {}) const;
+
+  /// Fused variant: reconstructs the chunk's floats straight into `out`
+  /// (sized to the chunk's element count), exactly like
+  /// Container::decode_chunk_into.
+  sz::DecompressionResult decode_chunk_into(
+      cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
+      std::span<float> out, const core::DecoderConfig& decoder = {}) const;
+
+  /// Decodes a whole field chunk by chunk in chunk-id order, one resident
+  /// frame at a time.
+  FieldDecode decode_field(cudasim::SimContext& ctx, std::size_t field,
+                           const core::DecoderConfig& decoder = {}) const;
+
+  /// Decodes only the chunks overlapping [elem_begin, elem_end) and returns
+  /// exactly that element range. (BatchScheduler::decode_range is the
+  /// prefetching parallel variant.)
+  std::vector<float> decode_range(cudasim::SimContext& ctx, std::size_t field,
+                                  std::uint64_t elem_begin,
+                                  std::uint64_t elem_end,
+                                  const core::DecoderConfig& decoder = {}) const;
+
+  /// Streams every frame once and verifies its CRC-32 without decoding;
+  /// throws ContainerError naming the first corrupted field/chunk.
+  void verify() const;
+
+ private:
+  friend class FrameResidency;
+  const ChunkRecord& record(std::size_t field, std::size_t chunk) const;
+  std::vector<std::uint8_t> fetch_frame(const ChunkRecord& rec) const;
+
+  const ByteSource& source_;
+  std::vector<FieldEntry> fields_;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t max_frame_bytes_ = 0;
+  mutable std::atomic<std::uint64_t> live_frame_bytes_{0};
+  mutable std::atomic<std::uint64_t> peak_frame_bytes_{0};
+};
+
+/// RAII accounting of frame bytes held against a reader's residency gauge.
+/// The decode entry points hold one internally for the duration of each
+/// fetch+decode; prefetching consumers (BatchScheduler::decode_range) hold
+/// one per in-flight frame, so peak_frame_bytes() observes every resident
+/// frame wherever it lives — the streaming-memory tests assert against the
+/// gauge instead of trusting call structure.
+class FrameResidency {
+ public:
+  FrameResidency(const ArchiveReader& reader, std::uint64_t bytes);
+  ~FrameResidency();
+  FrameResidency(const FrameResidency&) = delete;
+  FrameResidency& operator=(const FrameResidency&) = delete;
+
+ private:
+  const ArchiveReader& reader_;
+  std::uint64_t bytes_;
+};
+
+/// Compresses one field chunk by chunk under a whole-field error bound and
+/// hands each serialized frame to `on_frame` in chunk order — the single
+/// encode sequence behind Container::add_field and ArchiveWriter::add_field.
+/// `on_plan` fires once, after the error bound and any field plan (method
+/// selection / shared codebook) are resolved but before the first frame.
+void compress_field_frames(
+    std::span<const float> data, const sz::Dims& dims,
+    const sz::CompressorConfig& config, std::size_t chunk_elems,
+    const PlanOptions& plan,
+    const std::function<void(double abs_error_bound,
+                             std::shared_ptr<const huffman::Codebook> shared)>&
+        on_plan,
+    const std::function<void(const ChunkExtent& extent,
+                             std::vector<std::uint8_t> frame,
+                             const ChunkMeta& meta)>& on_frame);
+
+}  // namespace ohd::pipeline

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "cudasim/exec.hpp"
+#include "pipeline/wire_format.hpp"
 #include "sz/serialize.hpp"
 
 namespace ohd::pipeline {
@@ -35,9 +36,70 @@ void wait_all(std::vector<std::future<T>>& futures) noexcept {
   }
 }
 
+/// The shared decompress fan-out: works identically over an in-memory
+/// Container and a streaming ArchiveReader because both expose fields() and
+/// the fused decode_chunk_into. With a reader, each task's frame fetch (IO)
+/// overlaps other tasks' decode work.
+template <typename Archive>
+BatchDecompressResult decompress_archive(ThreadPool& pool,
+                                         const Archive& archive,
+                                         const core::DecoderConfig& decoder) {
+  // Fan out, then collect in deterministic (field, chunk) order via the
+  // same chunk-merge path the sequential decode_field uses. Every field
+  // buffer is allocated BEFORE the fan-out and each task reconstructs its
+  // chunk straight into its (disjoint) slice via the fused decode-write
+  // path, so floats are written once, in place, by whichever worker decodes
+  // the chunk — bit-identical for any worker count, with no per-chunk float
+  // vector or merge copy. On any failure — a submit throw or a CRC mismatch
+  // surfacing through get() — wait out the remaining tasks before
+  // unwinding: they still reference `archive`, `decoder`, and the output
+  // buffers.
+  std::vector<std::vector<std::future<sz::DecompressionResult>>> futures(
+      archive.fields().size());
+  BatchDecompressResult out;
+  out.fields.resize(archive.fields().size());
+  for (std::size_t fi = 0; fi < archive.fields().size(); ++fi) {
+    out.fields[fi].name = archive.fields()[fi].name;
+    out.fields[fi].decode.data.resize(archive.fields()[fi].dims.count());
+  }
+  try {
+    for (std::size_t fi = 0; fi < archive.fields().size(); ++fi) {
+      const FieldEntry& entry = archive.fields()[fi];
+      futures[fi].reserve(entry.chunks.size());
+      for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
+        const std::span<float> dest(
+            out.fields[fi].decode.data.data() + entry.chunks[ci].elem_offset,
+            entry.chunks[ci].dims.count());
+        futures[fi].push_back(
+            pool.submit([&archive, &decoder, fi, ci, dest] {
+              cudasim::SimContext ctx;
+              return archive.decode_chunk_into(ctx, fi, ci, dest, decoder);
+            }));
+      }
+    }
+    for (std::size_t fi = 0; fi < archive.fields().size(); ++fi) {
+      const FieldEntry& entry = archive.fields()[fi];
+      FieldResult& field = out.fields[fi];
+      for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
+        field.decode.absorb_timings(futures[fi][ci].get());
+      }
+      out.phases += field.decode.huffman_phases;
+      out.simulated_seconds += field.decode.simulated_seconds;
+      out.chunk_seconds.insert(out.chunk_seconds.end(),
+                               field.decode.chunk_seconds.begin(),
+                               field.decode.chunk_seconds.end());
+    }
+  } catch (...) {
+    for (auto& field_futures : futures) wait_all(field_futures);
+    throw;
+  }
+  return out;
+}
+
 }  // namespace
 
-Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
+void BatchScheduler::compress_to(ArchiveWriter& writer,
+                                 std::span<const FieldSpec> specs) const {
   // A planned field's quantize tasks also PROBE their chunk (histogram +
   // canonical lengths + statistics) in the pool, so only the cheap pooled
   // work of plan_from_probes stays on the collecting thread.
@@ -60,9 +122,17 @@ Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
     std::vector<ChunkMeta> meta;
   };
 
-  // Phase 1: validate EVERY spec before any task is submitted — once the
-  // fan-out starts, the only exceptions left are ones thrown by the chunk
-  // tasks themselves.
+  // Phase 1: validate EVERY spec — and the writer's session state — before
+  // any task is submitted: once the fan-out starts, the only exceptions left
+  // are ones thrown by the chunk tasks themselves. (The writer re-validates
+  // as frames stream in, but by then failing would abandon a half-written
+  // session after compressing the whole corpus.)
+  if (writer.finished()) {
+    throw ContainerError("compress_to on a finished archive session");
+  }
+  if (writer.field_open()) {
+    throw ContainerError("compress_to with an unclosed field session");
+  }
   std::vector<FieldState> states(specs.size());
   for (std::size_t fi = 0; fi < specs.size(); ++fi) {
     const FieldSpec& spec = specs[fi];
@@ -77,6 +147,11 @@ Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
     }
     if (spec.config.radius == 0) {
       throw ContainerError("field '" + spec.name + "': zero quantizer radius");
+    }
+    for (const FieldEntry& written : writer.fields()) {
+      if (written.name == spec.name) {
+        throw ContainerError("duplicate field name '" + spec.name + "'");
+      }
     }
     for (std::size_t fj = 0; fj < fi; ++fj) {
       if (specs[fj].name == spec.name) {
@@ -95,10 +170,11 @@ Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
   // plan is computed on this thread once the field's quantized chunks are
   // all in (deterministic — a pure function of the field), and the encode
   // tasks fan out immediately after, overlapping with other fields' work.
-  // Phase 3: collect frames in deterministic (field, chunk) order. On ANY
-  // failure — submit or collect — wait out the remaining tasks before
-  // unwinding destroys states/specs.
-  Container container;
+  // Phase 3: stream frames into the writer in deterministic (field, chunk)
+  // order as their futures complete — the sink sees the bytes while later
+  // chunks are still compressing, and nothing accumulates beyond the frame
+  // currently being handed over. On ANY failure — submit or collect — wait
+  // out the remaining tasks before unwinding destroys states/specs.
   try {
     for (std::size_t fi = 0; fi < specs.size(); ++fi) {
       const FieldSpec& spec = specs[fi];
@@ -161,14 +237,25 @@ Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
       }
     }
     for (std::size_t fi = 0; fi < specs.size(); ++fi) {
+      const FieldSpec& spec = specs[fi];
       FieldState& state = states[fi];
-      std::vector<std::vector<std::uint8_t>> frames;
-      frames.reserve(state.frames.size());
-      for (auto& fut : state.frames) frames.push_back(fut.get());
-      container.add_field_frames(specs[fi].name, specs[fi].dims, state.abs_eb,
-                                 specs[fi].config.radius,
-                                 specs[fi].config.method, state.shared,
-                                 state.layout, frames, state.meta);
+      ArchiveFieldSpec field_spec;
+      field_spec.name = spec.name;
+      field_spec.dims = spec.dims;
+      field_spec.abs_error_bound = state.abs_eb;
+      field_spec.radius = spec.config.radius;
+      field_spec.method = spec.config.method;
+      field_spec.shared_codebook = state.shared;
+      writer.begin_field(field_spec);
+      for (std::size_t ci = 0; ci < state.frames.size(); ++ci) {
+        const std::vector<std::uint8_t> frame = state.frames[ci].get();
+        writer.write_chunk(state.layout[ci], frame,
+                           state.meta.empty()
+                               ? ChunkMeta{spec.config.method,
+                                           CodebookRef::Private}
+                               : state.meta[ci]);
+      }
+      writer.end_field();
     }
   } catch (...) {
     for (FieldState& state : states) {
@@ -177,58 +264,133 @@ Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
     }
     throw;
   }
-  return container;
+}
+
+Container BatchScheduler::compress(std::span<const FieldSpec> specs) const {
+  MemorySink sink;
+  ArchiveWriter writer(sink);
+  compress_to(writer, specs);
+  // Adopt the session's index records and payload directly instead of
+  // finishing an image and re-parsing bytes this process just produced and
+  // validated on write: one archive copy, and the CRCs recorded at write
+  // time stay authoritative. (The sink holds header + payload; the index
+  // and footer were never needed.)
+  std::vector<std::uint8_t> payload = sink.take();
+  payload.erase(payload.begin(),
+                payload.begin() +
+                    static_cast<std::ptrdiff_t>(wire::kHeaderBytes));
+  return Container::adopt(writer.fields(), std::move(payload));
 }
 
 BatchDecompressResult BatchScheduler::decompress(
     const Container& container, const core::DecoderConfig& decoder) const {
-  // Fan out, then collect in deterministic (field, chunk) order via the
-  // same chunk-merge path the sequential decode_field uses. Every field
-  // buffer is allocated BEFORE the fan-out and each task reconstructs its
-  // chunk straight into its (disjoint) slice via the fused decode-write
-  // path, so floats are written once, in place, by whichever worker decodes
-  // the chunk — bit-identical for any worker count, with no per-chunk float
-  // vector or merge copy. On any failure — a submit throw or a CRC mismatch
-  // surfacing through get() — wait out the remaining tasks before
-  // unwinding: they still reference `container`, `decoder`, and the output
-  // buffers.
-  std::vector<std::vector<std::future<sz::DecompressionResult>>> futures(
-      container.fields().size());
-  BatchDecompressResult out;
-  out.fields.resize(container.fields().size());
-  for (std::size_t fi = 0; fi < container.fields().size(); ++fi) {
-    out.fields[fi].name = container.fields()[fi].name;
-    out.fields[fi].decode.data.resize(container.fields()[fi].dims.count());
+  return decompress_archive(pool_, container, decoder);
+}
+
+BatchDecompressResult BatchScheduler::decompress(
+    const ArchiveReader& reader, const core::DecoderConfig& decoder) const {
+  return decompress_archive(pool_, reader, decoder);
+}
+
+std::vector<float> BatchScheduler::decode_range(
+    const ArchiveReader& reader, std::size_t field, std::uint64_t elem_begin,
+    std::uint64_t elem_end, const core::DecoderConfig& decoder) const {
+  const std::vector<FieldEntry>& fields = reader.fields();
+  if (field >= fields.size()) {
+    throw ContainerError("field index out of range");
   }
+  const FieldEntry& f = fields[field];
+  if (elem_begin > elem_end || elem_end > f.dims.count()) {
+    throw ContainerError("element range out of bounds");
+  }
+  std::vector<float> out(elem_end - elem_begin);
+
+  // One entry per overlapping chunk, in chunk order. Interior chunks decode
+  // straight into their slice of `out` (fused write); boundary chunks decode
+  // to a task-local vector whose window is copied during the ordered merge.
+  struct Window {
+    std::size_t chunk = 0;
+    std::uint64_t lo = 0;  // absolute element range to copy (boundary only)
+    std::uint64_t hi = 0;
+    bool interior = false;
+  };
+  // A prefetched frame keeps a residency lease for its whole in-flight
+  // lifetime, so the reader's peak_frame_bytes() gauge observes this path
+  // exactly like the decompress fan-out. The frame is fetched UNVERIFIED:
+  // the decode task's parse_chunk_frame checks the CRC, so the bytes are
+  // hashed once, on the pool, keeping the calling thread IO-bound.
+  struct Prefetched {
+    Prefetched(const ArchiveReader& r, std::vector<std::uint8_t> b)
+        : lease(r, b.size()), bytes(std::move(b)) {}
+    FrameResidency lease;
+    std::vector<std::uint8_t> bytes;
+  };
+  // Backpressure: at most `window` frames in flight — the prefetch runs
+  // ahead of decode by a bounded margin, so a range spanning many chunks
+  // stays at O(window * frame), never O(range).
+  const std::size_t window = std::max<std::size_t>(2, 2 * pool_.size());
+  std::vector<Window> windows;
+  std::vector<std::future<std::vector<float>>> futures;
+  // Reserve up front: a push_back reallocation throwing AFTER submit would
+  // orphan an enqueued task that still writes through `dest` into `out`
+  // (the same reason decompress_archive reserves before its fan-out).
+  windows.reserve(f.chunks.size());
+  futures.reserve(f.chunks.size());
+  std::size_t collected = 0;
+  const auto collect_one = [&] {
+    const std::vector<float> floats = futures[collected].get();
+    const Window& w = windows[collected];
+    ++collected;
+    if (w.interior) return;
+    const std::uint64_t chunk_begin = f.chunks[w.chunk].elem_offset;
+    std::copy(floats.begin() + static_cast<std::ptrdiff_t>(w.lo - chunk_begin),
+              floats.begin() + static_cast<std::ptrdiff_t>(w.hi - chunk_begin),
+              out.begin() + static_cast<std::ptrdiff_t>(w.lo - elem_begin));
+  };
   try {
-    for (std::size_t fi = 0; fi < container.fields().size(); ++fi) {
-      const FieldEntry& entry = container.fields()[fi];
-      futures[fi].reserve(entry.chunks.size());
-      for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
-        const std::span<float> dest(
-            out.fields[fi].decode.data.data() + entry.chunks[ci].elem_offset,
-            entry.chunks[ci].dims.count());
-        futures[fi].push_back(
-            pool_.submit([&container, &decoder, fi, ci, dest] {
-              cudasim::SimContext ctx;
-              return container.decode_chunk_into(ctx, fi, ci, dest, decoder);
-            }));
+    for (std::size_t c = 0; c < f.chunks.size(); ++c) {
+      const ChunkRecord& rec = f.chunks[c];
+      const std::uint64_t chunk_begin = rec.elem_offset;
+      const std::uint64_t chunk_end = chunk_begin + rec.dims.count();
+      if (chunk_end <= elem_begin || chunk_begin >= elem_end) continue;
+      while (futures.size() - collected >= window) collect_one();
+      // Prefetch: the frame's IO happens here, on the calling thread, while
+      // the decode tasks of previously fetched chunks run on the pool.
+      auto frame = std::make_shared<const Prefetched>(
+          reader, reader.read_frame_unverified(field, c));
+      Window w;
+      w.chunk = c;
+      w.lo = std::max(chunk_begin, elem_begin);
+      w.hi = std::min(chunk_end, elem_end);
+      w.interior = chunk_begin >= elem_begin && chunk_end <= elem_end;
+      if (w.interior) {
+        const std::span<float> dest(out.data() + (chunk_begin - elem_begin),
+                                    rec.dims.count());
+        futures.push_back(pool_.submit([&f, c, frame, dest, &decoder]() mutable {
+          cudasim::SimContext ctx;
+          const sz::CompressedBlob blob =
+              wire::parse_chunk_frame(f, c, frame->bytes);
+          // The blob owns its data: drop the frame (and its residency lease)
+          // before the decode, and before the future can become ready.
+          frame.reset();
+          sz::decompress_into(ctx, blob, dest, decoder);
+          return std::vector<float>();
+        }));
+      } else {
+        futures.push_back(pool_.submit([&f, c, frame, &decoder]() mutable {
+          cudasim::SimContext ctx;
+          const sz::CompressedBlob blob =
+              wire::parse_chunk_frame(f, c, frame->bytes);
+          frame.reset();
+          sz::DecompressionResult r = sz::decompress(ctx, blob, decoder);
+          return std::move(r.data);
+        }));
       }
+      windows.push_back(w);
     }
-    for (std::size_t fi = 0; fi < container.fields().size(); ++fi) {
-      const FieldEntry& entry = container.fields()[fi];
-      FieldResult& field = out.fields[fi];
-      for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
-        field.decode.absorb_timings(futures[fi][ci].get());
-      }
-      out.phases += field.decode.huffman_phases;
-      out.simulated_seconds += field.decode.simulated_seconds;
-      out.chunk_seconds.insert(out.chunk_seconds.end(),
-                               field.decode.chunk_seconds.begin(),
-                               field.decode.chunk_seconds.end());
-    }
+    while (collected < windows.size()) collect_one();
   } catch (...) {
-    for (auto& field_futures : futures) wait_all(field_futures);
+    wait_all(futures);
     throw;
   }
   return out;

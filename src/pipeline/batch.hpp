@@ -5,6 +5,13 @@
 // fresh cudasim::SimContext, so simulated timings are a pure function of the
 // chunk, never of scheduling.
 //
+// Both directions are built on the streaming archive sessions
+// (pipeline/archive_io.hpp): compress_to emits frames into an ArchiveWriter
+// as their futures complete, and decompress(ArchiveReader&) fetches frames
+// lazily from the reader's ByteSource inside the decode tasks — compression
+// and decompression overlap IO with compute instead of serializing behind a
+// whole-archive memory image.
+//
 // Two notions of parallelism live here, deliberately separate:
 //  * the ThreadPool parallelizes the HOST-side functional simulation (real
 //    wall-clock speedup on multicore machines);
@@ -21,6 +28,7 @@
 
 #include "core/decode_result.hpp"
 #include "core/huffman_codec.hpp"
+#include "pipeline/archive_io.hpp"
 #include "pipeline/container.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "sz/compressor.hpp"
@@ -62,15 +70,41 @@ class BatchScheduler {
  public:
   explicit BatchScheduler(ThreadPool& pool) : pool_(pool) {}
 
-  /// Compresses every chunk of every field concurrently and assembles the
-  /// container in (field, chunk) order — byte-identical output for any
-  /// worker count.
+  /// Compresses every chunk of every field concurrently and STREAMS the
+  /// archive into `writer` — each frame is handed to the sink the moment its
+  /// future completes in deterministic (field, chunk) order, overlapping the
+  /// IO of finished chunks with the compression of later ones. Byte-identical
+  /// output for any worker count. The caller finishes the session (the
+  /// writer stays open so more fields can follow).
+  void compress_to(ArchiveWriter& writer, std::span<const FieldSpec> specs) const;
+
+  /// In-memory convenience over compress_to: runs the same streaming session
+  /// into a MemorySink and reopens it as a Container — byte-identical
+  /// archives for any worker count.
   Container compress(std::span<const FieldSpec> specs) const;
 
   /// Decompresses every chunk of every field concurrently; per-field floats
   /// and all timing aggregates are merged in chunk-id order.
   BatchDecompressResult decompress(const Container& container,
                                    const core::DecoderConfig& decoder = {}) const;
+
+  /// Streaming variant: every chunk task lazily fetches its frame from the
+  /// reader's ByteSource and decodes it into its slice of the preallocated
+  /// field buffer, so frame IO overlaps decode across workers and peak
+  /// archive residency stays at reader.resident_bytes() plus at most one
+  /// in-flight frame per worker — the archive bytes are never materialized.
+  BatchDecompressResult decompress(const ArchiveReader& reader,
+                                   const core::DecoderConfig& decoder = {}) const;
+
+  /// Prefetching async range decode: the calling thread fetches the frames
+  /// of the chunks overlapping [elem_begin, elem_end) in chunk order (IO)
+  /// while decode tasks for already-fetched frames run on the pool, so the
+  /// fetch of chunk c+1 overlaps the decode of chunk c. Results merge in
+  /// chunk order — bit-identical to ArchiveReader::decode_range.
+  std::vector<float> decode_range(const ArchiveReader& reader,
+                                  std::size_t field, std::uint64_t elem_begin,
+                                  std::uint64_t elem_end,
+                                  const core::DecoderConfig& decoder = {}) const;
 
   /// Decode-only batch over raw encoded streams (covers the decode-only
   /// 8-bit gap-array method too); results in stream order.

@@ -1,0 +1,110 @@
+#include "pipeline/byte_stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ohd::pipeline {
+
+void MemorySource::read_at(std::uint64_t offset,
+                           std::span<std::uint8_t> out) const {
+  if (out.empty()) return;
+  if (offset > bytes_.size() || out.size() > bytes_.size() - offset) {
+    throw ArchiveError("read past the end of the archive bytes");
+  }
+  std::memcpy(out.data(), bytes_.data() + offset, out.size());
+}
+
+FileSink::FileSink(const std::string& path)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw ArchiveError("cannot open '" + path + "' for writing");
+  }
+}
+
+void FileSink::write(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!out_) {
+    throw ArchiveError("write to '" + path_ + "' failed");
+  }
+  written_ += bytes.size();
+}
+
+void FileSink::flush() {
+  out_.flush();
+  if (!out_) {
+    throw ArchiveError("flush of '" + path_ + "' failed");
+  }
+}
+
+FileSource::FileSource(const std::string& path)
+    : path_(path), in_(path, std::ios::binary | std::ios::ate) {
+  if (!in_) {
+    throw ArchiveError("cannot open '" + path + "' for reading");
+  }
+  size_ = static_cast<std::uint64_t>(in_.tellg());
+}
+
+void FileSource::read_at(std::uint64_t offset,
+                         std::span<std::uint8_t> out) const {
+  if (out.empty()) return;
+  if (offset > size_ || out.size() > size_ - offset) {
+    throw ArchiveError("read past the end of '" + path_ + "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  in_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(out.size()));
+  if (!in_ || static_cast<std::uint64_t>(in_.gcount()) != out.size()) {
+    throw ArchiveError("short read from '" + path_ + "'");
+  }
+}
+
+BoundedRingSink::BoundedRingSink(std::size_t capacity) : ring_(capacity) {
+  if (capacity == 0) {
+    throw ArchiveError("ring sink capacity must be positive");
+  }
+}
+
+void BoundedRingSink::write(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > ring_.size() - buffered_) {
+    throw ArchiveError(
+        "ring sink overflow: " + std::to_string(buffered_ + bytes.size()) +
+        " buffered bytes exceed the " + std::to_string(ring_.size()) +
+        "-byte capacity (the producer is not streaming)");
+  }
+  std::size_t tail = (head_ + buffered_) % ring_.size();
+  for (std::uint8_t b : bytes) {
+    ring_[tail] = b;
+    tail = tail + 1 == ring_.size() ? 0 : tail + 1;
+  }
+  buffered_ += bytes.size();
+  written_ += bytes.size();
+  peak_ = std::max(peak_, buffered_);
+}
+
+std::vector<std::uint8_t> BoundedRingSink::drain() {
+  std::vector<std::uint8_t> out;
+  out.reserve(buffered_);
+  while (buffered_ > 0) {
+    out.push_back(ring_[head_]);
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    --buffered_;
+  }
+  head_ = 0;
+  return out;
+}
+
+void TrackingSource::read_at(std::uint64_t offset,
+                             std::span<std::uint8_t> out) const {
+  inner_.read_at(offset, out);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++reads_;
+  bytes_read_ += out.size();
+  max_read_ = std::max<std::uint64_t>(max_read_, out.size());
+}
+
+}  // namespace ohd::pipeline

@@ -1,0 +1,177 @@
+// Byte sinks and sources: the IO boundary of the streaming archive sessions
+// (pipeline/archive_io.hpp). An ArchiveWriter appends to a ByteSink and never
+// rewinds; an ArchiveReader random-accesses a ByteSource (footer-first open,
+// lazy per-chunk frame fetches). Implementations here cover the three
+// deployment shapes — resident memory, files, and a bounded staging ring for
+// tests that must prove a producer streams instead of accumulating — plus a
+// read-traffic tracker for laziness assertions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ohd::pipeline {
+
+/// IO failure or truncated/overrun access on a sink or source. Derives from
+/// std::invalid_argument so archive consumers can handle it uniformly with
+/// the format errors (ContainerError): a short read from a truncated archive
+/// IS invalid input.
+class ArchiveError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Append-only byte consumer. Writers never seek: the archive format defers
+/// its index and footer to the end precisely so a sink can be a socket, a
+/// pipe, or an O_APPEND file.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  /// Appends `bytes`; throws ArchiveError on IO failure.
+  virtual void write(std::span<const std::uint8_t> bytes) = 0;
+
+  /// Total bytes written so far.
+  virtual std::uint64_t position() const = 0;
+
+  /// Pushes buffered bytes to the backing store (no-op by default).
+  virtual void flush() {}
+};
+
+/// Random-access byte producer. `read_at` must be safe to call from multiple
+/// threads concurrently — the batch scheduler fetches chunk frames from
+/// worker threads so IO overlaps decode.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  virtual std::uint64_t size() const = 0;
+
+  /// Fills `out` with the bytes at [offset, offset + out.size()); throws
+  /// ArchiveError if the range extends past the end or the read fails.
+  virtual void read_at(std::uint64_t offset,
+                       std::span<std::uint8_t> out) const = 0;
+};
+
+/// Sink over an owned, growing vector — the in-memory convenience path
+/// (Container::serialize builds on it).
+class MemorySink : public ByteSink {
+ public:
+  void write(std::span<const std::uint8_t> bytes) override {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+  std::uint64_t position() const override { return buf_.size(); }
+
+  /// Preallocates when the final archive size is known up front
+  /// (Container::serialized_size()).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Source over caller-owned bytes (kept alive by the caller).
+class MemorySource : public ByteSource {
+ public:
+  explicit MemorySource(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t size() const override { return bytes_.size(); }
+  void read_at(std::uint64_t offset,
+               std::span<std::uint8_t> out) const override;
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+};
+
+/// Sink over a freshly created (truncated) file.
+class FileSink : public ByteSink {
+ public:
+  explicit FileSink(const std::string& path);
+
+  void write(std::span<const std::uint8_t> bytes) override;
+  std::uint64_t position() const override { return written_; }
+  void flush() override;
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t written_ = 0;
+};
+
+/// Source over an existing file; read_at serializes seek+read behind a mutex
+/// so concurrent chunk fetches are safe.
+class FileSource : public ByteSource {
+ public:
+  explicit FileSource(const std::string& path);
+
+  std::uint64_t size() const override { return size_; }
+  void read_at(std::uint64_t offset,
+               std::span<std::uint8_t> out) const override;
+
+ private:
+  std::string path_;
+  mutable std::mutex mutex_;
+  mutable std::ifstream in_;
+  std::uint64_t size_ = 0;
+};
+
+/// Test sink: a fixed-capacity FIFO ring. write() throws ArchiveError the
+/// moment the UNDRAINED bytes would exceed the capacity, so a test that
+/// drains between writes proves its producer streams with bounded staging
+/// memory instead of accumulating the whole archive; peak_buffered() is the
+/// high-water mark actually reached.
+class BoundedRingSink : public ByteSink {
+ public:
+  explicit BoundedRingSink(std::size_t capacity);
+
+  void write(std::span<const std::uint8_t> bytes) override;
+  std::uint64_t position() const override { return written_; }
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t buffered() const { return buffered_; }
+  std::size_t peak_buffered() const { return peak_; }
+
+  /// Removes and returns the buffered bytes in write order.
+  std::vector<std::uint8_t> drain();
+
+ private:
+  std::vector<std::uint8_t> ring_;  // fixed storage, wrap-around addressing
+  std::size_t head_ = 0;            // index of the oldest buffered byte
+  std::size_t buffered_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t written_ = 0;
+};
+
+/// Test wrapper: counts the read traffic a consumer generates against an
+/// inner source, so laziness is assertable ("opening the archive read only
+/// the footer and index; decoding one chunk added exactly its frame").
+class TrackingSource : public ByteSource {
+ public:
+  explicit TrackingSource(const ByteSource& inner) : inner_(inner) {}
+
+  std::uint64_t size() const override { return inner_.size(); }
+  void read_at(std::uint64_t offset,
+               std::span<std::uint8_t> out) const override;
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t max_read_bytes() const { return max_read_; }
+
+ private:
+  const ByteSource& inner_;
+  mutable std::mutex mutex_;
+  mutable std::uint64_t reads_ = 0;
+  mutable std::uint64_t bytes_read_ = 0;
+  mutable std::uint64_t max_read_ = 0;
+};
+
+}  // namespace ohd::pipeline

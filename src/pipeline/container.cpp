@@ -4,89 +4,13 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "pipeline/archive_io.hpp"
+#include "pipeline/wire_format.hpp"
 #include "sz/serialize.hpp"
 #include "util/bytes.hpp"
 #include "util/checksum.hpp"
 
 namespace ohd::pipeline {
-
-namespace {
-
-constexpr char kMagic[4] = {'O', 'H', 'D', 'C'};
-
-// Fixed wire sizes of one chunk record per container version, used to bound
-// untrusted chunk counts before looping (see the layout table in
-// container.hpp). Version 2 adds the codebook-ref byte.
-constexpr std::uint64_t kChunkRecordBytesV1 = 8 + 8 + 8 + 4 + 24 + 1 + 4;
-constexpr std::uint64_t kChunkRecordBytesV2 = kChunkRecordBytesV1 + 1;
-
-CodebookRef parse_codebook_ref(std::uint8_t tag) {
-  switch (static_cast<CodebookRef>(tag)) {
-    case CodebookRef::Private:
-    case CodebookRef::SharedField:
-      return static_cast<CodebookRef>(tag);
-  }
-  throw ContainerError("unknown codebook-ref tag in container");
-}
-
-core::Method parse_method_tag(std::uint8_t tag) {
-  const auto method = static_cast<core::Method>(tag);
-  switch (method) {
-    case core::Method::CuszNaive:
-    case core::Method::SelfSyncOriginal:
-    case core::Method::SelfSyncOptimized:
-    case core::Method::GapArrayOriginal8Bit:
-    case core::Method::GapArrayOptimized:
-      return method;
-  }
-  throw ContainerError("unknown method tag in container");
-}
-
-void write_dims(util::ByteWriter& w, const sz::Dims& dims) {
-  w.u32(dims.rank);
-  for (std::size_t e : dims.extent) w.u64(e);
-}
-
-sz::Dims read_dims(util::ByteReader& r) {
-  sz::Dims dims;
-  dims.rank = r.u32();
-  if (dims.rank < 1 || dims.rank > 3) {
-    throw ContainerError("implausible rank in container");
-  }
-  for (std::size_t i = 0; i < dims.extent.size(); ++i) {
-    dims.extent[i] = r.u64();
-    if (dims.extent[i] == 0 || (i >= dims.rank && dims.extent[i] != 1)) {
-      throw ContainerError("implausible extent in container");
-    }
-  }
-  if (dims.count_overflows()) {
-    throw ContainerError("extent product overflows in container");
-  }
-  return dims;
-}
-
-/// Chunk extents must tile the field contiguously in flat element order.
-void check_coverage(const sz::Dims& field_dims,
-                    std::span<const ChunkExtent> layout) {
-  if (layout.empty()) {
-    throw ContainerError("field has no chunks");
-  }
-  std::uint64_t next = 0;
-  for (const ChunkExtent& e : layout) {
-    if (e.elem_offset != next) {
-      throw ContainerError("chunk element offsets are not contiguous");
-    }
-    if (e.dims.count() > field_dims.count() - next) {
-      throw ContainerError("chunks do not cover the field");
-    }
-    next += e.dims.count();
-  }
-  if (next != field_dims.count()) {
-    throw ContainerError("chunks do not cover the field");
-  }
-}
-
-}  // namespace
 
 void FieldDecode::absorb_timings(const sz::DecompressionResult& chunk) {
   huffman_phases += chunk.huffman_phases;
@@ -129,64 +53,25 @@ std::size_t Container::add_field(const std::string& name,
                                  const sz::CompressorConfig& config,
                                  std::size_t chunk_elems,
                                  const PlanOptions& plan) {
-  if (data.size() != dims.count()) {
-    throw ContainerError("field data size does not match dimensions");
-  }
-  if (config.method == core::Method::GapArrayOriginal8Bit) {
-    throw ContainerError(
-        "the 8-bit gap-array method is decode-only and cannot reconstruct "
-        "float fields; pick a multi-byte method for container fields");
-  }
-  if (config.radius == 0) {
-    throw ContainerError("zero quantizer radius");
-  }
-  const double abs_eb = sz::resolve_error_bound(data, config.rel_error_bound);
-  const auto layout = chunk_layout(dims, chunk_elems);
-
-  // Nothing adaptive requested: stream chunk-at-a-time (O(chunk) peak
-  // memory), exactly as before planning existed.
-  if (!plan.auto_method && !plan.shared_codebook) {
-    std::vector<std::vector<std::uint8_t>> frames;
-    frames.reserve(layout.size());
-    for (const ChunkExtent& e : layout) {
-      const auto blob = sz::compress_with_abs_bound(
-          data.subspan(e.elem_offset, e.dims.count()), e.dims, abs_eb, config);
-      frames.push_back(sz::serialize_blob(blob));
-    }
-    return add_field_frames(name, dims, abs_eb, config.radius, config.method,
-                            layout, frames);
-  }
-
-  // Planned path: quantize every chunk first, so the planner can see the
-  // whole field (pooled histograms for the shared book, per-chunk probes
-  // for method selection) before any encoding commits.
-  std::vector<sz::QuantizedField> quantized;
-  quantized.reserve(layout.size());
-  for (const ChunkExtent& e : layout) {
-    quantized.push_back(sz::quantize_with_abs_bound(
-        data.subspan(e.elem_offset, e.dims.count()), e.dims, abs_eb, config));
-  }
-  const MethodSelector selector(config.decoder);
-  FieldPlan field_plan =
-      plan_field(quantized, config.method, plan, selector);
-
+  // The shared encode sequence of the streaming sessions, collected into
+  // in-memory frames and appended through the common validation path.
+  double abs_eb = 0.0;
   std::shared_ptr<const huffman::Codebook> shared;
-  if (field_plan.has_shared_codebook) {
-    shared = std::make_shared<const huffman::Codebook>(
-        std::move(field_plan.shared_codebook));
-  }
+  std::vector<ChunkExtent> layout;
   std::vector<std::vector<std::uint8_t>> frames;
   std::vector<ChunkMeta> meta;
-  frames.reserve(layout.size());
-  meta.reserve(layout.size());
-  for (std::size_t i = 0; i < layout.size(); ++i) {
-    const ChunkPlan& cp = field_plan.chunks[i];
-    frames.push_back(encode_planned_chunk(std::move(quantized[i]), cp, config,
-                                          shared.get()));
-    meta.push_back({cp.method, cp.use_shared_codebook
-                                   ? CodebookRef::SharedField
-                                   : CodebookRef::Private});
-  }
+  compress_field_frames(
+      data, dims, config, chunk_elems, plan,
+      [&](double eb, std::shared_ptr<const huffman::Codebook> book) {
+        abs_eb = eb;
+        shared = std::move(book);
+      },
+      [&](const ChunkExtent& extent, std::vector<std::uint8_t> frame,
+          const ChunkMeta& m) {
+        layout.push_back(extent);
+        frames.push_back(std::move(frame));
+        meta.push_back(m);
+      });
   return add_field_frames(name, dims, abs_eb, config.radius, config.method,
                           std::move(shared), layout, frames, meta);
 }
@@ -219,7 +104,7 @@ std::size_t Container::add_field_frames(
   if (!meta.empty() && meta.size() != layout.size()) {
     throw ContainerError("chunk meta count does not match chunk layout");
   }
-  check_coverage(dims, layout);
+  wire::check_coverage(dims, layout);
   for (const FieldEntry& f : fields_) {
     if (f.name == name) {
       throw ContainerError("duplicate field name '" + name + "'");
@@ -259,6 +144,14 @@ std::size_t Container::add_field_frames(
   return fields_.size() - 1;
 }
 
+Container Container::adopt(std::vector<FieldEntry> fields,
+                           std::vector<std::uint8_t> payload) {
+  Container c;
+  c.fields_ = std::move(fields);
+  c.payload_ = std::move(payload);
+  return c;
+}
+
 std::size_t Container::field_index(const std::string& name) const {
   for (std::size_t i = 0; i < fields_.size(); ++i) {
     if (fields_[i].name == name) return i;
@@ -284,95 +177,34 @@ std::span<const std::uint8_t> Container::frame_bytes(std::size_t field,
                                        rec.payload_bytes);
 }
 
-namespace {
-
-/// Checksum + parse + geometry validation shared by the chunk decoders.
-sz::CompressedBlob parse_chunk_blob(const FieldEntry& field,
-                                    const ChunkRecord& rec,
-                                    std::span<const std::uint8_t> frame,
-                                    std::size_t chunk) {
-  if (util::crc32(frame) != rec.crc32) {
-    throw ContainerError("field '" + field.name + "' chunk " +
-                         std::to_string(chunk) +
-                         ": CRC-32 mismatch (corrupted frame)");
-  }
-  const huffman::Codebook* shared =
-      rec.codebook_ref == CodebookRef::SharedField
-          ? field.shared_codebook.get()
-          : nullptr;
-  sz::CompressedBlob blob = sz::deserialize_blob(frame, shared);
-  if (blob.dims.count() != rec.dims.count()) {
-    throw ContainerError("field '" + field.name + "' chunk " +
-                         std::to_string(chunk) +
-                         ": frame geometry disagrees with the index");
-  }
-  return blob;
-}
-
-}  // namespace
-
 sz::DecompressionResult Container::decode_chunk(
     cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
     const core::DecoderConfig& decoder) const {
-  const ChunkRecord& rec = record(field, chunk);
-  const sz::CompressedBlob blob = parse_chunk_blob(
-      fields_[field], rec, frame_bytes(field, chunk), chunk);
+  record(field, chunk);
+  const sz::CompressedBlob blob = wire::parse_chunk_frame(
+      fields_[field], chunk, frame_bytes(field, chunk));
   return sz::decompress(ctx, blob, decoder);
 }
 
 sz::DecompressionResult Container::decode_chunk_into(
     cudasim::SimContext& ctx, std::size_t field, std::size_t chunk,
     std::span<float> out, const core::DecoderConfig& decoder) const {
-  const ChunkRecord& rec = record(field, chunk);
-  const sz::CompressedBlob blob = parse_chunk_blob(
-      fields_[field], rec, frame_bytes(field, chunk), chunk);
+  record(field, chunk);
+  const sz::CompressedBlob blob = wire::parse_chunk_frame(
+      fields_[field], chunk, frame_bytes(field, chunk));
   return sz::decompress_into(ctx, blob, out, decoder);
 }
 
 FieldDecode Container::decode_field(cudasim::SimContext& ctx,
                                     std::size_t field,
                                     const core::DecoderConfig& decoder) const {
-  if (field >= fields_.size()) {
-    throw ContainerError("field index out of range");
-  }
-  const FieldEntry& f = fields_[field];
-  FieldDecode out;
-  out.data.resize(f.dims.count());
-  out.chunk_seconds.reserve(f.chunks.size());
-  for (std::size_t c = 0; c < f.chunks.size(); ++c) {
-    // Fused write: each chunk reconstructs straight into its slice of the
-    // field buffer.
-    const std::span<float> dest(out.data.data() + f.chunks[c].elem_offset,
-                                f.chunks[c].dims.count());
-    out.absorb_timings(decode_chunk_into(ctx, field, c, dest, decoder));
-  }
-  return out;
+  return decode_field_chunks(*this, ctx, field, decoder);
 }
 
 std::vector<float> Container::decode_range(
     cudasim::SimContext& ctx, std::size_t field, std::uint64_t elem_begin,
     std::uint64_t elem_end, const core::DecoderConfig& decoder) const {
-  if (field >= fields_.size()) {
-    throw ContainerError("field index out of range");
-  }
-  const FieldEntry& f = fields_[field];
-  if (elem_begin > elem_end || elem_end > f.dims.count()) {
-    throw ContainerError("element range out of bounds");
-  }
-  std::vector<float> out(elem_end - elem_begin);
-  for (std::size_t c = 0; c < f.chunks.size(); ++c) {
-    const ChunkRecord& rec = f.chunks[c];
-    const std::uint64_t chunk_begin = rec.elem_offset;
-    const std::uint64_t chunk_end = chunk_begin + rec.dims.count();
-    if (chunk_end <= elem_begin || chunk_begin >= elem_end) continue;
-    const sz::DecompressionResult r = decode_chunk(ctx, field, c, decoder);
-    const std::uint64_t lo = std::max(chunk_begin, elem_begin);
-    const std::uint64_t hi = std::min(chunk_end, elem_end);
-    std::copy(r.data.begin() + (lo - chunk_begin),
-              r.data.begin() + (hi - chunk_begin),
-              out.begin() + (lo - elem_begin));
-  }
-  return out;
+  return decode_range_chunks(*this, ctx, field, elem_begin, elem_end, decoder);
 }
 
 void Container::verify() const {
@@ -387,51 +219,61 @@ void Container::verify() const {
   }
 }
 
-/// One writer for both wire versions, so the layouts cannot drift apart:
-/// version 2 adds only the per-field shared-codebook record and the
+/// One writer for both legacy wire versions, so the layouts cannot drift
+/// apart: version 2 adds only the per-field shared-codebook record and the
 /// per-chunk codebook-ref byte.
 std::vector<std::uint8_t> Container::write_container(std::uint8_t version) const {
   util::ByteWriter w;
-  w.magic(kMagic);
-  w.u8(version);
-  w.u8(0);   // flags
-  w.u16(0);  // reserved
+  std::uint64_t size = wire::kHeaderBytes + 4 + 8 + payload_.size();
+  for (const FieldEntry& f : fields_) {
+    size += wire::field_entry_bytes(f, version);
+  }
+  w.reserve(size);
+  wire::write_archive_header(w, version);
   w.u32(static_cast<std::uint32_t>(fields_.size()));
   for (const FieldEntry& f : fields_) {
-    w.u64(f.name.size());
-    for (char ch : f.name) w.u8(static_cast<std::uint8_t>(ch));
-    write_dims(w, f.dims);
-    w.f64(f.abs_error_bound);
-    w.u32(f.radius);
-    w.u8(static_cast<std::uint8_t>(f.method));
-    if (version >= 2) {
-      if (f.shared_codebook != nullptr) {
-        const auto cb_bytes = f.shared_codebook->serialize();
-        w.bytes(cb_bytes);
-        w.u32(util::crc32(cb_bytes));
-      } else {
-        w.u64(0);  // no shared codebook
-      }
-    }
-    w.u64(f.chunks.size());
-    for (const ChunkRecord& rec : f.chunks) {
-      w.u64(rec.payload_offset);
-      w.u64(rec.payload_bytes);
-      w.u64(rec.elem_offset);
-      write_dims(w, rec.dims);
-      w.u8(static_cast<std::uint8_t>(rec.method));
-      if (version >= 2) {
-        w.u8(static_cast<std::uint8_t>(rec.codebook_ref));
-      }
-      w.u32(rec.crc32);
-    }
+    wire::write_field_entry(w, f, version);
   }
   w.bytes(payload_);
   return w.take();
 }
 
 std::vector<std::uint8_t> Container::serialize() const {
-  return write_container(kContainerVersion);
+  // The v3 image is the streaming session's output verbatim: replaying the
+  // index through an ArchiveWriter guarantees the in-memory convenience
+  // path can never diverge from what a file-backed writer produces.
+  MemorySink sink;
+  sink.reserve(serialized_size());
+  ArchiveWriter writer(sink);
+  for (std::size_t fi = 0; fi < fields_.size(); ++fi) {
+    const FieldEntry& f = fields_[fi];
+    ArchiveFieldSpec spec;
+    spec.name = f.name;
+    spec.dims = f.dims;
+    spec.abs_error_bound = f.abs_error_bound;
+    spec.radius = f.radius;
+    spec.method = f.method;
+    spec.shared_codebook = f.shared_codebook;
+    writer.begin_field(spec);
+    for (std::size_t ci = 0; ci < f.chunks.size(); ++ci) {
+      const ChunkRecord& rec = f.chunks[ci];
+      writer.write_chunk(ChunkExtent{rec.elem_offset, rec.dims},
+                         frame_bytes(fi, ci),
+                         ChunkMeta{rec.method, rec.codebook_ref}, rec.crc32);
+    }
+    writer.end_field();
+  }
+  writer.finish();
+  return sink.take();
+}
+
+std::uint64_t Container::serialized_size() const {
+  std::uint64_t n = wire::kHeaderBytes + payload_.size() + 4 /*field count*/ +
+                    wire::kFooterBytes;
+  for (const FieldEntry& f : fields_) {
+    n += wire::field_entry_bytes(f, kContainerVersion);
+  }
+  return n;
 }
 
 std::vector<std::uint8_t> Container::serialize_v1() const {
@@ -452,114 +294,51 @@ std::vector<std::uint8_t> Container::serialize_v1() const {
   return write_container(1);
 }
 
+std::vector<std::uint8_t> Container::serialize_v2() const {
+  return write_container(2);
+}
+
 Container Container::deserialize(std::span<const std::uint8_t> bytes) {
   util::ByteReader r(bytes);
   try {
-    r.expect_magic(kMagic);
+    r.expect_magic(wire::kMagic);
   } catch (const std::invalid_argument& e) {
     throw ContainerError(e.what());
   }
   const std::uint8_t version = r.u8();
-  if (version != 1 && version != kContainerVersion) {
+  if (version != 1 && version != 2 && version != kContainerVersion) {
     throw ContainerError("unsupported container version");
   }
   if (r.u8() != 0 || r.u16() != 0) {
     throw ContainerError("nonzero reserved container bytes");
   }
-  const std::uint64_t chunk_record_bytes =
-      version == 1 ? kChunkRecordBytesV1 : kChunkRecordBytesV2;
-  const std::uint32_t field_count = r.u32();
-  if (field_count > (1u << 20)) {
-    throw ContainerError("implausible field count");
-  }
 
   Container c;
+  if (version == kContainerVersion) {
+    // Footer-indexed (v3): payload first, index + footer at the end — the
+    // same parse path ArchiveReader uses, over a memory image.
+    if (bytes.size() < wire::kHeaderBytes + wire::kFooterBytes) {
+      throw ContainerError("archive too small to hold a header and footer");
+    }
+    const wire::Footer footer = wire::read_footer(
+        bytes.subspan(bytes.size() - wire::kFooterBytes), bytes.size());
+    c.fields_ = wire::read_index(
+        bytes.subspan(footer.index_offset, footer.index_bytes),
+        footer.field_count, footer.index_crc32, footer.payload_bytes);
+    c.payload_.assign(bytes.begin() + wire::kHeaderBytes,
+                      bytes.begin() + wire::kHeaderBytes +
+                          static_cast<std::ptrdiff_t>(footer.payload_bytes));
+    return c;
+  }
+
+  const std::uint32_t field_count = r.u32();
+  if (field_count > wire::kMaxFieldCount) {
+    throw ContainerError("implausible field count");
+  }
   c.fields_.reserve(field_count);
   std::unordered_set<std::string> seen_names;
   for (std::uint32_t fi = 0; fi < field_count; ++fi) {
-    FieldEntry f;
-    const std::uint64_t name_len = r.u64();
-    if (name_len > r.remaining()) {
-      throw ContainerError("field name exceeds blob size");
-    }
-    f.name.reserve(name_len);
-    for (std::uint64_t i = 0; i < name_len; ++i) {
-      f.name.push_back(static_cast<char>(r.u8()));
-    }
-    f.dims = read_dims(r);
-    f.abs_error_bound = r.f64();
-    if (!(f.abs_error_bound > 0.0)) {
-      throw ContainerError("non-positive error bound in container");
-    }
-    f.radius = r.u32();
-    if (f.radius == 0) {
-      throw ContainerError("zero quantizer radius in container");
-    }
-    f.method = parse_method_tag(r.u8());
-    if (version >= 2) {
-      std::vector<std::uint8_t> cb_bytes;
-      try {
-        cb_bytes = r.array<std::uint8_t>();
-      } catch (const std::invalid_argument& e) {
-        throw ContainerError(e.what());
-      }
-      if (!cb_bytes.empty()) {
-        if (util::crc32(cb_bytes) != r.u32()) {
-          throw ContainerError("field '" + f.name +
-                               "': shared codebook CRC-32 mismatch");
-        }
-        try {
-          f.shared_codebook = std::make_shared<const huffman::Codebook>(
-              huffman::Codebook::deserialize(cb_bytes));
-        } catch (const std::invalid_argument& e) {
-          throw ContainerError("field '" + f.name +
-                               "': invalid shared codebook: " + e.what());
-        }
-      }
-    }
-    const std::uint64_t chunk_count = r.u64();
-    if (chunk_count == 0) {
-      throw ContainerError("field has no chunks");
-    }
-    if (chunk_count > r.remaining() / chunk_record_bytes) {
-      throw ContainerError("chunk count exceeds blob size");
-    }
-    f.chunks.reserve(chunk_count);
-    std::uint64_t next_elem = 0;
-    for (std::uint64_t ci = 0; ci < chunk_count; ++ci) {
-      ChunkRecord rec;
-      rec.payload_offset = r.u64();
-      rec.payload_bytes = r.u64();
-      rec.elem_offset = r.u64();
-      rec.dims = read_dims(r);
-      rec.method = parse_method_tag(r.u8());
-      if (version >= 2) {
-        rec.codebook_ref = parse_codebook_ref(r.u8());
-        if (rec.codebook_ref == CodebookRef::SharedField &&
-            f.shared_codebook == nullptr) {
-          throw ContainerError(
-              "field '" + f.name +
-              "': chunk references a shared codebook the field does not carry");
-        }
-      }
-      rec.crc32 = r.u32();
-      if (rec.payload_bytes == 0) {
-        throw ContainerError("empty chunk frame in container index");
-      }
-      if (rec.elem_offset != next_elem) {
-        throw ContainerError("chunk element offsets are not contiguous");
-      }
-      // Guard the accumulation itself: per-chunk products are overflow-
-      // checked, but their SUM could still wrap back onto the field count.
-      if (rec.dims.count() > f.dims.count() - next_elem) {
-        throw ContainerError("chunks do not cover the field");
-      }
-      next_elem += rec.dims.count();
-      f.chunks.push_back(rec);
-    }
-    if (next_elem != f.dims.count()) {
-      throw ContainerError("chunks do not cover the field");
-    }
+    FieldEntry f = wire::read_field_entry(r, version);
     if (!seen_names.insert(f.name).second) {
       throw ContainerError("duplicate field name '" + f.name +
                            "' in container");

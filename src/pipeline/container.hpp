@@ -7,7 +7,15 @@
 // which is what the batch pipeline parallelizes over and what range decode
 // uses for partial reads.
 //
-// Byte layout, version 2 (all integers little-endian):
+// Since version 3 the Container is a thin in-memory convenience over the
+// STREAMING archive sessions (pipeline/archive_io.hpp): serialize() runs an
+// ArchiveWriter over a MemorySink and emits the v3 footer-indexed framing
+// documented in pipeline/wire_format.hpp (payload first, deferred index +
+// footer), deserialize() reads versions 1-3, and serialize_v1()/
+// serialize_v2() keep writing the head-indexed legacy images for interop.
+// All three versions share the same per-field index sections (wire_format).
+//
+// Byte layout, versions 1 and 2 (all integers little-endian):
 //
 //   offset  size  field
 //   0       4     magic "OHDC"
@@ -41,14 +49,17 @@
 //                 frame = sz::serialize_blob bytes)
 //
 // Version 1 (the PR 2 format) is the same layout WITHOUT the per-field
-// shared-codebook section and the per-chunk codebook-ref byte; deserialize()
-// reads both versions, serialize_v1() writes the old format for archives
-// that use no v2 feature.
+// shared-codebook section and the per-chunk codebook-ref byte. Version 3
+// moves the payload to the FRONT and the index to a footer-located section
+// at the END (see wire_format.hpp) so writers can stream frames without
+// knowing the archive's eventual shape.
 //
-// tests/pipeline/container_test.cpp pins this table with byte-offset
-// tampering tests; bump kContainerVersion when changing it.
+// tests/pipeline/container_test.cpp pins the v1/v2 table with byte-offset
+// tampering tests and tests/pipeline/archive_io_test.cpp fuzzes the v3
+// framing; bump kContainerVersion when changing the current layout.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -64,7 +75,7 @@
 
 namespace ohd::pipeline {
 
-inline constexpr std::uint8_t kContainerVersion = 2;
+inline constexpr std::uint8_t kContainerVersion = 3;
 
 /// Parse/validation failure of a container or one of its chunk frames.
 /// Derives from std::invalid_argument so callers can handle it uniformly
@@ -142,6 +153,68 @@ struct FieldDecode {
   void absorb_timings(const sz::DecompressionResult& chunk);
 };
 
+class BatchScheduler;
+
+/// Decodes a whole field chunk by chunk in chunk-id order (the order that
+/// makes runs bit-identical), reconstructing each chunk in place into its
+/// slice of the field buffer — the shared walk of Container::decode_field
+/// and ArchiveReader::decode_field. `Archive` exposes fields() and the
+/// fused decode_chunk_into.
+template <typename Archive>
+FieldDecode decode_field_chunks(const Archive& archive,
+                                cudasim::SimContext& ctx, std::size_t field,
+                                const core::DecoderConfig& decoder) {
+  if (field >= archive.fields().size()) {
+    throw ContainerError("field index out of range");
+  }
+  const FieldEntry& f = archive.fields()[field];
+  FieldDecode out;
+  out.data.resize(f.dims.count());
+  out.chunk_seconds.reserve(f.chunks.size());
+  for (std::size_t c = 0; c < f.chunks.size(); ++c) {
+    const std::span<float> dest(out.data.data() + f.chunks[c].elem_offset,
+                                f.chunks[c].dims.count());
+    out.absorb_timings(
+        archive.decode_chunk_into(ctx, field, c, dest, decoder));
+  }
+  return out;
+}
+
+/// Decodes only the chunks overlapping [elem_begin, elem_end) and returns
+/// exactly that element range — the shared walk of Container::decode_range
+/// and ArchiveReader::decode_range. (BatchScheduler::decode_range is the
+/// prefetching parallel variant.)
+template <typename Archive>
+std::vector<float> decode_range_chunks(const Archive& archive,
+                                       cudasim::SimContext& ctx,
+                                       std::size_t field,
+                                       std::uint64_t elem_begin,
+                                       std::uint64_t elem_end,
+                                       const core::DecoderConfig& decoder) {
+  if (field >= archive.fields().size()) {
+    throw ContainerError("field index out of range");
+  }
+  const FieldEntry& f = archive.fields()[field];
+  if (elem_begin > elem_end || elem_end > f.dims.count()) {
+    throw ContainerError("element range out of bounds");
+  }
+  std::vector<float> out(elem_end - elem_begin);
+  for (std::size_t c = 0; c < f.chunks.size(); ++c) {
+    const ChunkRecord& rec = f.chunks[c];
+    const std::uint64_t chunk_begin = rec.elem_offset;
+    const std::uint64_t chunk_end = chunk_begin + rec.dims.count();
+    if (chunk_end <= elem_begin || chunk_begin >= elem_end) continue;
+    const sz::DecompressionResult r =
+        archive.decode_chunk(ctx, field, c, decoder);
+    const std::uint64_t lo = std::max(chunk_begin, elem_begin);
+    const std::uint64_t hi = std::min(chunk_end, elem_end);
+    std::copy(r.data.begin() + static_cast<std::ptrdiff_t>(lo - chunk_begin),
+              r.data.begin() + static_cast<std::ptrdiff_t>(hi - chunk_begin),
+              out.begin() + static_cast<std::ptrdiff_t>(lo - elem_begin));
+  }
+  return out;
+}
+
 class Container {
  public:
   /// Compresses `data` chunk by chunk (sequentially; BatchScheduler::compress
@@ -217,8 +290,15 @@ class Container {
   /// corrupted codebook bytes.)
   void verify() const;
 
-  /// Serializes in the current (version 2) format.
+  /// Serializes in the current (version 3, footer-indexed) format — a thin
+  /// wrapper over ArchiveWriter + MemorySink, preallocated to
+  /// serialized_size().
   std::vector<std::uint8_t> serialize() const;
+
+  /// Exact byte size of serialize()'s output, computed from the index alone
+  /// — serialize() preallocates with it, and a streaming writer can reserve
+  /// index/footer space from the same arithmetic.
+  std::uint64_t serialized_size() const;
 
   /// Serializes in the version 1 (PR 2) format for consumers that predate
   /// shared codebooks. Throws ContainerError if any field carries a shared
@@ -226,12 +306,23 @@ class Container {
   /// representation.
   std::vector<std::uint8_t> serialize_v1() const;
 
+  /// Serializes in the version 2 (PR 3) head-indexed format for consumers
+  /// that predate the streaming (v3) framing.
+  std::vector<std::uint8_t> serialize_v2() const;
+
   /// Parses and validates a serialized container (index structure, chunk
-  /// coverage, frame bounds, shared-codebook integrity); reads versions 1
-  /// and 2. Frame checksums are verified lazily on access.
+  /// coverage, frame bounds, shared-codebook integrity); reads versions 1,
+  /// 2, and 3. Frame checksums are verified lazily on access.
   static Container deserialize(std::span<const std::uint8_t> bytes);
 
  private:
+  friend class BatchScheduler;
+  /// Adopts a write session's index records and payload verbatim, with no
+  /// image or re-parse — the one-archive-copy bridge BatchScheduler::compress
+  /// uses for bytes this process just produced and validated on write.
+  static Container adopt(std::vector<FieldEntry> fields,
+                         std::vector<std::uint8_t> payload);
+
   const ChunkRecord& record(std::size_t field, std::size_t chunk) const;
   std::vector<std::uint8_t> write_container(std::uint8_t version) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "huffman/decode_table.hpp"
@@ -319,12 +320,21 @@ FieldPlan plan_from_probes(std::vector<ChunkProbe> probes,
   if (probes.empty()) {
     throw std::invalid_argument("cannot plan a field with no chunks");
   }
+  // Calibrated pricing is applied to a local copy so the caller's selector
+  // stays untouched (it may be shared across fields with different plans).
+  std::optional<MethodSelector> calibrated;
+  if (options.use_calibration) {
+    calibrated.emplace(selector);
+    calibrated->calibrate(default_calibration());
+  }
+  const MethodSelector& sel = calibrated ? *calibrated : selector;
+
   const std::size_t num_chunks = probes.size();
   FieldPlan plan;
   plan.chunks.resize(num_chunks);
   for (std::size_t i = 0; i < num_chunks; ++i) {
     plan.chunks[i].method =
-        options.auto_method ? selector.select(probes[i]) : default_method;
+        options.auto_method ? sel.select(probes[i]) : default_method;
   }
   // Probes are no longer needed as histograms after the shared decision, so
   // each chunk keeps its canonical lengths for the private-book encode.

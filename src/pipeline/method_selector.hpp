@@ -139,6 +139,13 @@ class MethodSelector {
 struct PlanOptions {
   bool auto_method = false;     // per-chunk method selection
   bool shared_codebook = false; // field-level codebook, ratio-driven refs
+  /// Prices auto_method rankings through the committed regression fit
+  /// (default_calibration()) instead of the raw analytic estimates. OFF by
+  /// default: method choice stays a pure function of the probe and the
+  /// analytic model (the pricing tests pin those rankings), and the fitted
+  /// corrections opt in per field once enough trajectory runs confirm their
+  /// stability on the target machine.
+  bool use_calibration = false;
 };
 
 /// The planner's decision for one chunk.

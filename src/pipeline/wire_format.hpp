@@ -1,0 +1,115 @@
+// Shared wire code of the "OHDC" archive family: one writer/parser for the
+// per-field index sections used by all three container versions, plus the
+// version-3 footer. Keeping this in one place is what stops the in-memory
+// Container (v1/v2 head-indexed images, v3 via the writer) and the streaming
+// ArchiveWriter/ArchiveReader sessions (v3 footer-indexed files) from
+// drifting apart — they serialize and validate the exact same field/chunk
+// records.
+//
+// Version 3 byte layout (all integers little-endian):
+//
+//   offset        size  field
+//   0             4     magic "OHDC"
+//   4             1     version (= 3)
+//   5             1     flags (= 0, reserved)
+//   6             2     reserved (= 0)
+//   8             n     payload: concatenated chunk frames, appended in
+//                       (field, chunk) order as they are produced; chunk
+//                       records address it with offsets relative to byte 8
+//   8+n           i     index: u32 field count, then one field section per
+//                       field — identical bytes to the v2 field sections
+//                       (see write_field_entry)
+//   8+n+i         40    footer:
+//                         u64 index offset (= 8 + n)
+//                         u64 index bytes  (= i)
+//                         u32 CRC-32 of the index bytes
+//                         u32 field count  (= the index's count)
+//                         u64 payload bytes (= n)
+//                         u8  version (= 3), u8[3] reserved (= 0)
+//                         4   magic "OHDF"
+//
+// The index and footer come LAST so a writer can emit chunk frames the
+// moment they exist — nothing before the finish() call depends on knowing
+// the archive's eventual shape — while a reader opens footer-first: read the
+// trailing 40 bytes, then exactly the index, then individual frames on
+// demand. tests/pipeline/archive_io_test.cpp fuzzes this layout.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pipeline/container.hpp"
+#include "util/bytes.hpp"
+
+namespace ohd::pipeline::wire {
+
+inline constexpr char kMagic[4] = {'O', 'H', 'D', 'C'};
+inline constexpr char kFooterMagic[4] = {'O', 'H', 'D', 'F'};
+inline constexpr std::uint64_t kHeaderBytes = 8;
+inline constexpr std::uint64_t kFooterBytes = 40;
+inline constexpr std::uint32_t kMaxFieldCount = 1u << 20;
+
+// Fixed wire sizes of one chunk record per container version, used to bound
+// untrusted chunk counts before looping. Version 2 added the codebook-ref
+// byte; version 3 keeps the v2 record.
+inline constexpr std::uint64_t kChunkRecordBytesV1 = 8 + 8 + 8 + 4 + 24 + 1 + 4;
+inline constexpr std::uint64_t kChunkRecordBytesV2 = kChunkRecordBytesV1 + 1;
+
+core::Method parse_method_tag(std::uint8_t tag);
+CodebookRef parse_codebook_ref(std::uint8_t tag);
+
+void write_dims(util::ByteWriter& w, const sz::Dims& dims);
+sz::Dims read_dims(util::ByteReader& r);
+
+/// Chunk extents must tile the field contiguously in flat element order.
+void check_coverage(const sz::Dims& field_dims,
+                    std::span<const ChunkExtent> layout);
+
+/// The 8-byte archive head shared by every version: magic, version, flags,
+/// reserved.
+void write_archive_header(util::ByteWriter& w, std::uint8_t version);
+
+/// Exact serialized size of one field's index section for `version`.
+std::uint64_t field_entry_bytes(const FieldEntry& f, std::uint8_t version);
+
+/// One field's index section: name, geometry, error bound, radius, default
+/// method, the shared-codebook record (+CRC, version >= 2 only), chunk count,
+/// chunk records. Identical bytes for versions 2 and 3.
+void write_field_entry(util::ByteWriter& w, const FieldEntry& f,
+                       std::uint8_t version);
+
+/// Parses and validates one field's index section: plausible geometry,
+/// positive error bound and radius, known method/codebook-ref tags, shared
+/// codebook CRC + parse, contiguous chunk coverage. Frame byte ranges are
+/// validated by the caller, who knows the payload extent.
+FieldEntry read_field_entry(util::ByteReader& r, std::uint8_t version);
+
+/// Checksum + parse + geometry validation of one chunk's frame bytes — the
+/// single decode gate shared by Container and ArchiveReader.
+sz::CompressedBlob parse_chunk_frame(const FieldEntry& field, std::size_t chunk,
+                                     std::span<const std::uint8_t> frame);
+
+struct Footer {
+  std::uint64_t index_offset = 0;
+  std::uint64_t index_bytes = 0;
+  std::uint32_t index_crc32 = 0;
+  std::uint32_t field_count = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+void write_footer(util::ByteWriter& w, const Footer& footer);
+
+/// Parses the trailing kFooterBytes of a v3 archive and validates its
+/// internal consistency against `archive_bytes` (the total archive size).
+Footer read_footer(std::span<const std::uint8_t> tail,
+                   std::uint64_t archive_bytes);
+
+/// Parses and validates a v3 index section (field count + field entries +
+/// per-chunk payload bounds against `payload_bytes`). `crc32` is the
+/// footer's index checksum, verified first.
+std::vector<FieldEntry> read_index(std::span<const std::uint8_t> index,
+                                   std::uint32_t field_count,
+                                   std::uint32_t crc32,
+                                   std::uint64_t payload_bytes);
+
+}  // namespace ohd::pipeline::wire

@@ -1,0 +1,676 @@
+// Streaming archive sessions: v3 round-trip properties (writer output
+// reopened by the reader decodes bit-identical to the whole-buffer
+// Container path, for any worker count), bounded-memory guarantees on both
+// sides (BoundedRingSink on the write path, the reader's frame-residency
+// gauge on the read path), reader laziness, and robustness of a
+// FILE-backed v3 archive under every-byte truncation and single-bit
+// corruption — mirroring the in-memory container fuzz suite.
+#include "pipeline/archive_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "pipeline/batch.hpp"
+#include "pipeline/byte_stream.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "pipeline/wire_format.hpp"
+#include "sz/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace ohd::pipeline {
+namespace {
+
+std::vector<float> wavy_field(std::size_t n, std::uint64_t seed,
+                              double noise = 0.02) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(std::sin(0.003 * static_cast<double>(i)) +
+                              noise * rng.normal());
+  }
+  return v;
+}
+
+/// Three fields with different dims, methods, and error bounds; the first
+/// two plan adaptively so shared-codebook frames flow through the sessions.
+struct Corpus {
+  std::vector<std::vector<float>> storage;
+  std::vector<FieldSpec> specs;
+};
+
+Corpus mixed_corpus() {
+  Corpus c;
+  c.storage.push_back(wavy_field(20000, 41));
+  c.storage.push_back(wavy_field(96 * 70, 42, 0.005));
+  c.storage.push_back(wavy_field(24 * 20 * 12, 43, 0.1));
+
+  const core::Method methods[] = {core::Method::SelfSyncOptimized,
+                                  core::Method::GapArrayOptimized,
+                                  core::Method::CuszNaive};
+  const sz::Dims dims[] = {sz::Dims::d1(20000), sz::Dims::d2(96, 70),
+                           sz::Dims::d3(24, 20, 12)};
+  const double ebs[] = {1e-3, 1e-4, 5e-3};
+  const std::size_t chunk_elems[] = {4096, 2000, 1500};
+  for (std::size_t i = 0; i < 3; ++i) {
+    FieldSpec spec;
+    spec.name = "field" + std::to_string(i);
+    spec.data = c.storage[i];
+    spec.dims = dims[i];
+    spec.config.method = methods[i];
+    spec.config.rel_error_bound = ebs[i];
+    spec.chunk_elems = chunk_elems[i];
+    spec.plan.auto_method = i < 2;
+    spec.plan.shared_codebook = i < 2;
+    c.specs.push_back(spec);
+  }
+  return c;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_file(const std::string& path,
+                std::span<const std::uint8_t> bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+// ---- Round-trip properties ------------------------------------------------
+
+TEST(ArchiveIO, WriterOutputMatchesContainerSerializeForAnyWorkerCount) {
+  // The v3 round-trip property: the streamed session must be byte-identical
+  // to Container::serialize() of the whole-buffer build, for every worker
+  // count, through both a memory sink and a file sink.
+  const Corpus corpus = mixed_corpus();
+  ThreadPool p1(1);
+  const Container whole = BatchScheduler(p1).compress(corpus.specs);
+  const auto whole_bytes = whole.serialize();
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ThreadPool pool(workers);
+    MemorySink sink;
+    ArchiveWriter writer(sink);
+    BatchScheduler(pool).compress_to(writer, corpus.specs);
+    const std::uint64_t total = writer.finish();
+    EXPECT_TRUE(writer.finished());
+    EXPECT_EQ(total, sink.bytes().size());
+    EXPECT_EQ(sink.bytes(), whole_bytes) << "workers=" << workers;
+  }
+
+  const std::string path = temp_path("ohd_archive_rt.bin");
+  {
+    FileSink sink(path);
+    ArchiveWriter writer(sink);
+    BatchScheduler(p1).compress_to(writer, corpus.specs);
+    writer.finish();
+  }
+  std::vector<std::uint8_t> from_disk(whole_bytes.size());
+  {
+    const FileSource source(path);
+    ASSERT_EQ(source.size(), whole_bytes.size());
+    source.read_at(0, from_disk);
+  }
+  EXPECT_EQ(from_disk, whole_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveIO, ReaderDecodesBitIdenticalToContainerRoundTrip) {
+  // ArchiveWriter output reopened by ArchiveReader must decode bit-identical
+  // floats to Container::deserialize(Container::serialize()) — per chunk,
+  // per field, per range, and through the batch scheduler — and stay within
+  // the fields' error bounds.
+  const Corpus corpus = mixed_corpus();
+  ThreadPool pool(3);
+  const BatchScheduler sched(pool);
+  const Container whole = sched.compress(corpus.specs);
+  const Container reparsed = Container::deserialize(whole.serialize());
+
+  const std::string path = temp_path("ohd_archive_decode.bin");
+  {
+    FileSink sink(path);
+    ArchiveWriter writer(sink);
+    sched.compress_to(writer, corpus.specs);
+    writer.finish();
+  }
+  const FileSource source(path);
+  const ArchiveReader reader(source);
+  EXPECT_NO_THROW(reader.verify());
+  ASSERT_EQ(reader.fields().size(), reparsed.fields().size());
+
+  for (std::size_t fi = 0; fi < reader.fields().size(); ++fi) {
+    EXPECT_EQ(reader.field_index(reader.fields()[fi].name), fi);
+    cudasim::SimContext c1, c2;
+    const FieldDecode a = reader.decode_field(c1, fi);
+    const FieldDecode b = reparsed.decode_field(c2, fi);
+    EXPECT_EQ(a.data, b.data) << "field " << fi;
+    EXPECT_EQ(a.simulated_seconds, b.simulated_seconds);
+    const auto stats = sz::compute_error_stats(corpus.storage[fi], a.data);
+    EXPECT_LE(stats.max_abs_error,
+              reader.fields()[fi].abs_error_bound * (1 + 1e-6));
+
+    // Per-chunk random access and the fused write agree too.
+    cudasim::SimContext c3, c4;
+    const auto one = reader.decode_chunk(c3, fi, 0);
+    const auto two = reparsed.decode_chunk(c4, fi, 0);
+    EXPECT_EQ(one.data, two.data);
+  }
+
+  // Batch decompress over the reader: identical to the container batch for
+  // every worker count.
+  const BatchDecompressResult from_container = sched.decompress(reparsed);
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool wpool(workers);
+    const BatchDecompressResult streamed =
+        BatchScheduler(wpool).decompress(reader);
+    ASSERT_EQ(streamed.fields.size(), from_container.fields.size());
+    for (std::size_t fi = 0; fi < streamed.fields.size(); ++fi) {
+      EXPECT_EQ(streamed.fields[fi].decode.data,
+                from_container.fields[fi].decode.data)
+          << "workers=" << workers << " field=" << fi;
+    }
+    EXPECT_EQ(streamed.chunk_seconds, from_container.chunk_seconds);
+  }
+
+  // Range decode: the reader's sequential walk and the scheduler's
+  // prefetching pipeline both match the container, across chunk boundaries
+  // and partial edges.
+  const std::size_t field = 0;
+  const std::uint64_t lo = 3000, hi = 9500;
+  cudasim::SimContext c5, c6;
+  const auto expect = reparsed.decode_range(c5, field, lo, hi);
+  EXPECT_EQ(reader.decode_range(c6, field, lo, hi), expect);
+  EXPECT_EQ(sched.decode_range(reader, field, lo, hi), expect);
+  EXPECT_TRUE(sched.decode_range(reader, field, 500, 500).empty());
+  EXPECT_THROW(sched.decode_range(reader, field, 10, 1u << 30),
+               ContainerError);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveIO, SerializedSizeIsExact) {
+  const Corpus corpus = mixed_corpus();
+  ThreadPool pool(2);
+  const Container archive = BatchScheduler(pool).compress(corpus.specs);
+  EXPECT_EQ(archive.serialized_size(), archive.serialize().size());
+
+  const Container empty;
+  EXPECT_EQ(empty.serialized_size(), empty.serialize().size());
+
+  // Shared-codebook fields exercise the codebook-record arithmetic.
+  bool any_shared = false;
+  for (const FieldEntry& f : archive.fields()) {
+    any_shared = any_shared || f.shared_codebook != nullptr;
+  }
+  EXPECT_TRUE(any_shared);
+}
+
+// ---- Bounded-memory guarantees -------------------------------------------
+
+TEST(ArchiveIO, WriterStreamsThroughABoundedRing) {
+  // Drive the full parallel compression through a ring whose capacity is
+  // far below the archive size: header + index + footer + the largest
+  // single frame (the acceptance budget). Draining after every write keeps
+  // the producer alive; the ring throws the moment any single write — or an
+  // undrained accumulation — exceeds the budget, so a pass proves the
+  // writer emits frame-sized pieces and never buffers the archive.
+  const Corpus corpus = mixed_corpus();
+  ThreadPool pool(4);
+  const BatchScheduler sched(pool);
+  const Container whole = sched.compress(corpus.specs);
+  const auto whole_bytes = whole.serialize();
+
+  std::uint64_t max_frame = 0;
+  for (const FieldEntry& f : whole.fields()) {
+    for (const ChunkRecord& rec : f.chunks) {
+      max_frame = std::max(max_frame, rec.payload_bytes);
+    }
+  }
+  const std::uint64_t metadata_bytes =
+      whole.serialized_size() - whole.payload().size();
+  const std::size_t capacity =
+      static_cast<std::size_t>(metadata_bytes + max_frame);
+  ASSERT_LT(capacity, whole_bytes.size() / 2)
+      << "corpus too small to make the bound interesting";
+
+  BoundedRingSink ring(capacity);
+  ArchiveWriter writer(ring);
+  std::vector<std::uint8_t> shipped = ring.drain();  // the 8-byte head
+
+  // Stream field-by-field, draining after every chunk write exactly like a
+  // consumer forwarding to a socket would.
+  for (const FieldSpec& spec : corpus.specs) {
+    MemorySink staging;  // compress each field once, replay frame-by-frame
+    ArchiveWriter staging_writer(staging);
+    sched.compress_to(staging_writer,
+                      std::span<const FieldSpec>(&spec, 1));
+    const auto& staged_fields = staging_writer.fields();
+    ASSERT_EQ(staged_fields.size(), 1u);
+
+    ArchiveFieldSpec fs;
+    fs.name = staged_fields[0].name;
+    fs.dims = staged_fields[0].dims;
+    fs.abs_error_bound = staged_fields[0].abs_error_bound;
+    fs.radius = staged_fields[0].radius;
+    fs.method = staged_fields[0].method;
+    fs.shared_codebook = staged_fields[0].shared_codebook;
+    writer.begin_field(fs);
+    for (const ChunkRecord& rec : staged_fields[0].chunks) {
+      const std::span<const std::uint8_t> frame(
+          staging.bytes().data() + wire::kHeaderBytes + rec.payload_offset,
+          rec.payload_bytes);
+      writer.write_chunk(ChunkExtent{rec.elem_offset, rec.dims}, frame,
+                         ChunkMeta{rec.method, rec.codebook_ref});
+      const auto piece = ring.drain();
+      shipped.insert(shipped.end(), piece.begin(), piece.end());
+    }
+    writer.end_field();
+  }
+  writer.finish();
+  const auto tail = ring.drain();
+  shipped.insert(shipped.end(), tail.begin(), tail.end());
+
+  EXPECT_EQ(shipped, whole_bytes);
+  EXPECT_LE(ring.peak_buffered(), capacity);
+  EXPECT_EQ(ring.position(), whole_bytes.size());
+}
+
+TEST(ArchiveIO, StreamingDecompressNeverMaterializesTheArchive) {
+  // The read-side acceptance bound: peak buffered archive bytes during a
+  // batch decompress stay within head+index+footer plus one in-flight frame
+  // per worker — asserted from the reader's residency gauge, with the frame
+  // fetches counted against a tracking source.
+  const Corpus corpus = mixed_corpus();
+  const std::string path = temp_path("ohd_archive_stream.bin");
+  ThreadPool build_pool(4);
+  {
+    FileSink sink(path);
+    ArchiveWriter writer(sink);
+    BatchScheduler(build_pool).compress_to(writer, corpus.specs);
+    writer.finish();
+  }
+
+  const FileSource file(path);
+  const TrackingSource source(file);
+  const ArchiveReader reader(source);
+  const std::uint64_t open_bytes = source.bytes_read();
+  EXPECT_EQ(open_bytes, reader.resident_bytes());
+  EXPECT_LT(reader.resident_bytes() + reader.max_frame_bytes(),
+            file.size() / 2)
+      << "corpus too small to make the bound interesting";
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(workers);
+    const BatchDecompressResult r = BatchScheduler(pool).decompress(reader);
+    EXPECT_EQ(r.fields.size(), corpus.specs.size());
+    // peak <= workers * largest frame: nothing ever held more than one
+    // frame per in-flight decode task.
+    EXPECT_GT(reader.peak_frame_bytes(), 0u);
+    EXPECT_LE(reader.peak_frame_bytes(), workers * reader.max_frame_bytes())
+        << "workers=" << workers;
+  }
+
+  // The decode traffic re-read frames, never the index again, and no single
+  // read exceeded one frame (the index read dominates only the open).
+  EXPECT_LE(source.max_read_bytes(),
+            std::max<std::uint64_t>(reader.max_frame_bytes(),
+                                    reader.resident_bytes()));
+
+  // The prefetching range decode is gauge-accounted and backpressured too:
+  // decoding a WHOLE field through it stays within the bounded prefetch
+  // window (2x the pool size), never O(range) frames in flight.
+  const FileSource file2(path);
+  const ArchiveReader reader2(file2);
+  ThreadPool range_pool(2);
+  const BatchScheduler range_sched(range_pool);
+  const std::uint64_t count = reader2.fields()[0].dims.count();
+  const std::vector<float> ranged =
+      range_sched.decode_range(reader2, 0, 0, count);
+  const std::size_t window = std::max<std::size_t>(2, 2 * range_pool.size());
+  EXPECT_GT(reader2.peak_frame_bytes(), 0u);
+  EXPECT_LE(reader2.peak_frame_bytes(), window * reader2.max_frame_bytes());
+  cudasim::SimContext range_ctx;
+  EXPECT_EQ(ranged, reader2.decode_field(range_ctx, 0).data);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveIO, OpenReadsOnlyFooterAndIndexAndDecodeFetchesOneFrame) {
+  const Corpus corpus = mixed_corpus();
+  ThreadPool pool(2);
+  MemorySink sink;
+  ArchiveWriter writer(sink);
+  BatchScheduler(pool).compress_to(writer, corpus.specs);
+  writer.finish();
+
+  const MemorySource memory(sink.bytes());
+  const TrackingSource source(memory);
+  const ArchiveReader reader(source);
+  // Open = head + footer + index, nothing else.
+  EXPECT_EQ(source.bytes_read(), reader.resident_bytes());
+  EXPECT_EQ(source.reads(), 3u);
+
+  // Decoding one chunk adds exactly that chunk's frame bytes.
+  const std::uint64_t before = source.bytes_read();
+  cudasim::SimContext ctx;
+  (void)reader.decode_chunk(ctx, 1, 2);
+  EXPECT_EQ(source.bytes_read() - before,
+            reader.fields()[1].chunks[2].payload_bytes);
+}
+
+// ---- Writer session misuse ------------------------------------------------
+
+TEST(ArchiveIO, WriterRejectsSessionMisuse) {
+  const auto data = wavy_field(1000, 7);
+  MemorySink sink;
+  ArchiveWriter writer(sink);
+
+  ArchiveFieldSpec spec;
+  spec.name = "f";
+  spec.dims = sz::Dims::d1(1000);
+  spec.abs_error_bound = 1e-3;
+
+  EXPECT_THROW(writer.write_chunk(ChunkExtent{0, sz::Dims::d1(10)},
+                                  std::vector<std::uint8_t>{1, 2, 3}),
+               ContainerError);
+  EXPECT_THROW(writer.end_field(), ContainerError);
+
+  writer.begin_field(spec);
+  EXPECT_THROW(writer.begin_field(spec), ContainerError);  // nested field
+  EXPECT_THROW(writer.finish(), ContainerError);           // unclosed field
+  // Empty frames and non-contiguous extents are rejected.
+  EXPECT_THROW(writer.write_chunk(ChunkExtent{0, sz::Dims::d1(10)},
+                                  std::span<const std::uint8_t>{}),
+               ContainerError);
+  EXPECT_THROW(writer.write_chunk(ChunkExtent{5, sz::Dims::d1(10)},
+                                  std::vector<std::uint8_t>{1}),
+               ContainerError);
+  // Shared-codebook refs without a field codebook are rejected.
+  EXPECT_THROW(
+      writer.write_chunk(ChunkExtent{0, sz::Dims::d1(10)},
+                         std::vector<std::uint8_t>{1},
+                         ChunkMeta{core::Method::GapArrayOptimized,
+                                   CodebookRef::SharedField}),
+      ContainerError);
+  // A field whose chunks do not cover the dims cannot close.
+  writer.write_chunk(ChunkExtent{0, sz::Dims::d1(10)},
+                     std::vector<std::uint8_t>{1, 2});
+  EXPECT_THROW(writer.end_field(), ContainerError);
+
+  // A valid session still completes after all those rejections.
+  writer.write_chunk(ChunkExtent{10, sz::Dims::d1(990)},
+                     std::vector<std::uint8_t>{3, 4});
+  writer.end_field();
+
+  ArchiveFieldSpec dup = spec;
+  EXPECT_THROW(writer.begin_field(dup), ContainerError);  // duplicate name
+  ArchiveFieldSpec bad_eb = spec;
+  bad_eb.name = "g";
+  bad_eb.abs_error_bound = 0.0;
+  EXPECT_THROW(writer.begin_field(bad_eb), ContainerError);
+
+  writer.finish();
+  EXPECT_THROW(writer.finish(), ContainerError);  // double finish
+  ArchiveFieldSpec late = spec;
+  late.name = "late";
+  EXPECT_THROW(writer.begin_field(late), ContainerError);  // after finish
+}
+
+TEST(ArchiveIO, CompressToValidatesWriterSessionUpFront) {
+  // A finished or mid-field writer must be rejected in phase 1, BEFORE any
+  // compression fans out — not after the whole corpus has been encoded.
+  const Corpus corpus = mixed_corpus();
+  ThreadPool pool(2);
+  const BatchScheduler sched(pool);
+  MemorySink sink;
+  ArchiveWriter writer(sink);
+
+  ArchiveFieldSpec open;
+  open.name = "open";
+  open.dims = sz::Dims::d1(10);
+  open.abs_error_bound = 1e-3;
+  writer.begin_field(open);
+  EXPECT_TRUE(writer.field_open());
+  EXPECT_THROW(sched.compress_to(writer, corpus.specs), ContainerError);
+
+  writer.write_chunk(ChunkExtent{0, sz::Dims::d1(10)},
+                     std::vector<std::uint8_t>{1, 2});
+  writer.end_field();
+  EXPECT_NO_THROW(sched.compress_to(writer, corpus.specs));  // mid-session ok
+
+  writer.finish();
+  EXPECT_THROW(sched.compress_to(writer, corpus.specs), ContainerError);
+}
+
+TEST(ArchiveIO, SequentialAddFieldMatchesContainerAddField) {
+  // ArchiveWriter::add_field (streaming, O(chunk) memory) must emit the
+  // exact bytes of the Container::add_field build, planned and unplanned.
+  const auto data = wavy_field(30000, 15);
+  sz::CompressorConfig cfg;
+  cfg.method = core::Method::GapArrayOptimized;
+  PlanOptions planned;
+  planned.auto_method = true;
+  planned.shared_codebook = true;
+
+  Container container;
+  container.add_field("plain", data, sz::Dims::d1(30000), cfg, 1500);
+  container.add_field("planned", data, sz::Dims::d1(30000), cfg, 1500,
+                      planned);
+
+  MemorySink sink;
+  ArchiveWriter writer(sink);
+  EXPECT_EQ(writer.add_field("plain", data, sz::Dims::d1(30000), cfg, 1500),
+            0u);
+  EXPECT_EQ(writer.add_field("planned", data, sz::Dims::d1(30000), cfg, 1500,
+                             planned),
+            1u);
+  writer.finish();
+  EXPECT_EQ(sink.bytes(), container.serialize());
+}
+
+// ---- File-archive robustness fuzz ----------------------------------------
+
+/// Tiny two-field v3 file archive (one field on a shared codebook) for the
+/// truncation and corruption sweeps.
+std::vector<std::uint8_t> tiny_archive_bytes() {
+  Container c;
+  const auto data = wavy_field(600, 21);
+  sz::CompressorConfig cfg;
+  cfg.method = core::Method::SelfSyncOptimized;
+  cfg.radius = 64;
+  c.add_field("a", data, sz::Dims::d1(600), cfg, 256);
+  PlanOptions plan;
+  plan.shared_codebook = true;
+  c.add_field("b", data, sz::Dims::d1(600), cfg, 256, plan);
+  return c.serialize();
+}
+
+TEST(ArchiveReaderFuzz, TruncationAtEveryPrefixThrows) {
+  // Mirror of ContainerParserFuzz.TruncationAtEveryPrefixThrows over a
+  // FILE-backed v3 archive: any truncation destroys the footer's
+  // size-consistency (or the footer itself), so every prefix must be
+  // rejected at open — a streaming reader can never trust a torn tail.
+  const auto bytes = tiny_archive_bytes();
+  const std::string path = temp_path("ohd_truncation_fuzz.bin");
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    write_file(path, std::span<const std::uint8_t>(bytes.data(), cut));
+    try {
+      const FileSource source(path);
+      const ArchiveReader reader(source);
+      FAIL() << "cut=" << cut << " was accepted";
+    } catch (const std::invalid_argument&) {
+      // ContainerError (format) or ArchiveError (short read) — both fine.
+    }
+  }
+  // The intact file opens and verifies.
+  write_file(path, bytes);
+  const FileSource source(path);
+  EXPECT_NO_THROW(ArchiveReader(source).verify());
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveReaderFuzz, SingleBitCrcCorruptionIsContainedPerChunk) {
+  // Flip one bit inside a known frame of the file: decoding THAT chunk (and
+  // verify()) must fail with a CRC error naming it, while every other chunk
+  // stays decodable — corruption is contained to its frame.
+  const auto original = tiny_archive_bytes();
+  const std::string path = temp_path("ohd_crc_fuzz.bin");
+  {
+    const Container parsed = Container::deserialize(original);
+    const ChunkRecord& rec = parsed.fields()[1].chunks[2];
+    auto bytes = original;
+    bytes[wire::kHeaderBytes + rec.payload_offset + rec.payload_bytes / 2] ^=
+        0x04;
+    write_file(path, bytes);
+  }
+  const FileSource source(path);
+  const ArchiveReader reader(source);  // the index is intact: open succeeds
+  cudasim::SimContext ctx;
+  try {
+    (void)reader.decode_chunk(ctx, 1, 2);
+    FAIL() << "corrupted frame was accepted";
+  } catch (const ContainerError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC-32"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'b'"), std::string::npos);
+  }
+  EXPECT_THROW(reader.verify(), ContainerError);
+  for (std::size_t fi = 0; fi < reader.fields().size(); ++fi) {
+    for (std::size_t ci = 0; ci < reader.fields()[fi].chunks.size(); ++ci) {
+      if (fi == 1 && ci == 2) continue;
+      cudasim::SimContext c2;
+      EXPECT_NO_THROW(reader.decode_chunk(c2, fi, ci))
+          << "field " << fi << " chunk " << ci;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveReaderFuzz, RandomSingleBitCorruptionNeverCrashes) {
+  // Every single-bit flip anywhere in the file must end in a clean parse
+  // failure at open, a CRC/frame rejection at decode, or a successful
+  // decode (non-load-bearing metadata) — no crashes, no UB.
+  const auto original = tiny_archive_bytes();
+  const std::string path = temp_path("ohd_bitflip_fuzz.bin");
+  util::Xoshiro256 rng(79);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = original;
+    const std::size_t pos = rng.bounded(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.bounded(8));
+    write_file(path, bytes);
+    try {
+      const FileSource source(path);
+      const ArchiveReader reader(source);
+      cudasim::SimContext ctx;
+      (void)reader.decode_chunk(ctx, 0, 0);
+      (void)reader.decode_chunk(ctx, 1, 0);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  std::remove(path.c_str());
+  SUCCEED();
+}
+
+TEST(ArchiveReaderFuzz, WrappingFooterArithmeticRejected) {
+  // A crafted footer whose u64 fields wrap the consistency sums back onto
+  // plausible values must still be rejected — otherwise the in-memory parse
+  // path would take an out-of-bounds subspan from untrusted input.
+  auto bytes = tiny_archive_bytes();
+  const std::size_t fo = bytes.size() - wire::kFooterBytes;
+  const auto put_u64 = [&](std::size_t off, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  };
+  const std::uint64_t payload = ~std::uint64_t{99};        // 2^64 - 100
+  put_u64(fo + 24, payload);                               // payload bytes
+  put_u64(fo + 0, wire::kHeaderBytes + payload);           // wraps to match
+  put_u64(fo + 8, bytes.size() + 52);                      // wraps size check
+  EXPECT_THROW(Container::deserialize(bytes), ContainerError);
+  const MemorySource source(bytes);
+  EXPECT_THROW(ArchiveReader{source}, ContainerError);
+}
+
+TEST(ArchiveReaderFuzz, TrailingGarbageAndLegacyVersionsRejected) {
+  const auto bytes = tiny_archive_bytes();
+  // Trailing garbage shifts the footer window onto non-footer bytes.
+  {
+    auto padded = bytes;
+    padded.push_back(0);
+    const MemorySource source(padded);
+    EXPECT_THROW(ArchiveReader{source}, ContainerError);
+    EXPECT_THROW(Container::deserialize(padded), ContainerError);
+  }
+  // The reader refuses head-indexed legacy images with a pointer to
+  // Container::deserialize (which still reads them).
+  Container legacy;
+  const auto data = wavy_field(600, 22);
+  sz::CompressorConfig cfg;
+  legacy.add_field("f", data, sz::Dims::d1(600), cfg, 256);
+  for (const auto& image : {legacy.serialize_v1(), legacy.serialize_v2()}) {
+    const MemorySource source(image);
+    try {
+      const ArchiveReader reader(source);
+      FAIL() << "legacy image was accepted";
+    } catch (const ContainerError& e) {
+      EXPECT_NE(std::string(e.what()).find("Container::deserialize"),
+                std::string::npos);
+    }
+    EXPECT_NO_THROW(Container::deserialize(image).verify());
+  }
+}
+
+// ---- Byte-stream primitives ----------------------------------------------
+
+TEST(ByteStream, BoundedRingEnforcesCapacityAndKeepsFifoOrder) {
+  BoundedRingSink ring(8);
+  const std::vector<std::uint8_t> a{1, 2, 3, 4, 5};
+  ring.write(a);
+  EXPECT_EQ(ring.buffered(), 5u);
+  EXPECT_THROW(ring.write(a), ArchiveError);  // 10 > 8
+  EXPECT_EQ(ring.drain(), a);
+  EXPECT_EQ(ring.buffered(), 0u);
+  // Wrap-around: the ring reuses its storage across drains.
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::uint8_t> piece{static_cast<std::uint8_t>(i),
+                                    static_cast<std::uint8_t>(i + 100)};
+    ring.write(piece);
+    EXPECT_EQ(ring.drain(), piece) << i;
+  }
+  EXPECT_EQ(ring.peak_buffered(), 5u);
+  EXPECT_EQ(ring.position(), 25u);
+  EXPECT_THROW(BoundedRingSink(0), ArchiveError);
+}
+
+TEST(ByteStream, MemoryAndFileSourcesRejectOutOfRangeReads) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4};
+  const MemorySource memory(bytes);
+  std::vector<std::uint8_t> out(3);
+  memory.read_at(1, out);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{2, 3, 4}));
+  EXPECT_THROW(memory.read_at(2, out), ArchiveError);
+  EXPECT_THROW(memory.read_at(5, std::span<std::uint8_t>(out.data(), 1)),
+               ArchiveError);
+
+  const std::string path = temp_path("ohd_bytestream.bin");
+  {
+    FileSink sink(path);
+    sink.write(bytes);
+    EXPECT_EQ(sink.position(), 4u);
+    sink.flush();
+  }
+  const FileSource file(path);
+  EXPECT_EQ(file.size(), 4u);
+  file.read_at(1, out);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{2, 3, 4}));
+  EXPECT_THROW(file.read_at(2, out), ArchiveError);
+  std::remove(path.c_str());
+  EXPECT_THROW(FileSource{"/nonexistent/ohd/path.bin"}, ArchiveError);
+}
+
+}  // namespace
+}  // namespace ohd::pipeline

@@ -218,8 +218,9 @@ TEST(BatchScheduler, DecompressSurfacesCorruptionWithPendingTasks) {
   auto bytes = sched.compress(corpus.specs).serialize();
 
   const Container intact = Container::deserialize(bytes);
-  const std::size_t payload_base = bytes.size() - intact.payload().size();
-  bytes[payload_base + 5] ^= 0x10;  // corrupt the first chunk's frame
+  // The v3 payload section starts right after the 8-byte head; frame CRCs
+  // are lazy, so the flip surfaces at decode time, not at parse time.
+  bytes[8 + 5] ^= 0x10;  // corrupt the first chunk's frame
   const Container corrupted = Container::deserialize(bytes);
 
   // The CRC failure propagates while sibling chunk tasks are still in

@@ -263,6 +263,44 @@ TEST(PlanFieldTest, AutoMethodMatchesSelector) {
   }
 }
 
+TEST(PlanFieldTest, UseCalibrationPricesThroughTheCommittedFit) {
+  // With PlanOptions::use_calibration the plan must pick exactly what a
+  // default_calibration()-calibrated copy of the selector picks, while the
+  // caller's selector object stays untouched (identity-calibrated) — and
+  // with the flag off (the default), the uncalibrated rankings stay pinned.
+  std::vector<sz::QuantizedField> chunks;
+  for (int i = 0; i < 4; ++i) {
+    chunks.push_back(
+        quantized_from_codes(skewed_codes(8000, 512, 4.0 + 12.0 * i, 50 + i)));
+  }
+  const MethodSelector selector;
+  MethodSelector calibrated = selector;
+  calibrated.calibrate(default_calibration());
+
+  PlanOptions options;
+  options.auto_method = true;
+  options.use_calibration = true;
+  const FieldPlan plan =
+      plan_field(chunks, core::Method::CuszNaive, options, selector);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const ChunkProbe probe = probe_chunk(chunks[i]);
+    EXPECT_EQ(plan.chunks[i].method, calibrated.select(probe)) << i;
+    // The caller's selector was not calibrated in place.
+    EXPECT_EQ(selector.estimate(core::Method::GapArrayOptimized, probe)
+                  .decode_seconds,
+              MethodSelector().estimate(core::Method::GapArrayOptimized, probe)
+                  .decode_seconds);
+  }
+
+  options.use_calibration = false;
+  const FieldPlan uncalibrated =
+      plan_field(chunks, core::Method::CuszNaive, options, selector);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(uncalibrated.chunks[i].method,
+              selector.select(probe_chunk(chunks[i])));
+  }
+}
+
 TEST(PlanFieldTest, SimilarChunksShareTheFieldCodebook) {
   // Chunks drawn from the same distribution: the pooled book codes each of
   // them almost as well as its private book, so dropping ~1 KiB of codebook
