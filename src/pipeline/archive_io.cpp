@@ -10,9 +10,12 @@
 
 namespace ohd::pipeline {
 
-ArchiveWriter::ArchiveWriter(ByteSink& sink) : sink_(sink) {
+ArchiveWriter::ArchiveWriter(ByteSink& sink, WriterOptions options)
+    : sink_(sink), options_(options) {
   util::ByteWriter w;
-  wire::write_archive_header(w, kContainerVersion);
+  wire::write_archive_header(
+      w, kContainerVersion,
+      options_.recovery_preambles ? wire::kFlagRecoveryPreambles : 0);
   const auto head = w.take();
   sink_.write(head);
 }
@@ -44,6 +47,18 @@ void ArchiveWriter::begin_field(const ArchiveFieldSpec& spec) {
   current_.shared_codebook = spec.shared_codebook;
   next_elem_ = 0;
   in_field_ = true;
+  if (options_.recovery_preambles) {
+    // The field header rides in the payload ahead of the first frame, so a
+    // salvage scan can re-derive the index entry's fixed half without the
+    // deferred index.
+    wire::FieldPreamble p;
+    p.field_ordinal = static_cast<std::uint32_t>(fields_.size());
+    p.header = current_;
+    util::ByteWriter w;
+    wire::write_field_preamble(w, p);
+    sink_.write(w.bytes());
+    payload_bytes_ += w.size();
+  }
 }
 
 void ArchiveWriter::write_chunk(const ChunkExtent& extent,
@@ -79,6 +94,23 @@ void ArchiveWriter::write_chunk(const ChunkExtent& extent,
     throw ContainerError(
         "chunk references a shared codebook but the field has none");
   }
+  if (options_.recovery_preambles) {
+    wire::ChunkPreamble p;
+    p.field_ordinal = static_cast<std::uint32_t>(fields_.size());
+    p.chunk_ordinal = static_cast<std::uint32_t>(current_.chunks.size());
+    p.elem_offset = extent.elem_offset;
+    p.dims = extent.dims;
+    p.method = meta.method;
+    p.codebook_ref = meta.codebook_ref;
+    p.frame_bytes = frame.size();
+    p.frame_crc32 = crc32;
+    util::ByteWriter w;
+    wire::write_chunk_preamble(w, p);
+    sink_.write(w.bytes());
+    payload_bytes_ += w.size();
+  }
+  // The index record addresses the FRAME, past any preamble, so the strict
+  // read path is identical with and without recovery preambles.
   ChunkRecord rec;
   rec.payload_offset = payload_bytes_;
   rec.payload_bytes = frame.size();
@@ -162,7 +194,9 @@ std::uint64_t ArchiveWriter::finish() {
   wire::write_footer(w, footer);
 
   sink_.write(w.bytes());
-  sink_.flush();
+  // commit(), not flush(): the archive is only "written" once it is durable
+  // (FileSink fsyncs; AtomicFileSink publishes its temp file atomically).
+  sink_.commit();
   finished_ = true;
   return wire::kHeaderBytes + payload_bytes_ + w.size();
 }
@@ -182,13 +216,14 @@ FrameResidency::~FrameResidency() {
   reader_.live_frame_bytes_.fetch_sub(bytes_);
 }
 
-ArchiveReader::ArchiveReader(const ByteSource& source) : source_(source) {
+ArchiveReader::ArchiveReader(const ByteSource& source, ReaderOptions options)
+    : source_(source), options_(options) {
   const std::uint64_t total = source_.size();
   if (total < wire::kHeaderBytes + wire::kFooterBytes) {
     throw ContainerError("archive too small to hold a header and footer");
   }
   std::uint8_t head[wire::kHeaderBytes];
-  source_.read_at(0, head);
+  read_at_retried(0, head);
   if (std::memcmp(head, wire::kMagic, 4) != 0) {
     throw ContainerError("bad magic, expected OHDC");
   }
@@ -202,16 +237,17 @@ ArchiveReader::ArchiveReader(const ByteSource& source) : source_(source) {
   if (version != kContainerVersion) {
     throw ContainerError("unsupported container version");
   }
-  if (head[5] != 0 || head[6] != 0 || head[7] != 0) {
+  if (head[6] != 0 || head[7] != 0) {
     throw ContainerError("nonzero reserved container bytes");
   }
+  wire::check_archive_flags(version, head[5]);
 
   std::uint8_t tail[wire::kFooterBytes];
-  source_.read_at(total - wire::kFooterBytes, tail);
+  read_at_retried(total - wire::kFooterBytes, tail);
   const wire::Footer footer = wire::read_footer(tail, total);
 
   std::vector<std::uint8_t> index(footer.index_bytes);
-  source_.read_at(footer.index_offset, index);
+  read_at_retried(footer.index_offset, index);
   fields_ = wire::read_index(index, footer.field_count, footer.index_crc32,
                              footer.payload_bytes);
   payload_bytes_ = footer.payload_bytes;
@@ -221,6 +257,68 @@ ArchiveReader::ArchiveReader(const ByteSource& source) : source_(source) {
     for (const ChunkRecord& rec : f.chunks) {
       max_frame_bytes_ = std::max(max_frame_bytes_, rec.payload_bytes);
     }
+  }
+}
+
+ArchiveReader::ArchiveReader(SalvageTag, const ByteSource& source,
+                             SalvageResult salvage, ReaderOptions options)
+    : source_(source), options_(options), salvaged_(true) {
+  fields_.reserve(salvage.fields.size());
+  for (SalvagedField& sf : salvage.fields) {
+    FieldEntry f = std::move(sf.header);
+    f.chunks.clear();
+    std::vector<std::uint32_t> ordinals;
+    f.chunks.reserve(sf.chunks.size());
+    ordinals.reserve(sf.chunks.size());
+    for (const SalvagedChunk& c : sf.chunks) {
+      f.chunks.push_back(c.record);
+      ordinals.push_back(c.ordinal);
+      max_frame_bytes_ = std::max(max_frame_bytes_, c.record.payload_bytes);
+      payload_bytes_ = std::max(
+          payload_bytes_, c.record.payload_offset + c.record.payload_bytes);
+    }
+    fields_.push_back(std::move(f));
+    salvage_ordinals_.push_back(std::move(ordinals));
+    salvage_complete_.push_back(sf.complete);
+  }
+  resident_bytes_ = wire::kHeaderBytes;
+}
+
+ArchiveReader ArchiveReader::open_salvage(const ByteSource& source,
+                                          SalvageReport* report,
+                                          ReaderOptions options) {
+  SalvageResult salvage = salvage_scan(source, options.retry);
+  if (report != nullptr) {
+    *report = salvage.report;
+  }
+  return ArchiveReader(SalvageTag{}, source, std::move(salvage), options);
+}
+
+void ArchiveReader::read_at_retried(std::uint64_t offset,
+                                    std::span<std::uint8_t> out) const {
+  with_retry(
+      options_.retry, [&] { source_.read_at(offset, out); },
+      [&] { io_retries_.fetch_add(1); });
+}
+
+bool ArchiveReader::field_complete(std::size_t field) const {
+  if (field >= fields_.size()) {
+    throw ContainerError("field index out of range");
+  }
+  return !salvaged_ || salvage_complete_[field];
+}
+
+std::size_t ArchiveReader::chunk_ordinal(std::size_t field,
+                                         std::size_t chunk) const {
+  record(field, chunk);  // bounds checks
+  return salvaged_ ? salvage_ordinals_[field][chunk] : chunk;
+}
+
+void ArchiveReader::require_complete(std::size_t field) const {
+  if (!field_complete(field)) {
+    throw ContainerError(
+        "field '" + fields_[field].name +
+        "' was salvaged incomplete; use decode_field_partial");
   }
 }
 
@@ -245,7 +343,7 @@ const ChunkRecord& ArchiveReader::record(std::size_t field,
 std::vector<std::uint8_t> ArchiveReader::fetch_frame(
     const ChunkRecord& rec) const {
   std::vector<std::uint8_t> frame(rec.payload_bytes);
-  source_.read_at(wire::kHeaderBytes + rec.payload_offset, frame);
+  read_at_retried(wire::kHeaderBytes + rec.payload_offset, frame);
   return frame;
 }
 
@@ -294,17 +392,82 @@ sz::DecompressionResult ArchiveReader::decode_chunk_into(
 FieldDecode ArchiveReader::decode_field(
     cudasim::SimContext& ctx, std::size_t field,
     const core::DecoderConfig& decoder) const {
+  require_complete(field);
   return decode_field_chunks(*this, ctx, field, decoder);
+}
+
+PartialFieldDecode ArchiveReader::decode_field_partial(
+    cudasim::SimContext& ctx, std::size_t field,
+    const core::DecoderConfig& decoder) const {
+  if (field >= fields_.size()) {
+    throw ContainerError("field index out of range");
+  }
+  const FieldEntry& f = fields_[field];
+  PartialFieldDecode out;
+  out.values.assign(f.dims.count(), 0.0f);
+  out.report.name = f.name;
+  out.report.elems_total = f.dims.count();
+  std::uint64_t next_elem = 0;
+  std::size_t next_ordinal = 0;
+  for (std::size_t c = 0; c < f.chunks.size(); ++c) {
+    const ChunkRecord& rec = f.chunks[c];
+    const std::size_t ordinal = chunk_ordinal(field, c);
+    if (rec.elem_offset > next_elem) {
+      // Chunks the salvage never recovered: a known element hole whose
+      // as-written ordinals are the gap in the recovered sequence.
+      ChunkReport hole;
+      hole.chunk = next_ordinal;
+      hole.status = ChunkStatus::Missing;
+      hole.elem_offset = next_elem;
+      hole.elem_count = rec.elem_offset - next_elem;
+      hole.detail = "chunks " + std::to_string(next_ordinal) + ".." +
+                    std::to_string(ordinal - 1) + " were not recovered";
+      out.report.chunks.push_back(std::move(hole));
+    }
+    ChunkReport cr;
+    cr.chunk = ordinal;
+    cr.elem_offset = rec.elem_offset;
+    cr.elem_count = rec.dims.count();
+    const std::span<float> dest(out.values.data() + rec.elem_offset,
+                                rec.dims.count());
+    try {
+      decode_chunk_into(ctx, field, c, dest, decoder);
+      cr.status = ChunkStatus::Ok;
+      out.report.elems_ok += cr.elem_count;
+    } catch (const std::invalid_argument& e) {
+      // CRC mismatch, frame parse failure, or an exhausted retry budget:
+      // contain it to this chunk. The slice may hold a partial decode —
+      // never surface bytes that failed verification.
+      cr.status = ChunkStatus::Corrupt;
+      cr.detail = e.what();
+      std::fill(dest.begin(), dest.end(), 0.0f);
+    }
+    out.report.chunks.push_back(std::move(cr));
+    next_elem = rec.elem_offset + rec.dims.count();
+    next_ordinal = ordinal + 1;
+  }
+  if (next_elem < f.dims.count()) {
+    ChunkReport hole;
+    hole.chunk = next_ordinal;
+    hole.status = ChunkStatus::Missing;
+    hole.elem_offset = next_elem;
+    hole.elem_count = f.dims.count() - next_elem;
+    hole.detail = "field tail truncated away";
+    out.report.chunks.push_back(std::move(hole));
+  }
+  return out;
 }
 
 std::vector<float> ArchiveReader::decode_range(
     cudasim::SimContext& ctx, std::size_t field, std::uint64_t elem_begin,
     std::uint64_t elem_end, const core::DecoderConfig& decoder) const {
+  require_complete(field);
   return decode_range_chunks(*this, ctx, field, elem_begin, elem_end, decoder);
 }
 
 void ArchiveReader::verify() const {
   for (std::size_t f = 0; f < fields_.size(); ++f) {
+    require_complete(f);
     for (std::size_t c = 0; c < fields_[f].chunks.size(); ++c) {
       const ChunkRecord& rec = fields_[f].chunks[c];
       const FrameResidency lease(*this, rec.payload_bytes);

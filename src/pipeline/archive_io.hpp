@@ -32,6 +32,7 @@
 
 #include "pipeline/byte_stream.hpp"
 #include "pipeline/container.hpp"
+#include "pipeline/recovery.hpp"
 
 namespace ohd::pipeline {
 
@@ -49,14 +50,25 @@ struct ArchiveFieldSpec {
   std::shared_ptr<const huffman::Codebook> shared_codebook;
 };
 
+struct WriterOptions {
+  /// Interleave CRC-guarded recovery preambles into the payload (header
+  /// flags bit 0), so a truncated or torn archive can be salvaged without
+  /// its deferred index (see pipeline/recovery.hpp). Off by default: the
+  /// default output stays byte-identical to PR 5 archives, and the strict
+  /// read path never touches preambles either way.
+  bool recovery_preambles = false;
+};
+
 /// Incremental archive write session over a ByteSink. Not thread-safe: one
 /// session, one producer (the batch scheduler serializes its deterministic
 /// (field, chunk) collect order through it). Abandoning a session without
-/// finish() leaves the sink holding a headerless torso no reader accepts.
+/// finish() leaves the sink holding a torso no strict reader accepts —
+/// pipeline/recovery.hpp's repair_truncated() re-finalizes such torsos when
+/// the session wrote recovery preambles.
 class ArchiveWriter {
  public:
   /// Writes the 8-byte archive head immediately.
-  explicit ArchiveWriter(ByteSink& sink);
+  explicit ArchiveWriter(ByteSink& sink, WriterOptions options = {});
 
   /// Opens a field. Validates the spec (positive error bound and radius,
   /// unique name) and throws ContainerError on violations.
@@ -93,8 +105,9 @@ class ArchiveWriter {
                         const sz::Dims& dims, const sz::CompressorConfig& config,
                         std::size_t chunk_elems, const PlanOptions& plan = {});
 
-  /// Writes the deferred index and footer and flushes the sink; the session
-  /// is complete and unusable afterwards. Returns the total archive bytes.
+  /// Writes the deferred index and footer and COMMITS the sink (fsync for
+  /// FileSink, atomic temp-file publish for AtomicFileSink); the session is
+  /// complete and unusable afterwards. Returns the total archive bytes.
   std::uint64_t finish();
 
   bool finished() const { return finished_; }
@@ -106,12 +119,29 @@ class ArchiveWriter {
 
  private:
   ByteSink& sink_;
+  WriterOptions options_;
   std::vector<FieldEntry> fields_;
   FieldEntry current_;
   std::uint64_t payload_bytes_ = 0;
   std::uint64_t next_elem_ = 0;
   bool in_field_ = false;
   bool finished_ = false;
+};
+
+struct ReaderOptions {
+  /// Retry budget applied to every source read the reader issues (frame
+  /// fetches, open-time footer/index reads). Default: one attempt,
+  /// fail-fast — exactly the pre-retry behaviour.
+  RetryPolicy retry;
+};
+
+/// Result of a degraded, hole-tolerant field decode: every chunk with an
+/// intact frame is reconstructed into its slice of `values`; chunks that are
+/// missing or fail their CRC/decode are zero-filled and reported. Bytes that
+/// failed a checksum are never surfaced.
+struct PartialFieldDecode {
+  std::vector<float> values;  // field-sized (per the field header's dims)
+  FieldReport report;
 };
 
 /// Random-access read session over a version-3 archive. Construction reads
@@ -125,10 +155,34 @@ class ArchiveReader {
   /// CRC, chunk coverage, frame bounds). Throws ContainerError on format
   /// violations — including versions 1/2, which are whole-buffer formats
   /// (use Container::deserialize for those) — and ArchiveError on IO
-  /// failures.
-  explicit ArchiveReader(const ByteSource& source);
+  /// failures. STRICT mode: any damage anywhere in the metadata is fatal.
+  explicit ArchiveReader(const ByteSource& source, ReaderOptions options = {});
+
+  /// Salvage open: never rejects a damaged archive. Uses the strict
+  /// footer/index when intact, otherwise rebuilds a partial index from the
+  /// payload's recovery preambles (pipeline/recovery.hpp). Fields may come
+  /// back incomplete: decode_field/decode_range/verify throw on those (use
+  /// decode_field_partial), and chunk indices are DENSE over the recovered
+  /// chunks — chunk_ordinal() maps back to as-written ordinals. `report`,
+  /// when non-null, receives the scan statistics.
+  static ArchiveReader open_salvage(const ByteSource& source,
+                                    SalvageReport* report = nullptr,
+                                    ReaderOptions options = {});
 
   const std::vector<FieldEntry>& fields() const { return fields_; }
+
+  /// True for readers produced by open_salvage.
+  bool salvaged() const { return salvaged_; }
+
+  /// False only for a salvaged field whose recovered chunks do not tile its
+  /// declared dims.
+  bool field_complete(std::size_t field) const;
+
+  /// The as-written ordinal of a (possibly dense salvage) chunk index.
+  std::size_t chunk_ordinal(std::size_t field, std::size_t chunk) const;
+
+  /// Transient-read retries spent so far under ReaderOptions::retry.
+  std::uint64_t io_retries() const { return io_retries_.load(); }
 
   /// Field index by name; throws ContainerError on unknown names.
   std::size_t field_index(const std::string& name) const;
@@ -172,9 +226,18 @@ class ArchiveReader {
       std::span<float> out, const core::DecoderConfig& decoder = {}) const;
 
   /// Decodes a whole field chunk by chunk in chunk-id order, one resident
-  /// frame at a time.
+  /// frame at a time. Throws on a salvaged-incomplete field.
   FieldDecode decode_field(cudasim::SimContext& ctx, std::size_t field,
                            const core::DecoderConfig& decoder = {}) const;
+
+  /// Degraded decode: reconstructs every chunk whose frame is intact,
+  /// zero-fills and reports the rest (Missing holes for chunks the salvage
+  /// never recovered, Corrupt for frames failing CRC or decode). Works on
+  /// strict readers too — there it quarantines payload corruption the index
+  /// did not protect against.
+  PartialFieldDecode decode_field_partial(
+      cudasim::SimContext& ctx, std::size_t field,
+      const core::DecoderConfig& decoder = {}) const;
 
   /// Decodes only the chunks overlapping [elem_begin, elem_end) and returns
   /// exactly that element range. (BatchScheduler::decode_range is the
@@ -185,19 +248,39 @@ class ArchiveReader {
                                   const core::DecoderConfig& decoder = {}) const;
 
   /// Streams every frame once and verifies its CRC-32 without decoding;
-  /// throws ContainerError naming the first corrupted field/chunk.
+  /// throws ContainerError naming the first corrupted field/chunk (or the
+  /// first salvaged-incomplete field).
   void verify() const;
 
  private:
   friend class FrameResidency;
+  struct SalvageTag {};
+  /// Adopts a salvage scan's rebuilt partial index. Private: reached via
+  /// open_salvage, which runs the scan first. (A constructor so the factory
+  /// can return a prvalue — the residency atomics make the reader
+  /// non-movable.)
+  ArchiveReader(SalvageTag, const ByteSource& source, SalvageResult salvage,
+                ReaderOptions options);
+
   const ChunkRecord& record(std::size_t field, std::size_t chunk) const;
   std::vector<std::uint8_t> fetch_frame(const ChunkRecord& rec) const;
+  /// All source traffic funnels through here: retries TransientIoError
+  /// within options_.retry, counting attempts into io_retries_.
+  void read_at_retried(std::uint64_t offset, std::span<std::uint8_t> out) const;
+  void require_complete(std::size_t field) const;
 
   const ByteSource& source_;
+  ReaderOptions options_;
   std::vector<FieldEntry> fields_;
   std::uint64_t payload_bytes_ = 0;
   std::uint64_t resident_bytes_ = 0;
   std::uint64_t max_frame_bytes_ = 0;
+  bool salvaged_ = false;
+  /// Salvage only: per field, the as-written ordinal of each dense chunk
+  /// index, and whether the recovered chunks tile the field.
+  std::vector<std::vector<std::uint32_t>> salvage_ordinals_;
+  std::vector<bool> salvage_complete_;
+  mutable std::atomic<std::uint64_t> io_retries_{0};
   mutable std::atomic<std::uint64_t> live_frame_bytes_{0};
   mutable std::atomic<std::uint64_t> peak_frame_bytes_{0};
 };

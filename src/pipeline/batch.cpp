@@ -289,7 +289,113 @@ BatchDecompressResult BatchScheduler::decompress(
 
 BatchDecompressResult BatchScheduler::decompress(
     const ArchiveReader& reader, const core::DecoderConfig& decoder) const {
+  // Strict mode: refuse salvaged readers with holes up front, before any
+  // task runs — the shared fan-out would otherwise decode the recovered
+  // chunks and silently leave the holes zero-filled.
+  for (std::size_t fi = 0; fi < reader.fields().size(); ++fi) {
+    if (!reader.field_complete(fi)) {
+      throw ContainerError("field '" + reader.fields()[fi].name +
+                           "' was salvaged incomplete; use decompress_partial");
+    }
+  }
   return decompress_archive(pool_, reader, decoder);
+}
+
+PartialBatchDecompress BatchScheduler::decompress_partial(
+    const ArchiveReader& reader, const core::DecoderConfig& decoder) const {
+  // Same pre-allocated fan-out shape as decompress_archive, but collection
+  // quarantines per chunk: a future surfacing a CRC/parse/retry-exhaustion
+  // failure marks its chunk Corrupt and re-zeroes its slice instead of
+  // aborting the batch, and salvage holes become Missing entries. The
+  // report is assembled on the collecting thread in (field, chunk) order,
+  // so it — like the floats and timings — is identical for any worker
+  // count.
+  PartialBatchDecompress out;
+  BatchDecompressResult& res = out.result;
+  std::vector<std::vector<std::future<sz::DecompressionResult>>> futures(
+      reader.fields().size());
+  res.fields.resize(reader.fields().size());
+  for (std::size_t fi = 0; fi < reader.fields().size(); ++fi) {
+    res.fields[fi].name = reader.fields()[fi].name;
+    res.fields[fi].decode.data.assign(reader.fields()[fi].dims.count(), 0.0f);
+  }
+  try {
+    for (std::size_t fi = 0; fi < reader.fields().size(); ++fi) {
+      const FieldEntry& entry = reader.fields()[fi];
+      futures[fi].reserve(entry.chunks.size());
+      for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
+        const std::span<float> dest(
+            res.fields[fi].decode.data.data() + entry.chunks[ci].elem_offset,
+            entry.chunks[ci].dims.count());
+        futures[fi].push_back(pool_.submit([&reader, &decoder, fi, ci, dest] {
+          cudasim::SimContext ctx;
+          return reader.decode_chunk_into(ctx, fi, ci, dest, decoder);
+        }));
+      }
+    }
+    for (std::size_t fi = 0; fi < reader.fields().size(); ++fi) {
+      const FieldEntry& entry = reader.fields()[fi];
+      FieldResult& field = res.fields[fi];
+      FieldReport fr;
+      fr.name = entry.name;
+      fr.elems_total = entry.dims.count();
+      std::uint64_t next_elem = 0;
+      std::size_t next_ordinal = 0;
+      for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
+        const ChunkRecord& rec = entry.chunks[ci];
+        const std::size_t ordinal = reader.chunk_ordinal(fi, ci);
+        if (rec.elem_offset > next_elem) {
+          ChunkReport hole;
+          hole.chunk = next_ordinal;
+          hole.status = ChunkStatus::Missing;
+          hole.elem_offset = next_elem;
+          hole.elem_count = rec.elem_offset - next_elem;
+          hole.detail = "chunks " + std::to_string(next_ordinal) + ".." +
+                        std::to_string(ordinal - 1) + " were not recovered";
+          fr.chunks.push_back(std::move(hole));
+        }
+        ChunkReport cr;
+        cr.chunk = ordinal;
+        cr.elem_offset = rec.elem_offset;
+        cr.elem_count = rec.dims.count();
+        try {
+          field.decode.absorb_timings(futures[fi][ci].get());
+          cr.status = ChunkStatus::Ok;
+          fr.elems_ok += cr.elem_count;
+        } catch (const std::invalid_argument& e) {
+          // The task may have written a partial decode into its slice
+          // before failing; never surface bytes that failed verification.
+          cr.status = ChunkStatus::Corrupt;
+          cr.detail = e.what();
+          const std::span<float> dest(
+              field.decode.data.data() + rec.elem_offset, rec.dims.count());
+          std::fill(dest.begin(), dest.end(), 0.0f);
+        }
+        fr.chunks.push_back(std::move(cr));
+        next_elem = rec.elem_offset + rec.dims.count();
+        next_ordinal = ordinal + 1;
+      }
+      if (next_elem < entry.dims.count()) {
+        ChunkReport hole;
+        hole.chunk = next_ordinal;
+        hole.status = ChunkStatus::Missing;
+        hole.elem_offset = next_elem;
+        hole.elem_count = entry.dims.count() - next_elem;
+        hole.detail = "field tail truncated away";
+        fr.chunks.push_back(std::move(hole));
+      }
+      out.report.fields.push_back(std::move(fr));
+      res.phases += field.decode.huffman_phases;
+      res.simulated_seconds += field.decode.simulated_seconds;
+      res.chunk_seconds.insert(res.chunk_seconds.end(),
+                               field.decode.chunk_seconds.begin(),
+                               field.decode.chunk_seconds.end());
+    }
+  } catch (...) {
+    for (auto& field_futures : futures) wait_all(field_futures);
+    throw;
+  }
+  return out;
 }
 
 std::vector<float> BatchScheduler::decode_range(

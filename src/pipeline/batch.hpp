@@ -66,6 +66,14 @@ struct BatchDecompressResult {
   double makespan(std::size_t workers) const;
 };
 
+/// Result of the degraded (quarantining) batch decompress: the decoded
+/// fields with damaged chunk ranges zero-filled, plus the per-chunk
+/// DecodeReport saying exactly which element ranges are trustworthy.
+struct PartialBatchDecompress {
+  BatchDecompressResult result;
+  DecodeReport report;
+};
+
 class BatchScheduler {
  public:
   explicit BatchScheduler(ThreadPool& pool) : pool_(pool) {}
@@ -93,8 +101,20 @@ class BatchScheduler {
   /// field buffer, so frame IO overlaps decode across workers and peak
   /// archive residency stays at reader.resident_bytes() plus at most one
   /// in-flight frame per worker — the archive bytes are never materialized.
+  /// STRICT (the default mode): throws on the first corrupted frame and on
+  /// salvaged readers holding incomplete fields — degraded decode is the
+  /// explicit opt-in below.
   BatchDecompressResult decompress(const ArchiveReader& reader,
                                    const core::DecoderConfig& decoder = {}) const;
+
+  /// Degraded (opt-in) decompress: same parallel fan-out, but damage is
+  /// contained per chunk instead of aborting the batch — a chunk whose frame
+  /// is missing (salvaged hole) or fails CRC/decode is zero-filled and
+  /// reported, never surfaced. Timings aggregate over the Ok chunks only,
+  /// merged in chunk-id order (bit-identical for any worker count).
+  PartialBatchDecompress decompress_partial(
+      const ArchiveReader& reader,
+      const core::DecoderConfig& decoder = {}) const;
 
   /// Prefetching async range decode: the calling thread fetches the frames
   /// of the chunks overlapping [elem_begin, elem_end) in chunk order (IO)

@@ -1,9 +1,53 @@
 #include "pipeline/byte_stream.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace ohd::pipeline {
+namespace {
+
+/// "<what> '<path>' failed: <strerror>" with the errno captured at the
+/// failure site, so disk-full vs permission vs stale-handle failures are
+/// distinguishable from the exception message alone.
+std::string errno_detail(const char* what, const std::string& path, int err) {
+  std::string msg = std::string(what) + " '" + path + "' failed";
+  if (err != 0) {
+    msg += ": ";
+    msg += std::strerror(err);
+  }
+  return msg;
+}
+
+/// fsync the file at `path` via a scratch descriptor. Used for durability
+/// barriers after stdio-level flushes and for parent-directory syncs after
+/// rename; throws with errno detail on failure.
+void fsync_path(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw ArchiveError(errno_detail("open for fsync of", path, errno));
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw ArchiveError(errno_detail("fsync of", path, err));
+  }
+  ::close(fd);
+}
+
+/// Directory component of `path` ("" if none).
+std::string parent_dir(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return std::string();
+  if (slash == 0) return std::string("/");
+  return path.substr(0, slash);
+}
+
+}  // namespace
 
 void MemorySource::read_at(std::uint64_t offset,
                            std::span<std::uint8_t> out) const {
@@ -14,37 +58,118 @@ void MemorySource::read_at(std::uint64_t offset,
   std::memcpy(out.data(), bytes_.data() + offset, out.size());
 }
 
-FileSink::FileSink(const std::string& path)
-    : path_(path),
-      out_(path, std::ios::binary | std::ios::trunc) {
-  if (!out_) {
-    throw ArchiveError("cannot open '" + path + "' for writing");
+FileSink::FileSink(const std::string& path, RetryPolicy flush_retry)
+    : path_(path), flush_retry_(flush_retry) {
+  errno = 0;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw ArchiveError(errno_detail("open for writing of", path, errno));
   }
+}
+
+FileSink::~FileSink() {
+  // Best-effort close; errors here have no caller to reach. Paths that care
+  // about buffered-write failures must call close()/commit() explicitly.
+  if (file_ != nullptr) std::fclose(file_);
 }
 
 void FileSink::write(std::span<const std::uint8_t> bytes) {
   if (bytes.empty()) return;
-  out_.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-  if (!out_) {
-    throw ArchiveError("write to '" + path_ + "' failed");
+  if (file_ == nullptr) {
+    throw ArchiveError("write to closed sink for '" + path_ + "'");
+  }
+  errno = 0;
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    throw ArchiveError(errno_detail("write to", path_, errno));
   }
   written_ += bytes.size();
 }
 
 void FileSink::flush() {
-  out_.flush();
-  if (!out_) {
-    throw ArchiveError("flush of '" + path_ + "' failed");
+  if (file_ == nullptr) return;  // already closed: nothing buffered
+  with_retry(
+      flush_retry_,
+      [&] {
+        errno = 0;
+        if (std::fflush(file_) != 0) {
+          int err = errno;
+          // EINTR/EAGAIN leave the stream usable and nothing is lost from
+          // stdio's buffer on fflush failure, so a retry may succeed.
+          if (err == EINTR || err == EAGAIN) {
+            throw TransientIoError(errno_detail("flush of", path_, err));
+          }
+          throw ArchiveError(errno_detail("flush of", path_, err));
+        }
+      },
+      [&] { ++flush_retries_; });
+}
+
+void FileSink::close() {
+  if (file_ == nullptr) return;
+  std::FILE* f = file_;
+  file_ = nullptr;  // never double-close, even if fclose reports failure
+  errno = 0;
+  if (std::fclose(f) != 0) {
+    throw ArchiveError(errno_detail("close of", path_, errno));
   }
 }
 
-FileSource::FileSource(const std::string& path)
-    : path_(path), in_(path, std::ios::binary | std::ios::ate) {
-  if (!in_) {
-    throw ArchiveError("cannot open '" + path + "' for reading");
+void FileSink::commit() {
+  flush();
+  fsync_path(sync_path());
+  close();
+}
+
+AtomicFileSink::AtomicFileSink(const std::string& path, RetryPolicy flush_retry)
+    : FileSink(path + ".tmp", flush_retry), final_path_(path) {}
+
+AtomicFileSink::~AtomicFileSink() {
+  if (!committed_) {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+    std::remove(path_.c_str());  // abandon: leave nothing behind
   }
-  size_ = static_cast<std::uint64_t>(in_.tellg());
+}
+
+void AtomicFileSink::commit() {
+  if (committed_) return;
+  FileSink::commit();  // flush + fsync(temp) + checked close
+  errno = 0;
+  if (std::rename(path_.c_str(), final_path_.c_str()) != 0) {
+    throw ArchiveError(errno_detail("rename to", final_path_, errno));
+  }
+  committed_ = true;
+  // Make the rename itself durable: fsync the containing directory.
+  const std::string dir = parent_dir(final_path_);
+  fsync_path(dir.empty() ? std::string(".") : dir);
+}
+
+FileSource::FileSource(const std::string& path) : path_(path) {
+  errno = 0;
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw ArchiveError(errno_detail("open for reading of", path, errno));
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    int err = errno;
+    std::fclose(file_);
+    file_ = nullptr;
+    throw ArchiveError(errno_detail("seek to end of", path, err));
+  }
+  long end = std::ftell(file_);
+  if (end < 0) {
+    int err = errno;
+    std::fclose(file_);
+    file_ = nullptr;
+    throw ArchiveError(errno_detail("size query of", path, err));
+  }
+  size_ = static_cast<std::uint64_t>(end);
+}
+
+FileSource::~FileSource() {
+  if (file_ != nullptr) std::fclose(file_);
 }
 
 void FileSource::read_at(std::uint64_t offset,
@@ -54,12 +179,19 @@ void FileSource::read_at(std::uint64_t offset,
     throw ArchiveError("read past the end of '" + path_ + "'");
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(offset));
-  in_.read(reinterpret_cast<char*>(out.data()),
-           static_cast<std::streamsize>(out.size()));
-  if (!in_ || static_cast<std::uint64_t>(in_.gcount()) != out.size()) {
-    throw ArchiveError("short read from '" + path_ + "'");
+  errno = 0;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    throw ArchiveError(errno_detail("seek in", path_, errno));
+  }
+  errno = 0;
+  std::size_t got = std::fread(out.data(), 1, out.size(), file_);
+  if (got != out.size()) {
+    int err = errno;
+    std::clearerr(file_);  // keep the stream usable for later reads
+    // A short read inside the known file size is an external interference
+    // (concurrent truncation, transient media error): nothing was delivered
+    // to the caller's contract, so a retry is legitimate.
+    throw TransientIoError(errno_detail("short read from", path_, err));
   }
 }
 

@@ -309,9 +309,11 @@ Container Container::deserialize(std::span<const std::uint8_t> bytes) {
   if (version != 1 && version != 2 && version != kContainerVersion) {
     throw ContainerError("unsupported container version");
   }
-  if (r.u8() != 0 || r.u16() != 0) {
+  const std::uint8_t flags = r.u8();
+  if (r.u16() != 0) {
     throw ContainerError("nonzero reserved container bytes");
   }
+  wire::check_archive_flags(version, flags);
 
   Container c;
   if (version == kContainerVersion) {

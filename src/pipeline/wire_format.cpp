@@ -74,11 +74,19 @@ void check_coverage(const sz::Dims& field_dims,
   }
 }
 
-void write_archive_header(util::ByteWriter& w, std::uint8_t version) {
+void write_archive_header(util::ByteWriter& w, std::uint8_t version,
+                          std::uint8_t flags) {
   w.magic(kMagic);
   w.u8(version);
-  w.u8(0);   // flags
+  w.u8(flags);
   w.u16(0);  // reserved
+}
+
+std::uint8_t check_archive_flags(std::uint8_t version, std::uint8_t flags) {
+  if (version < 3 ? flags != 0 : (flags & ~kKnownFlags) != 0) {
+    throw ContainerError("unknown archive header flags");
+  }
+  return flags;
 }
 
 std::uint64_t field_entry_bytes(const FieldEntry& f, std::uint8_t version) {
@@ -101,8 +109,8 @@ std::uint64_t field_entry_bytes(const FieldEntry& f, std::uint8_t version) {
   return n;
 }
 
-void write_field_entry(util::ByteWriter& w, const FieldEntry& f,
-                       std::uint8_t version) {
+void write_field_header(util::ByteWriter& w, const FieldEntry& f,
+                        std::uint8_t version) {
   w.u64(f.name.size());
   for (char ch : f.name) w.u8(static_cast<std::uint8_t>(ch));
   write_dims(w, f.dims);
@@ -118,6 +126,11 @@ void write_field_entry(util::ByteWriter& w, const FieldEntry& f,
       w.u64(0);  // no shared codebook
     }
   }
+}
+
+void write_field_entry(util::ByteWriter& w, const FieldEntry& f,
+                       std::uint8_t version) {
+  write_field_header(w, f, version);
   w.u64(f.chunks.size());
   for (const ChunkRecord& rec : f.chunks) {
     w.u64(rec.payload_offset);
@@ -132,9 +145,7 @@ void write_field_entry(util::ByteWriter& w, const FieldEntry& f,
   }
 }
 
-FieldEntry read_field_entry(util::ByteReader& r, std::uint8_t version) {
-  const std::uint64_t chunk_record_bytes =
-      version == 1 ? kChunkRecordBytesV1 : kChunkRecordBytesV2;
+FieldEntry read_field_header(util::ByteReader& r, std::uint8_t version) {
   FieldEntry f;
   const std::uint64_t name_len = r.u64();
   if (name_len > r.remaining()) {
@@ -175,6 +186,13 @@ FieldEntry read_field_entry(util::ByteReader& r, std::uint8_t version) {
       }
     }
   }
+  return f;
+}
+
+FieldEntry read_field_entry(util::ByteReader& r, std::uint8_t version) {
+  const std::uint64_t chunk_record_bytes =
+      version == 1 ? kChunkRecordBytesV1 : kChunkRecordBytesV2;
+  FieldEntry f = read_field_header(r, version);
   const std::uint64_t chunk_count = r.u64();
   if (chunk_count == 0) {
     throw ContainerError("field has no chunks");
@@ -239,6 +257,110 @@ sz::CompressedBlob parse_chunk_frame(const FieldEntry& field, std::size_t chunk,
                          ": frame geometry disagrees with the index");
   }
   return blob;
+}
+
+namespace {
+
+/// Serialized size of the v3 field-header record (the write_field_header
+/// bytes). Mirrors the header half of field_entry_bytes.
+std::uint64_t field_header_record_bytes(const FieldEntry& f) {
+  std::uint64_t n = 8 + f.name.size();  // name record
+  n += 4 + 24;                          // rank + extent[3]
+  n += 8 + 4 + 1;                       // error bound, radius, method tag
+  n += 8;                               // shared-codebook length prefix
+  if (f.shared_codebook != nullptr) {
+    n += 4 + f.shared_codebook->alphabet_size() + 4;  // bytes + CRC
+  }
+  return n;
+}
+
+}  // namespace
+
+void write_chunk_preamble(util::ByteWriter& w, const ChunkPreamble& p) {
+  const std::size_t start = w.size();
+  w.magic(kChunkPreambleMagic);
+  w.u32(p.field_ordinal);
+  w.u32(p.chunk_ordinal);
+  w.u64(p.elem_offset);
+  write_dims(w, p.dims);
+  w.u8(static_cast<std::uint8_t>(p.method));
+  w.u8(static_cast<std::uint8_t>(p.codebook_ref));
+  w.u64(p.frame_bytes);
+  w.u32(p.frame_crc32);
+  // Self-checksum over everything after the magic, so a scan never trusts a
+  // record that is itself damaged.
+  w.u32(util::crc32(w.bytes().subspan(start + 4)));
+}
+
+bool try_parse_chunk_preamble(std::span<const std::uint8_t> bytes,
+                              ChunkPreamble& out) {
+  if (bytes.size() < kChunkPreambleBytes) return false;
+  if (std::memcmp(bytes.data(), kChunkPreambleMagic, 4) != 0) return false;
+  const std::size_t body = kChunkPreambleBytes - 4 - 4;  // sans magic, CRC
+  util::ByteReader crc_r(bytes.subspan(4 + body, 4));
+  if (util::crc32(bytes.subspan(4, body)) != crc_r.u32()) return false;
+  try {
+    util::ByteReader r(bytes.subspan(4, body));
+    ChunkPreamble p;
+    p.field_ordinal = r.u32();
+    p.chunk_ordinal = r.u32();
+    p.elem_offset = r.u64();
+    p.dims = read_dims(r);
+    p.method = parse_method_tag(r.u8());
+    p.codebook_ref = parse_codebook_ref(r.u8());
+    p.frame_bytes = r.u64();
+    p.frame_crc32 = r.u32();
+    if (p.frame_bytes == 0) return false;
+    out = p;
+    return true;
+  } catch (const std::invalid_argument&) {
+    // A CRC-valid record with implausible contents is not a preamble we can
+    // use; the scan resumes after it.
+    return false;
+  }
+}
+
+void write_field_preamble(util::ByteWriter& w, const FieldPreamble& p) {
+  util::ByteWriter record;
+  write_field_header(record, p.header, 3);
+  const std::size_t start = w.size();
+  w.magic(kFieldPreambleMagic);
+  w.u32(p.field_ordinal);
+  w.u32(static_cast<std::uint32_t>(record.size()));
+  for (std::uint8_t b : record.bytes()) w.u8(b);
+  w.u32(util::crc32(w.bytes().subspan(start + 4)));
+}
+
+std::uint64_t field_preamble_bytes(const FieldEntry& f) {
+  return 4 + 4 + 4 + field_header_record_bytes(f) + 4;
+}
+
+bool try_parse_field_preamble(std::span<const std::uint8_t> bytes,
+                              FieldPreamble& out, std::uint64_t& consumed) {
+  if (bytes.size() < 16) return false;
+  if (std::memcmp(bytes.data(), kFieldPreambleMagic, 4) != 0) return false;
+  util::ByteReader head(bytes.subspan(4, 8));
+  const std::uint32_t ordinal = head.u32();
+  const std::uint32_t record_len = head.u32();
+  if (record_len > kMaxFieldPreambleRecordBytes) return false;
+  const std::uint64_t total = 4ull + 4 + 4 + record_len + 4;
+  if (total > bytes.size()) return false;
+  util::ByteReader crc_r(bytes.subspan(total - 4, 4));
+  if (util::crc32(bytes.subspan(4, 8 + record_len)) != crc_r.u32()) {
+    return false;
+  }
+  try {
+    util::ByteReader r(bytes.subspan(12, record_len));
+    FieldPreamble p;
+    p.field_ordinal = ordinal;
+    p.header = read_field_header(r, 3);
+    if (!r.exhausted()) return false;
+    out = std::move(p);
+    consumed = total;
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
 }
 
 void write_footer(util::ByteWriter& w, const Footer& footer) {

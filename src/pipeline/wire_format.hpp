@@ -33,6 +33,36 @@
 // the archive's eventual shape — while a reader opens footer-first: read the
 // trailing 40 bytes, then exactly the index, then individual frames on
 // demand. tests/pipeline/archive_io_test.cpp fuzzes this layout.
+//
+// Recovery preambles (flags bit 0, opt-in via WriterOptions): the deferred
+// index is a single point of failure — if the tail of the archive is lost,
+// every frame CRC and every byte offset is lost with it, and the payload's
+// chunk frames (sz blobs) carry no checksum of their own. With the flag set
+// the writer interleaves small self-delimiting records into the payload:
+//
+//   field preamble (before a field's first frame):
+//     4   magic "OHFP"
+//     4   u32 field ordinal
+//     4   u32 record length L
+//     L   field header record: the field-entry bytes up to but excluding the
+//         chunk records (name, dims, error bound, radius, method, shared
+//         codebook + CRC)
+//     4   CRC-32 of the 8 + L bytes after the magic
+//
+//   chunk preamble (before every frame), fixed kChunkPreambleBytes:
+//     4   magic "OHCP"
+//     4   u32 field ordinal          4   u32 chunk ordinal
+//     8   u64 element offset        28   dims (u32 rank + 3 x u64 extent)
+//     1   u8 method tag              1   u8 codebook-ref tag
+//     8   u64 frame bytes            4   u32 frame CRC-32
+//     4   CRC-32 of the 58 bytes after the magic
+//
+// Chunk records keep addressing the FRAME (the preamble precedes it), so the
+// strict read path never touches preambles — zero happy-path read overhead.
+// A salvage scan (pipeline/recovery.hpp) re-synchronizes on the magics, the
+// same self-sync idea the paper's decoder uses inside a bitstream, and
+// trusts a preamble only after its own CRC passes, then a frame only after
+// the frame CRC recorded in that preamble passes.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +78,17 @@ inline constexpr char kFooterMagic[4] = {'O', 'H', 'D', 'F'};
 inline constexpr std::uint64_t kHeaderBytes = 8;
 inline constexpr std::uint64_t kFooterBytes = 40;
 inline constexpr std::uint32_t kMaxFieldCount = 1u << 20;
+
+/// Header flags bit 0: the payload carries recovery preambles.
+inline constexpr std::uint8_t kFlagRecoveryPreambles = 0x01;
+inline constexpr std::uint8_t kKnownFlags = kFlagRecoveryPreambles;
+
+inline constexpr char kFieldPreambleMagic[4] = {'O', 'H', 'F', 'P'};
+inline constexpr char kChunkPreambleMagic[4] = {'O', 'H', 'C', 'P'};
+inline constexpr std::uint64_t kChunkPreambleBytes = 66;
+/// Upper bound on a field preamble's header record, so a garbage length
+/// field in a damaged archive cannot drive a huge read during salvage.
+inline constexpr std::uint32_t kMaxFieldPreambleRecordBytes = 1u << 20;
 
 // Fixed wire sizes of one chunk record per container version, used to bound
 // untrusted chunk counts before looping. Version 2 added the codebook-ref
@@ -66,8 +107,13 @@ void check_coverage(const sz::Dims& field_dims,
                     std::span<const ChunkExtent> layout);
 
 /// The 8-byte archive head shared by every version: magic, version, flags,
-/// reserved.
-void write_archive_header(util::ByteWriter& w, std::uint8_t version);
+/// reserved. Flags are only meaningful for version 3.
+void write_archive_header(util::ByteWriter& w, std::uint8_t version,
+                          std::uint8_t flags = 0);
+
+/// Validates the flags byte of a parsed v3 head: unknown bits are a format
+/// error (older versions must carry 0).
+std::uint8_t check_archive_flags(std::uint8_t version, std::uint8_t flags);
 
 /// Exact serialized size of one field's index section for `version`.
 std::uint64_t field_entry_bytes(const FieldEntry& f, std::uint8_t version);
@@ -83,6 +129,55 @@ void write_field_entry(util::ByteWriter& w, const FieldEntry& f,
 /// codebook CRC + parse, contiguous chunk coverage. Frame byte ranges are
 /// validated by the caller, who knows the payload extent.
 FieldEntry read_field_entry(util::ByteReader& r, std::uint8_t version);
+
+/// The field-header prefix of a field entry (everything before the chunk
+/// records): name, geometry, error bound, radius, default method, shared
+/// codebook. Shared verbatim by the index sections and the field preambles,
+/// so a salvaged field parses with the exact same validation as an indexed
+/// one.
+void write_field_header(util::ByteWriter& w, const FieldEntry& f,
+                        std::uint8_t version);
+
+/// Parses a field header; the returned entry has an empty chunk list.
+FieldEntry read_field_header(util::ByteReader& r, std::uint8_t version);
+
+/// One chunk's recovery preamble: enough to re-derive its index record (bar
+/// the payload offset, which the scanner knows from where it found it).
+struct ChunkPreamble {
+  std::uint32_t field_ordinal = 0;
+  std::uint32_t chunk_ordinal = 0;
+  std::uint64_t elem_offset = 0;
+  sz::Dims dims;
+  core::Method method = core::Method::CuszNaive;
+  CodebookRef codebook_ref = CodebookRef::Private;
+  std::uint64_t frame_bytes = 0;
+  std::uint32_t frame_crc32 = 0;
+};
+
+void write_chunk_preamble(util::ByteWriter& w, const ChunkPreamble& p);
+
+/// Validates magic + CRC + record plausibility of the kChunkPreambleBytes at
+/// the head of `bytes`; returns false (never throws) on any mismatch so a
+/// salvage scan can probe arbitrary offsets.
+bool try_parse_chunk_preamble(std::span<const std::uint8_t> bytes,
+                              ChunkPreamble& out);
+
+/// A field's recovery preamble: its ordinal plus the full field header.
+struct FieldPreamble {
+  std::uint32_t field_ordinal = 0;
+  FieldEntry header;  // chunk list empty
+};
+
+void write_field_preamble(util::ByteWriter& w, const FieldPreamble& p);
+
+/// Exact serialized size of a field preamble (for payload accounting).
+std::uint64_t field_preamble_bytes(const FieldEntry& f);
+
+/// Validates the field preamble at the head of `bytes`; on success sets
+/// `consumed` to its total serialized size. Returns false (never throws) on
+/// any mismatch.
+bool try_parse_field_preamble(std::span<const std::uint8_t> bytes,
+                              FieldPreamble& out, std::uint64_t& consumed);
 
 /// Checksum + parse + geometry validation of one chunk's frame bytes — the
 /// single decode gate shared by Container and ArchiveReader.

@@ -15,6 +15,7 @@
 
 #include "pipeline/batch.hpp"
 #include "pipeline/byte_stream.hpp"
+#include "pipeline/recovery.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "pipeline/wire_format.hpp"
 #include "sz/metrics.hpp"
@@ -621,6 +622,362 @@ TEST(ArchiveReaderFuzz, TrailingGarbageAndLegacyVersionsRejected) {
                 std::string::npos);
     }
     EXPECT_NO_THROW(Container::deserialize(image).verify());
+  }
+}
+
+// ---- Salvage & repair ------------------------------------------------------
+
+/// Two-field archive written WITH recovery preambles (the second field on a
+/// shared codebook), plus its as-written index records and reference floats.
+struct PreambledArchive {
+  std::vector<std::uint8_t> bytes;
+  std::vector<FieldEntry> fields;
+  std::vector<std::vector<float>> reference;
+};
+
+PreambledArchive preambled_archive() {
+  PreambledArchive a;
+  const auto d0 = wavy_field(600, 31);
+  const auto d1 = wavy_field(500, 32, 0.05);
+  sz::CompressorConfig cfg;
+  cfg.method = core::Method::SelfSyncOptimized;
+  cfg.radius = 64;
+  MemorySink sink;
+  ArchiveWriter writer(sink, {.recovery_preambles = true});
+  writer.add_field("a", d0, sz::Dims::d1(600), cfg, 256);
+  PlanOptions plan;
+  plan.shared_codebook = true;
+  writer.add_field("b", d1, sz::Dims::d1(500), cfg, 200, plan);
+  writer.finish();
+  a.fields = writer.fields();
+  a.bytes = sink.take();
+  const MemorySource source(a.bytes);
+  const ArchiveReader reader(source);
+  for (std::size_t fi = 0; fi < reader.fields().size(); ++fi) {
+    cudasim::SimContext ctx;
+    a.reference.push_back(reader.decode_field(ctx, fi).data);
+  }
+  return a;
+}
+
+TEST(Salvage, PreamblesFlagTheHeaderAndCostNoStrictReadTraffic) {
+  // Same corpus written plain and with preambles: the flag byte is the only
+  // header difference, the preambled archive still opens and decodes
+  // strictly, and a strict decode reads EXACTLY as many bytes as the plain
+  // archive holds — the index addresses frames past the preambles, so the
+  // strict path never touches them (read amplification 1.0). The storage
+  // cost is exactly the preamble records themselves (one field preamble per
+  // field, kChunkPreambleBytes per chunk), nothing hidden; the happy-path
+  // <2% budget on realistic frames is guarded in BENCH_stream.json.
+  const PreambledArchive a = preambled_archive();
+  std::vector<std::uint8_t> plain;
+  {
+    const auto d0 = wavy_field(600, 31);
+    const auto d1 = wavy_field(500, 32, 0.05);
+    sz::CompressorConfig cfg;
+    cfg.method = core::Method::SelfSyncOptimized;
+    cfg.radius = 64;
+    MemorySink sink;
+    ArchiveWriter writer(sink);
+    writer.add_field("a", d0, sz::Dims::d1(600), cfg, 256);
+    PlanOptions plan;
+    plan.shared_codebook = true;
+    writer.add_field("b", d1, sz::Dims::d1(500), cfg, 200, plan);
+    writer.finish();
+    plain = sink.take();
+  }
+  EXPECT_EQ(plain[5], 0);
+  EXPECT_EQ(a.bytes[5], wire::kFlagRecoveryPreambles);
+  EXPECT_GT(a.bytes.size(), plain.size());
+  std::uint64_t expected_extra = 0;
+  for (const FieldEntry& f : a.fields) {
+    expected_extra +=
+        wire::field_preamble_bytes(f) + f.chunks.size() * wire::kChunkPreambleBytes;
+  }
+  EXPECT_EQ(a.bytes.size() - plain.size(), expected_extra);
+
+  const MemorySource memory(a.bytes);
+  const TrackingSource tracked(memory);
+  const ArchiveReader reader(tracked);
+  for (std::size_t fi = 0; fi < reader.fields().size(); ++fi) {
+    cudasim::SimContext ctx;
+    EXPECT_EQ(reader.decode_field(ctx, fi).data, a.reference[fi]);
+  }
+  EXPECT_EQ(tracked.bytes_read(), plain.size());
+
+  // An INTACT archive never needs the scan: salvage uses the strict index.
+  SalvageReport report;
+  const ArchiveReader salvaged = ArchiveReader::open_salvage(memory, &report);
+  EXPECT_TRUE(report.used_index);
+  EXPECT_TRUE(report.preambles_present);
+  EXPECT_FALSE(salvaged.salvaged() && !salvaged.field_complete(0));
+  EXPECT_NO_THROW(salvaged.verify());
+}
+
+TEST(SalvageFuzz, TruncationAtEveryByteRecoversExactlyTheChunksBeforeTheCut) {
+  // The salvage acceptance property: for EVERY truncation point, open_salvage
+  // recovers 100% of the chunks whose frames lie strictly before the cut and
+  // nothing else — no CRC-invalid chunk is ever admitted. Deep-checks
+  // (degraded decode bit-identical on Ok ranges, zero-filled elsewhere) run
+  // on sampled cuts; the chunk-set equality runs on all of them.
+  const PreambledArchive a = preambled_archive();
+  // Field fi becomes visible once its field preamble (which ends where the
+  // first chunk preamble starts) survives the cut.
+  std::vector<std::uint64_t> field_ready(a.fields.size());
+  for (std::size_t fi = 0; fi < a.fields.size(); ++fi) {
+    field_ready[fi] = wire::kHeaderBytes + a.fields[fi].chunks[0].payload_offset -
+                      wire::kChunkPreambleBytes;
+  }
+  for (std::size_t cut = 0; cut <= a.bytes.size(); ++cut) {
+    const MemorySource source(
+        std::span<const std::uint8_t>(a.bytes.data(), cut));
+    SalvageReport report;
+    const ArchiveReader reader = ArchiveReader::open_salvage(source, &report);
+    if (cut == a.bytes.size()) {
+      EXPECT_TRUE(report.used_index);
+    }
+
+    std::vector<std::vector<std::size_t>> expect;
+    for (std::size_t fi = 0; fi < a.fields.size(); ++fi) {
+      if (cut < field_ready[fi]) break;
+      expect.emplace_back();
+      for (std::size_t ci = 0; ci < a.fields[fi].chunks.size(); ++ci) {
+        const ChunkRecord& rec = a.fields[fi].chunks[ci];
+        if (wire::kHeaderBytes + rec.payload_offset + rec.payload_bytes <=
+            cut) {
+          expect.back().push_back(ci);
+        }
+      }
+    }
+    ASSERT_EQ(reader.fields().size(), expect.size()) << "cut=" << cut;
+    for (std::size_t fi = 0; fi < expect.size(); ++fi) {
+      ASSERT_EQ(reader.fields()[fi].chunks.size(), expect[fi].size())
+          << "cut=" << cut << " field=" << fi;
+      for (std::size_t ci = 0; ci < expect[fi].size(); ++ci) {
+        EXPECT_EQ(reader.chunk_ordinal(fi, ci), expect[fi][ci]);
+      }
+      EXPECT_EQ(reader.field_complete(fi),
+                expect[fi].size() == a.fields[fi].chunks.size())
+          << "cut=" << cut << " field=" << fi;
+    }
+
+    if (cut % 97 != 0 && cut != a.bytes.size()) continue;
+    for (std::size_t fi = 0; fi < expect.size(); ++fi) {
+      cudasim::SimContext ctx;
+      const PartialFieldDecode pd = reader.decode_field_partial(ctx, fi);
+      std::uint64_t expect_ok = 0;
+      for (std::size_t ci : expect[fi]) {
+        expect_ok += a.fields[fi].chunks[ci].dims.count();
+      }
+      EXPECT_EQ(pd.report.elems_ok, expect_ok) << "cut=" << cut;
+      ASSERT_EQ(pd.values.size(), a.reference[fi].size());
+      for (const ChunkReport& cr : pd.report.chunks) {
+        const std::uint64_t count = cr.elem_count > 0
+                                        ? cr.elem_count
+                                        : pd.values.size() - cr.elem_offset;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const float got = pd.values[cr.elem_offset + i];
+          if (cr.status == ChunkStatus::Ok) {
+            ASSERT_EQ(got, a.reference[fi][cr.elem_offset + i])
+                << "cut=" << cut << " field=" << fi;
+          } else {
+            ASSERT_EQ(got, 0.0f) << "cut=" << cut << " field=" << fi;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SalvageFuzz, RandomBitFlipsNeverSurfaceUnverifiedBytes) {
+  // Every single-bit flip anywhere in the archive: open_salvage must never
+  // crash, and a degraded decode must only label a range Ok when its bytes
+  // are bit-identical to the clean reference — whatever the flip hit
+  // (header, preamble, frame, index, or footer).
+  const PreambledArchive a = preambled_archive();
+  util::Xoshiro256 rng(83);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = a.bytes;
+    const std::size_t pos = rng.bounded(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.bounded(8));
+    const MemorySource source(bytes);
+    SalvageReport report;
+    const ArchiveReader reader = ArchiveReader::open_salvage(source, &report);
+    for (std::size_t fi = 0; fi < reader.fields().size(); ++fi) {
+      const std::vector<float>* ref = nullptr;
+      for (std::size_t i = 0; i < a.fields.size(); ++i) {
+        if (a.fields[i].name == reader.fields()[fi].name) {
+          ref = &a.reference[i];
+        }
+      }
+      if (ref == nullptr) continue;  // the flip landed in a header name
+      if (reader.fields()[fi].dims.count() != ref->size()) continue;
+      cudasim::SimContext ctx;
+      const PartialFieldDecode pd = reader.decode_field_partial(ctx, fi);
+      for (const ChunkReport& cr : pd.report.chunks) {
+        const std::uint64_t count = cr.elem_count > 0
+                                        ? cr.elem_count
+                                        : pd.values.size() - cr.elem_offset;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const float got = pd.values[cr.elem_offset + i];
+          if (cr.status == ChunkStatus::Ok) {
+            ASSERT_EQ(got, (*ref)[cr.elem_offset + i])
+                << "trial=" << trial << " pos=" << pos;
+          } else {
+            ASSERT_EQ(got, 0.0f) << "trial=" << trial << " pos=" << pos;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Salvage, StrictEntryPointsRejectIncompleteSalvagedFields) {
+  // A cut through the LAST frame of field "b": field "a" salvages complete
+  // and keeps full strict access; "b" is incomplete, so every strict entry
+  // point refuses it and only the partial paths (which report the hole)
+  // reach its surviving chunks.
+  const PreambledArchive a = preambled_archive();
+  const ChunkRecord& last = a.fields[1].chunks.back();
+  const std::size_t cut = static_cast<std::size_t>(
+      wire::kHeaderBytes + last.payload_offset + last.payload_bytes / 2);
+  const MemorySource source(std::span<const std::uint8_t>(a.bytes.data(), cut));
+  SalvageReport report;
+  const ArchiveReader reader = ArchiveReader::open_salvage(source, &report);
+  EXPECT_TRUE(reader.salvaged());
+  EXPECT_FALSE(report.used_index);
+  EXPECT_TRUE(report.preambles_present);
+  ASSERT_EQ(reader.fields().size(), 2u);
+  EXPECT_TRUE(reader.field_complete(0));
+  EXPECT_FALSE(reader.field_complete(1));
+
+  cudasim::SimContext ctx;
+  EXPECT_EQ(reader.decode_field(ctx, 0).data, a.reference[0]);
+  EXPECT_THROW(reader.decode_field(ctx, 1), ContainerError);
+  EXPECT_THROW(reader.decode_range(ctx, 1, 0, 10), ContainerError);
+  EXPECT_THROW(reader.verify(), ContainerError);
+
+  ThreadPool pool(2);
+  const BatchScheduler sched(pool);
+  EXPECT_THROW(sched.decompress(reader), ContainerError);
+  const PartialBatchDecompress partial = sched.decompress_partial(reader);
+  EXPECT_FALSE(partial.report.complete());
+  ASSERT_EQ(partial.report.fields.size(), 2u);
+  EXPECT_TRUE(partial.report.fields[0].complete());
+  const FieldReport& fb = partial.report.fields[1];
+  EXPECT_EQ(fb.ok_count(), a.fields[1].chunks.size() - 1);
+  EXPECT_EQ(fb.chunks.back().status, ChunkStatus::Missing);
+  const std::vector<float>& vb = partial.result.fields[1].decode.data;
+  const std::uint64_t covered = last.elem_offset;
+  for (std::uint64_t i = 0; i < vb.size(); ++i) {
+    if (i < covered) {
+      ASSERT_EQ(vb[i], a.reference[1][i]);
+    } else {
+      ASSERT_EQ(vb[i], 0.0f);
+    }
+  }
+}
+
+TEST(Salvage, RepairTruncatedRefinalizesTheIntactPrefix) {
+  // Tear the archive one byte before the end of field "b"'s last frame and
+  // repair: the output must be a STRICTLY valid archive keeping field "a"
+  // whole and "b" re-declared over the covered prefix, decoding
+  // bit-identical to the reference on everything kept.
+  const PreambledArchive a = preambled_archive();
+  const ChunkRecord& last = a.fields[1].chunks.back();
+  const std::size_t cut = static_cast<std::size_t>(
+      wire::kHeaderBytes + last.payload_offset + last.payload_bytes - 1);
+  const MemorySource damaged(
+      std::span<const std::uint8_t>(a.bytes.data(), cut));
+  MemorySink repaired_sink;
+  const RepairReport rr = repair_truncated(damaged, repaired_sink);
+  const std::size_t total_chunks =
+      a.fields[0].chunks.size() + a.fields[1].chunks.size();
+  EXPECT_EQ(rr.fields_kept, 2u);
+  EXPECT_EQ(rr.fields_dropped, 0u);
+  EXPECT_EQ(rr.chunks_kept, total_chunks - 1);
+  EXPECT_EQ(rr.chunks_dropped, 0u);  // the torn frame was never recovered
+  EXPECT_EQ(rr.output_bytes, repaired_sink.bytes().size());
+
+  const MemorySource source(repaired_sink.bytes());
+  const ArchiveReader reader(source);  // strict open: the repair is valid
+  EXPECT_NO_THROW(reader.verify());
+  ASSERT_EQ(reader.fields().size(), 2u);
+  cudasim::SimContext ctx;
+  EXPECT_EQ(reader.decode_field(ctx, 0).data, a.reference[0]);
+  const std::uint64_t covered = last.elem_offset;
+  EXPECT_EQ(reader.fields()[1].dims.count(), covered);
+  const FieldDecode b = reader.decode_field(ctx, 1);
+  ASSERT_EQ(b.data.size(), covered);
+  for (std::uint64_t i = 0; i < covered; ++i) {
+    ASSERT_EQ(b.data[i], a.reference[1][i]);
+  }
+  // The repaired archive carries preambles itself, so it can be salvaged
+  // again after further damage.
+  EXPECT_EQ(repaired_sink.bytes()[5], wire::kFlagRecoveryPreambles);
+}
+
+TEST(Salvage, PlainArchivesWithoutPreamblesCannotBeScanned) {
+  // A default-written (no preambles) archive with a torn tail has no
+  // self-delimiting records to re-synchronize on: salvage reports the
+  // situation instead of guessing at frame boundaries.
+  const auto bytes = tiny_archive_bytes();
+  const MemorySource source(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size() * 3 / 4));
+  SalvageReport report;
+  const ArchiveReader reader = ArchiveReader::open_salvage(source, &report);
+  EXPECT_TRUE(report.header_valid);
+  EXPECT_FALSE(report.preambles_present);
+  EXPECT_FALSE(report.used_index);
+  EXPECT_TRUE(reader.fields().empty());
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes.back().find("no recovery preambles"),
+            std::string::npos);
+}
+
+TEST(Salvage, PayloadCorruptionKeepsTheStrictIndexAndQuarantinesAtDecode) {
+  // A bit flip inside one frame leaves the footer+index intact: salvage
+  // takes the strict-index path (works even WITHOUT preambles), the strict
+  // batch decompress refuses the archive, and the degraded decompress
+  // quarantines exactly the flipped chunk.
+  const auto original = tiny_archive_bytes();
+  const Container parsed = Container::deserialize(original);
+  const ChunkRecord& rec = parsed.fields()[1].chunks[2];
+  auto bytes = original;
+  bytes[wire::kHeaderBytes + rec.payload_offset + rec.payload_bytes / 2] ^=
+      0x10;
+  const MemorySource source(bytes);
+  SalvageReport report;
+  const ArchiveReader reader = ArchiveReader::open_salvage(source, &report);
+  EXPECT_TRUE(report.used_index);
+  for (std::size_t fi = 0; fi < reader.fields().size(); ++fi) {
+    EXPECT_TRUE(reader.field_complete(fi));
+  }
+
+  ThreadPool pool(2);
+  const BatchScheduler sched(pool);
+  EXPECT_THROW(sched.decompress(reader), ContainerError);
+  const PartialBatchDecompress partial = sched.decompress_partial(reader);
+  std::size_t corrupt = 0;
+  for (std::size_t fi = 0; fi < partial.report.fields.size(); ++fi) {
+    for (const ChunkReport& cr : partial.report.fields[fi].chunks) {
+      if (cr.status == ChunkStatus::Corrupt) {
+        ++corrupt;
+        EXPECT_EQ(fi, 1u);
+        EXPECT_EQ(cr.chunk, 2u);
+        EXPECT_NE(cr.detail.find("CRC-32"), std::string::npos);
+      }
+    }
+  }
+  EXPECT_EQ(corrupt, 1u);
+  cudasim::SimContext ctx;
+  const std::vector<float> ref = parsed.decode_field(ctx, 1).data;
+  const std::vector<float>& got = partial.result.fields[1].decode.data;
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::uint64_t i = 0; i < got.size(); ++i) {
+    const bool in_flipped = i >= rec.elem_offset &&
+                            i < rec.elem_offset + rec.dims.count();
+    ASSERT_EQ(got[i], in_flipped ? 0.0f : ref[i]) << i;
   }
 }
 

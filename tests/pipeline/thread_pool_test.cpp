@@ -32,6 +32,36 @@ TEST(ThreadPool, PropagatesTaskExceptions) {
   EXPECT_THROW(bad.get(), std::runtime_error);
 }
 
+TEST(ThreadPool, ThrowingTasksNeverWedgeTheWorkers) {
+  // Exception-safety regression: a task that throws must be fully contained
+  // by its future — every worker survives, and a burst of later submits
+  // (more tasks than workers, so each worker must pick up work again) still
+  // runs to completion. A wedged or dead worker would deadlock the final
+  // gets or drop tasks.
+  ThreadPool pool(2);
+  std::vector<std::future<int>> bad;
+  for (int i = 0; i < 16; ++i) {
+    bad.push_back(pool.submit([]() -> int {
+      throw std::runtime_error("task failure");
+    }));
+  }
+  for (auto& f : bad) {
+    EXPECT_THROW(f.get(), std::runtime_error);
+  }
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> good;
+  for (int i = 0; i < 32; ++i) {
+    good.push_back(pool.submit([&ran, i] {
+      ran.fetch_add(1);
+      return i;
+    }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(good[static_cast<std::size_t>(i)].get(), i);
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
 TEST(ThreadPool, RunsTasksConcurrently) {
   // Four tasks rendezvous at a barrier: this can only complete if all four
   // are in flight simultaneously, i.e. the pool really has four workers.
