@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "data/generic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/batch.hpp"
 #include "pipeline/container.hpp"
 #include "pipeline/thread_pool.hpp"
@@ -286,6 +288,35 @@ int run(bool emit_json, const char* json_path) {
     return 1;
   }
 
+  // Telemetry block for the report: one instrumented 4-worker decompress at
+  // the middle chunking, kept OUT of the timed sweep above so the measured
+  // walls stay un-instrumented. The snapshot gives the report per-phase
+  // latency quantiles and chunk counts alongside the throughput numbers.
+  std::string telemetry_snapshot;
+  std::size_t telemetry_spans = 0;
+  {
+    std::vector<pipeline::FieldSpec> specs;
+    for (const auto& f : corpus) {
+      pipeline::FieldSpec spec;
+      spec.name = f.flavor;
+      spec.data = f.data;
+      spec.dims = f.dims;
+      spec.config = f.config;
+      spec.chunk_elems = std::max<std::size_t>(512, f.data.size() / 16);
+      spec.plan.auto_method = true;
+      spec.plan.shared_codebook = true;
+      specs.push_back(spec);
+    }
+    pipeline::ThreadPool pool(4);
+    const pipeline::Container container =
+        pipeline::BatchScheduler(pool).compress(specs);
+    obs::TraceRecorder rec;
+    const obs::ScopedTelemetry scope(&rec);
+    pipeline::BatchScheduler(pool).decompress(container);
+    telemetry_snapshot = obs::registry().snapshot().to_json(4);
+    telemetry_spans = rec.spans().size();
+  }
+
   if (emit_json) {
     std::FILE* f = std::fopen(json_path, "w");
     if (!f) {
@@ -303,13 +334,18 @@ int run(bool emit_json, const char* json_path) {
                  "  \"host_decompress_speedup_4_workers\": %.3f,\n"
                  "  \"shared_codebook_smaller_at_smallest_chunk\": %s,\n"
                  "  \"shared_codebook_savings_at_smallest_chunk\": %.4f,\n"
+                 "  \"telemetry\": {\n"
+                 "    \"trace_spans\": %zu,\n"
+                 "    \"snapshot\": %s\n"
+                 "  },\n"
                  "  \"archives\": [\n",
                  corpus.size(),
                  static_cast<unsigned long long>(corpus_bytes), scale,
                  all_identical ? "true" : "false", sim_speedup_4t,
                  host_speedup_4t, shared_smaller ? "true" : "false",
                  1.0 - static_cast<double>(smallest.adaptive_bytes) /
-                           static_cast<double>(smallest.private_bytes));
+                           static_cast<double>(smallest.private_bytes),
+                 telemetry_spans, telemetry_snapshot.c_str());
     for (std::size_t i = 0; i < archives.size(); ++i) {
       const ArchivePoint& a = archives[i];
       std::fprintf(

@@ -25,8 +25,17 @@
 // Floats are verified bit-identical between the streamed and whole-buffer
 // decompress before anything is reported.
 //
-//   ./bench_stream_io                 # table on stdout
-//   ./bench_stream_io --json [path]   # also write BENCH_stream.json
+//  * telemetry overhead — the streamed decompress is rerun with the full
+//    observability stack live (process-wide enable flag, registry mirroring,
+//    installed trace recorder) and the min-of-reps wall is compared against
+//    the plain run; the fraction is guarded (< 2% budget, wall-clock
+//    tolerance on top) so instrumentation can never silently tax the hot
+//    path.
+//
+//   ./bench_stream_io                    # table on stdout
+//   ./bench_stream_io --json [path]      # also write BENCH_stream.json
+//   ./bench_stream_io --trace [path]     # Chrome trace of a streamed decode
+//   ./bench_stream_io --snapshot [path]  # obs::Snapshot JSON of that decode
 //
 // OHD_BENCH_SCALE scales the corpus (default 1.0 => ~1.0M elements; CI smoke
 // uses 0.05). The scratch archive lands in /tmp.
@@ -38,6 +47,8 @@
 #include <vector>
 
 #include "data/generic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/archive_io.hpp"
 #include "pipeline/batch.hpp"
 #include "pipeline/byte_stream.hpp"
@@ -122,7 +133,8 @@ bool floats_identical(const pipeline::BatchDecompressResult& a,
   return true;
 }
 
-int run(bool emit_json, const char* json_path) {
+int run(bool emit_json, const char* json_path, const char* trace_path,
+        const char* snapshot_path) {
   const double scale = bench_scale();
   const auto corpus = make_corpus(scale);
   std::uint64_t corpus_bytes = 0;
@@ -216,6 +228,38 @@ int run(bool emit_json, const char* json_path) {
     stream_wall = std::min(stream_wall, t.seconds());
   }
 
+  // Telemetry overhead: the same streamed decompress with the full
+  // observability stack live — process-wide flag on, every registry mirror
+  // taken, a trace recorder collecting spans. Both sides are min-of-reps on
+  // a warm page cache so the fraction isolates instrumentation cost.
+  constexpr int kOverheadReps = 5;
+  double plain_wall = stream_wall;
+  for (int rep = kReps; rep < kOverheadReps; ++rep) {
+    util::WallTimer t;
+    streamed = sched.decompress(reader);
+    plain_wall = std::min(plain_wall, t.seconds());
+  }
+  obs::TraceRecorder recorder;
+  pipeline::BatchDecompressResult traced;
+  double telemetry_wall = 1e300;
+  std::string snapshot_json;
+  std::size_t trace_spans = 0;
+  {
+    const obs::ScopedTelemetry scope(&recorder);
+    for (int rep = 0; rep < kOverheadReps; ++rep) {
+      recorder.clear();
+      obs::registry().reset();
+      util::WallTimer t;
+      traced = sched.decompress(reader);
+      telemetry_wall = std::min(telemetry_wall, t.seconds());
+    }
+    // Snapshot/trace come from the last rep (registry reset per rep, so the
+    // report describes exactly one streamed decompress).
+    snapshot_json = obs::registry().snapshot().to_json(4);
+    trace_spans = recorder.spans().size();
+  }
+  const double telemetry_overhead = telemetry_wall / plain_wall - 1.0;
+
   // Fault-tolerance happy path: the same corpus written once more with
   // recovery preambles (WriterOptions::recovery_preambles). Two properties
   // are gated so the opt-in stays effectively free when nothing fails:
@@ -245,7 +289,8 @@ int run(bool emit_json, const char* json_path) {
 
   const bool identical = floats_identical(streamed, reference) &&
                          floats_identical(staged, reference) &&
-                         floats_identical(preambled, reference);
+                         floats_identical(preambled, reference) &&
+                         floats_identical(traced, reference);
   const std::uint64_t peak_buffered =
       reader.resident_bytes() + reader.peak_frame_bytes();
   const std::uint64_t budget =
@@ -275,6 +320,11 @@ int run(bool emit_json, const char* json_path) {
       100.0 * peak_fraction, static_cast<unsigned long long>(budget),
       overlap_speedup);
   std::printf(
+      "telemetry: plain %.1f ms, instrumented %.1f ms => overhead %+.2f%% "
+      "(%zu trace spans)\n",
+      plain_wall * 1e3, telemetry_wall * 1e3, 100.0 * telemetry_overhead,
+      trace_spans);
+  std::printf(
       "recovery preambles: +%llu B (%.2f%% overhead), strict decode read "
       "amplification %.4fx\n",
       static_cast<unsigned long long>(pre_sink.bytes().size() -
@@ -293,6 +343,29 @@ int run(bool emit_json, const char* json_path) {
     return 1;
   }
 
+  if (trace_path != nullptr) {
+    std::FILE* f = std::fopen(trace_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path);
+      return 1;
+    }
+    const std::string chrome = recorder.chrome_trace_json();
+    std::fwrite(chrome.data(), 1, chrome.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu spans)\n", trace_path, trace_spans);
+  }
+  if (snapshot_path != nullptr) {
+    std::FILE* f = std::fopen(snapshot_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", snapshot_path);
+      return 1;
+    }
+    std::fwrite(snapshot_json.data(), 1, snapshot_json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", snapshot_path);
+  }
   if (emit_json) {
     std::FILE* f = std::fopen(json_path, "w");
     if (!f) {
@@ -319,6 +392,12 @@ int run(bool emit_json, const char* json_path) {
         "  \"stream_write_wall_s\": %.6f,\n"
         "  \"staged_decode_wall_s\": %.6f,\n"
         "  \"stream_decode_wall_s\": %.6f,\n"
+        "  \"stream_decode_telemetry_wall_s\": %.6f,\n"
+        "  \"telemetry_overhead_fraction\": %.6f,\n"
+        "  \"telemetry\": {\n"
+        "    \"trace_spans\": %zu,\n"
+        "    \"snapshot\": %s\n"
+        "  },\n"
         "  \"io_overlap_speedup\": %.4f,\n"
         "  \"happy_path_archive_overhead_fraction\": %.6f,\n"
         "  \"preambled_archive_bytes\": %llu,\n"
@@ -333,7 +412,8 @@ int run(bool emit_json, const char* json_path) {
         static_cast<unsigned long long>(peak_buffered), peak_fraction,
         worst_case_fraction, identical ? "true" : "false",
         bounded ? "true" : "false", whole_write_wall, stream_write_wall,
-        staged_wall, stream_wall, overlap_speedup,
+        staged_wall, stream_wall, telemetry_wall, telemetry_overhead,
+        trace_spans, snapshot_json.c_str(), overlap_speedup,
         (static_cast<double>(stream_archive_bytes) -
          static_cast<double>(whole_bytes.size())) /
             static_cast<double>(whole_bytes.size()),
@@ -350,14 +430,25 @@ int run(bool emit_json, const char* json_path) {
 int main(int argc, char** argv) {
   bool emit_json = false;
   const char* json_path = "BENCH_stream.json";
+  const char* trace_path = nullptr;
+  const char* snapshot_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       emit_json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = "TRACE_stream.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot") == 0) {
+      snapshot_path = "SNAPSHOT_stream.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') snapshot_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--json [path]]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json [path]] [--trace [path]] "
+                   "[--snapshot [path]]\n",
+                   argv[0]);
       return 2;
     }
   }
-  return run(emit_json, json_path);
+  return run(emit_json, json_path, trace_path, snapshot_path);
 }

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Structural validator for Chrome trace_event JSON produced by
+obs::TraceRecorder::chrome_trace_json() (bench_stream_io --trace).
+
+Usage:
+    validate_trace.py <trace.json>
+
+Checks (each failure is fatal):
+  * the file is well-formed JSON with a "traceEvents" array;
+  * every event is a complete-duration event (ph == "X") carrying the
+    required keys: name, ph, ts, dur, pid, tid — with numeric non-negative
+    ts/dur and integer pid/tid;
+  * timestamps are monotone non-decreasing across the array (the exporter
+    sorts by start time so chrome://tracing / Perfetto never reorders), and
+    the earliest event starts at ts 0 (timestamps are relative);
+  * span nesting is balanced: every event's "args.parent" either is -1
+    (thread root) or names another event's "args.id" on the SAME tid whose
+    [ts, ts+dur] interval encloses the child's — i.e. the per-thread open-span
+    stack the recorder maintains really was a stack.
+
+Exits 0 with a one-line summary (event count, thread count, max depth) on
+success, 1 with a FAIL message otherwise.
+"""
+
+import json
+import numbers
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+# Floating-point slop for interval containment: ts/dur are microseconds with
+# nanosecond (3-decimal) resolution, so half a nanosecond covers rounding.
+EPS_US = 0.0005
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('top-level "traceEvents" array missing')
+    if not events:
+        fail("trace is empty — the instrumented run recorded no spans")
+
+    by_id = {}
+    prev_ts = None
+    for i, ev in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                fail(f"event {i} is missing required key {key!r}: {ev}")
+        if ev["ph"] != "X":
+            fail(f"event {i} is not a complete-duration event: ph={ev['ph']!r}")
+        for key in ("ts", "dur"):
+            v = ev[key]
+            if not isinstance(v, numbers.Real) or isinstance(v, bool) or v < 0:
+                fail(f"event {i} has non-numeric or negative {key}: {v!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev[key], int) or isinstance(ev[key], bool):
+                fail(f"event {i} has non-integer {key}: {ev[key]!r}")
+        if prev_ts is not None and ev["ts"] < prev_ts:
+            fail(
+                f"timestamps are not monotone: event {i} starts at "
+                f"{ev['ts']} after an event starting at {prev_ts}"
+            )
+        prev_ts = ev["ts"]
+        args = ev.get("args", {})
+        if "id" in args:
+            if args["id"] in by_id:
+                fail(f"duplicate span id {args['id']} at event {i}")
+            by_id[args["id"]] = ev
+
+    if events[0]["ts"] != 0:
+        fail(f"earliest event starts at ts {events[0]['ts']}, expected 0")
+
+    # Balanced nesting: each child's interval sits inside its parent's, on
+    # the parent's thread. Depth is measured along the parent chain.
+    max_depth = 0
+    for ev in events:
+        depth = 0
+        cur = ev
+        seen = set()
+        while True:
+            cur_args = cur.get("args", {})
+            pid_ = cur_args.get("parent", -1)
+            if pid_ == -1:
+                break
+            if pid_ not in by_id:
+                fail(f"span {cur_args.get('id')} names unknown parent {pid_}")
+            if pid_ in seen:
+                fail(f"parent cycle at span id {pid_}")
+            seen.add(pid_)
+            parent = by_id[pid_]
+            if parent["tid"] != cur["tid"]:
+                fail(
+                    f"span {cur_args.get('id')} (tid {cur['tid']}) has parent "
+                    f"{pid_} on a different thread (tid {parent['tid']})"
+                )
+            if cur["ts"] + EPS_US < parent["ts"] or (
+                cur["ts"] + cur["dur"]
+                > parent["ts"] + parent["dur"] + EPS_US
+            ):
+                fail(
+                    f"span {cur_args.get('id')} [{cur['ts']}, "
+                    f"{cur['ts'] + cur['dur']}] escapes parent {pid_} "
+                    f"[{parent['ts']}, {parent['ts'] + parent['dur']}] — "
+                    f"the open-span stack was not balanced"
+                )
+            depth += 1
+            cur = parent
+        max_depth = max(max_depth, depth)
+
+    threads = {ev["tid"] for ev in events}
+    print(
+        f"trace ok: {len(events)} events, {len(threads)} threads, "
+        f"max nesting depth {max_depth}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,19 @@ struct PhaseTimings {
     other_s += o.other_s;
     return *this;
   }
+
+  /// Visits every phase as (name, seconds) — the single source of truth for
+  /// consumers that iterate phases generically (obs::absorb_phase_timings,
+  /// report emitters) so adding a phase here is the only edit needed.
+  template <typename Fn>
+  void for_each_phase(Fn&& fn) const {
+    fn("intra_sync", intra_sync_s);
+    fn("inter_sync", inter_sync_s);
+    fn("output_index", output_index_s);
+    fn("tune", tune_s);
+    fn("decode_write", decode_write_s);
+    fn("other", other_s);
+  }
 };
 
 }  // namespace ohd::core

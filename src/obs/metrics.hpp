@@ -1,0 +1,210 @@
+// Telemetry metrics: the one registry every layer of the archive stack
+// reports into (pipeline/thread_pool, pipeline/batch, pipeline/archive_io,
+// pipeline/byte_stream, pipeline/fault_injection), replacing the ad-hoc
+// per-component atomics that preceded it.
+//
+// Three lock-free instrument kinds, registered by stable dotted names
+// ("reader.frame_fetch_ns", "pool.queue_depth", ...; the full catalogue is in
+// README "Observability"):
+//  * Counter          — monotone u64 total.
+//  * Gauge            — current value plus a CAS-maxed peak (the
+//                       ArchiveReader frame-residency gauge generalized).
+//  * LatencyHistogram — fixed power-of-two ns buckets with p50/p95/p99/max
+//                       snapshots; recording is two relaxed fetch_adds plus
+//                       one CAS-max, so worker threads never contend on a
+//                       lock.
+// Instruments themselves are UNCONDITIONAL (plain atomics — components that
+// need always-on per-object accessors, like ArchiveReader::peak_frame_bytes,
+// embed them directly). The process-wide enable flag gates the EXPENSIVE
+// parts at the call sites: clock reads, registry mirroring, and trace spans
+// all hide behind enabled(), so a disabled build path costs one relaxed load
+// and a predictable branch per operation.
+//
+// MetricsRegistry::snapshot() freezes every instrument into a Snapshot whose
+// to_json() is the uniform telemetry block the bench drivers (and the future
+// service layer) emit. Registration takes a mutex; instrument handles are
+// stable for the registry's lifetime, so hot paths resolve names once and
+// record through raw pointers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/phase_timings.hpp"
+
+namespace ohd::obs {
+
+/// Process-wide telemetry gate. Defaults to off (or on when the process
+/// started with OHD_TELEMETRY=1); instruments embedded in components keep
+/// counting regardless, but clock reads, registry mirrors, and spans are
+/// skipped while disabled.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic nanoseconds (steady clock) — the time base of every histogram
+/// sample and trace span.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotone total. Lock-free; safe to hammer from any number of threads.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Current value plus high-water mark. add() with a positive delta CAS-maxes
+/// the peak, so the peak observes every instantaneous maximum even under
+/// concurrent add/sub — the exact discipline ArchiveReader's
+/// peak_frame_bytes_ used before it moved here.
+class Gauge {
+ public:
+  void add(std::int64_t n) {
+    const std::int64_t now = value_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (n > 0) {
+      std::int64_t peak = peak_.load(std::memory_order_relaxed);
+      while (now > peak &&
+             !peak_.compare_exchange_weak(peak, now,
+                                          std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void sub(std::int64_t n) { add(-n); }
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (v > peak &&
+           !peak_.compare_exchange_weak(peak, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// Fixed-bucket latency histogram over nanoseconds. Bucket i holds samples
+/// whose bit width is i — i.e. bucket 0 is {0}, bucket i (i >= 1) is
+/// [2^(i-1), 2^i) — so quantile() is exact to within one power of two:
+/// true_quantile <= quantile(q) < 2 * true_quantile for nonzero samples.
+/// That resolution is plenty for latency SLOs and costs no per-sample
+/// allocation or lock.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t ns);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Inclusive upper bound of the bucket holding the q-quantile sample
+  /// (q in [0, 1]; 0 with no samples). Monotone in q.
+  std::uint64_t quantile(double q) const;
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+struct CounterSnap {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnap {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t peak = 0;
+};
+
+struct HistogramSnap {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+/// Frozen registry state, sorted by name per kind — the exportable report.
+/// to_json() emits the schema documented in README "Observability":
+///   { "counters": {name: u64, ...},
+///     "gauges": {name: {"value": i64, "peak": i64}, ...},
+///     "histograms": {name: {"count","sum_ns","max_ns",
+///                           "p50_ns","p95_ns","p99_ns"}, ...} }
+struct Snapshot {
+  std::vector<CounterSnap> counters;
+  std::vector<GaugeSnap> gauges;
+  std::vector<HistogramSnap> histograms;
+
+  /// Lookup helpers (nullptr when the name was never registered).
+  const CounterSnap* counter(std::string_view name) const;
+  const GaugeSnap* gauge(std::string_view name) const;
+  const HistogramSnap* histogram(std::string_view name) const;
+
+  /// Deterministic (sorted) JSON; every line is prefixed with `indent`
+  /// spaces so the block can be embedded inside a larger document.
+  std::string to_json(int indent = 0) const;
+};
+
+/// Thread-safe name -> instrument store. Get-or-create registration is
+/// mutex-serialized; the returned references stay valid (and lock-free to
+/// record into) for the registry's lifetime, including across reset().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+
+  /// Zeroes every instrument; handles stay registered and valid. Tests use
+  /// this (via ScopedTelemetry) to isolate runs on the process registry.
+  void reset();
+
+ private:
+  struct Impl;
+  Impl* impl();  // lazily built so a never-touched registry costs nothing
+  mutable std::atomic<Impl*> impl_{nullptr};
+};
+
+/// The process-wide registry every instrumented component reports into.
+MetricsRegistry& registry();
+
+/// Bridges core::PhaseTimings into `reg`: each phase row becomes
+/// "decode.phase.<name>_ns" (counter, nanoseconds), so the decoder families'
+/// aggregated simulated timings appear in snapshots without rewriting them.
+void absorb_phase_timings(MetricsRegistry& reg, const core::PhaseTimings& t);
+
+}  // namespace ohd::obs

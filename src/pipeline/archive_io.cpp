@@ -3,12 +3,48 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "pipeline/method_selector.hpp"
 #include "pipeline/wire_format.hpp"
 #include "sz/serialize.hpp"
 #include "util/checksum.hpp"
 
 namespace ohd::pipeline {
+
+namespace {
+
+// Process-wide aggregates across all reader/writer sessions (the per-reader
+// accessors live on the reader's own instruments). Handles resolved once;
+// recording is raw-atomic. Only touched behind obs::enabled().
+struct ReaderMetrics {
+  obs::Counter& io_retries;
+  obs::Counter& bytes_read;
+  obs::Counter& crc_checks;
+  obs::Gauge& frame_bytes;
+  obs::LatencyHistogram& frame_fetch_ns;
+};
+
+ReaderMetrics& reader_metrics() {
+  static ReaderMetrics m{obs::registry().counter("reader.io_retries"),
+                         obs::registry().counter("reader.bytes_read"),
+                         obs::registry().counter("reader.crc_checks"),
+                         obs::registry().gauge("reader.frame_bytes"),
+                         obs::registry().histogram("reader.frame_fetch_ns")};
+  return m;
+}
+
+struct WriterMetrics {
+  obs::Counter& bytes_written;
+  obs::Counter& chunks;
+};
+
+WriterMetrics& writer_metrics() {
+  static WriterMetrics m{obs::registry().counter("writer.bytes_written"),
+                         obs::registry().counter("writer.chunks")};
+  return m;
+}
+
+}  // namespace
 
 ArchiveWriter::ArchiveWriter(ByteSink& sink, WriterOptions options)
     : sink_(sink), options_(options) {
@@ -124,6 +160,11 @@ void ArchiveWriter::write_chunk(const ChunkExtent& extent,
   payload_bytes_ += frame.size();
   next_elem_ += extent.dims.count();
   current_.chunks.push_back(rec);
+  if (obs::enabled()) {
+    WriterMetrics& m = writer_metrics();
+    m.bytes_written.add(frame.size());
+    m.chunks.add(1);
+  }
 }
 
 void ArchiveWriter::end_field() {
@@ -193,27 +234,31 @@ std::uint64_t ArchiveWriter::finish() {
   footer.payload_bytes = payload_bytes_;
   wire::write_footer(w, footer);
 
+  const obs::ScopedOp op("writer.finish");
   sink_.write(w.bytes());
   // commit(), not flush(): the archive is only "written" once it is durable
   // (FileSink fsyncs; AtomicFileSink publishes its temp file atomically).
   sink_.commit();
   finished_ = true;
+  if (obs::enabled()) writer_metrics().bytes_written.add(w.size());
   return wire::kHeaderBytes + payload_bytes_ + w.size();
 }
 
 FrameResidency::FrameResidency(const ArchiveReader& reader,
                                std::uint64_t bytes)
     : reader_(reader), bytes_(bytes) {
-  const std::uint64_t live =
-      reader_.live_frame_bytes_.fetch_add(bytes_) + bytes_;
-  std::uint64_t peak = reader_.peak_frame_bytes_.load();
-  while (live > peak &&
-         !reader_.peak_frame_bytes_.compare_exchange_weak(peak, live)) {
+  reader_.frame_bytes_.add(static_cast<std::int64_t>(bytes_));
+  if (obs::enabled()) {
+    mirrored_ = true;
+    reader_metrics().frame_bytes.add(static_cast<std::int64_t>(bytes_));
   }
 }
 
 FrameResidency::~FrameResidency() {
-  reader_.live_frame_bytes_.fetch_sub(bytes_);
+  reader_.frame_bytes_.sub(static_cast<std::int64_t>(bytes_));
+  if (mirrored_) {
+    reader_metrics().frame_bytes.sub(static_cast<std::int64_t>(bytes_));
+  }
 }
 
 ArchiveReader::ArchiveReader(const ByteSource& source, ReaderOptions options)
@@ -298,7 +343,11 @@ void ArchiveReader::read_at_retried(std::uint64_t offset,
                                     std::span<std::uint8_t> out) const {
   with_retry(
       options_.retry, [&] { source_.read_at(offset, out); },
-      [&] { io_retries_.fetch_add(1); });
+      [&] {
+        io_retries_.add(1);
+        if (obs::enabled()) reader_metrics().io_retries.add(1);
+      });
+  if (obs::enabled()) reader_metrics().bytes_read.add(out.size());
 }
 
 bool ArchiveReader::field_complete(std::size_t field) const {
@@ -342,6 +391,9 @@ const ChunkRecord& ArchiveReader::record(std::size_t field,
 
 std::vector<std::uint8_t> ArchiveReader::fetch_frame(
     const ChunkRecord& rec) const {
+  const obs::ScopedOp op(
+      "reader.frame_fetch",
+      obs::enabled() ? &reader_metrics().frame_fetch_ns : nullptr);
   std::vector<std::uint8_t> frame(rec.payload_bytes);
   read_at_retried(wire::kHeaderBytes + rec.payload_offset, frame);
   return frame;
@@ -352,6 +404,7 @@ std::vector<std::uint8_t> ArchiveReader::read_frame(std::size_t field,
   const ChunkRecord& rec = record(field, chunk);
   const FrameResidency lease(*this, rec.payload_bytes);
   std::vector<std::uint8_t> frame = fetch_frame(rec);
+  if (obs::enabled()) reader_metrics().crc_checks.add(1);
   if (util::crc32(frame) != rec.crc32) {
     throw ContainerError("field '" + fields_[field].name + "' chunk " +
                          std::to_string(chunk) +
@@ -373,6 +426,7 @@ sz::DecompressionResult ArchiveReader::decode_chunk(
   const ChunkRecord& rec = record(field, chunk);
   const FrameResidency lease(*this, rec.payload_bytes);
   const std::vector<std::uint8_t> frame = fetch_frame(rec);
+  if (obs::enabled()) reader_metrics().crc_checks.add(1);
   const sz::CompressedBlob blob =
       wire::parse_chunk_frame(fields_[field], chunk, frame);
   return sz::decompress(ctx, blob, decoder);
@@ -384,6 +438,7 @@ sz::DecompressionResult ArchiveReader::decode_chunk_into(
   const ChunkRecord& rec = record(field, chunk);
   const FrameResidency lease(*this, rec.payload_bytes);
   const std::vector<std::uint8_t> frame = fetch_frame(rec);
+  if (obs::enabled()) reader_metrics().crc_checks.add(1);
   const sz::CompressedBlob blob =
       wire::parse_chunk_frame(fields_[field], chunk, frame);
   return sz::decompress_into(ctx, blob, out, decoder);
@@ -471,6 +526,7 @@ void ArchiveReader::verify() const {
     for (std::size_t c = 0; c < fields_[f].chunks.size(); ++c) {
       const ChunkRecord& rec = fields_[f].chunks[c];
       const FrameResidency lease(*this, rec.payload_bytes);
+      if (obs::enabled()) reader_metrics().crc_checks.add(1);
       if (util::crc32(fetch_frame(rec)) != rec.crc32) {
         throw ContainerError("field '" + fields_[f].name + "' chunk " +
                              std::to_string(c) +

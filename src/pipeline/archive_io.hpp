@@ -21,7 +21,6 @@
 // robustness properties.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -30,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pipeline/byte_stream.hpp"
 #include "pipeline/container.hpp"
 #include "pipeline/recovery.hpp"
@@ -182,7 +182,7 @@ class ArchiveReader {
   std::size_t chunk_ordinal(std::size_t field, std::size_t chunk) const;
 
   /// Transient-read retries spent so far under ReaderOptions::retry.
-  std::uint64_t io_retries() const { return io_retries_.load(); }
+  std::uint64_t io_retries() const { return io_retries_.value(); }
 
   /// Field index by name; throws ContainerError on unknown names.
   std::size_t field_index(const std::string& name) const;
@@ -197,7 +197,9 @@ class ArchiveReader {
   /// High-water mark of concurrently fetched frame bytes across all decode
   /// calls so far (the streaming-decompress residency tests pin this to
   /// workers * max_frame_bytes()).
-  std::uint64_t peak_frame_bytes() const { return peak_frame_bytes_; }
+  std::uint64_t peak_frame_bytes() const {
+    return static_cast<std::uint64_t>(frame_bytes_.peak());
+  }
 
   /// Fetches one chunk's frame bytes (one source read + CRC check).
   std::vector<std::uint8_t> read_frame(std::size_t field,
@@ -280,9 +282,12 @@ class ArchiveReader {
   /// index, and whether the recovered chunks tile the field.
   std::vector<std::vector<std::uint32_t>> salvage_ordinals_;
   std::vector<bool> salvage_complete_;
-  mutable std::atomic<std::uint64_t> io_retries_{0};
-  mutable std::atomic<std::uint64_t> live_frame_bytes_{0};
-  mutable std::atomic<std::uint64_t> peak_frame_bytes_{0};
+  /// Per-reader telemetry instruments (obs/metrics.hpp): always-on so the
+  /// io_retries()/peak_frame_bytes() accessors keep their exact pre-obs
+  /// semantics; the process registry additionally aggregates across readers
+  /// under "reader.*" when obs::enabled().
+  mutable obs::Counter io_retries_;
+  mutable obs::Gauge frame_bytes_;  // current + peak resident frame bytes
 };
 
 /// RAII accounting of frame bytes held against a reader's residency gauge.
@@ -301,6 +306,10 @@ class FrameResidency {
  private:
   const ArchiveReader& reader_;
   std::uint64_t bytes_;
+  /// True when the registry gauge was incremented too — the decrement is
+  /// keyed off this, not off a re-read of the enable flag, so a mid-flight
+  /// flag flip can never unbalance "reader.frame_bytes".
+  bool mirrored_ = false;
 };
 
 /// Compresses one field chunk by chunk under a whole-field error bound and

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "cudasim/exec.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/wire_format.hpp"
 #include "sz/serialize.hpp"
 
@@ -24,6 +25,34 @@ double BatchDecompressResult::makespan(std::size_t workers) const {
 }
 
 namespace {
+
+// Scheduler-wide aggregates; per-chunk task latencies record from worker
+// threads, phase spans from the collecting thread. Only touched behind
+// obs::enabled().
+struct BatchMetrics {
+  obs::LatencyHistogram& quantize_ns;
+  obs::LatencyHistogram& encode_ns;
+  obs::LatencyHistogram& decode_ns;
+  obs::Counter& chunks_encoded;
+  obs::Counter& chunks_decoded;
+};
+
+BatchMetrics& batch_metrics() {
+  static BatchMetrics m{obs::registry().histogram("batch.quantize_ns"),
+                        obs::registry().histogram("batch.encode_ns"),
+                        obs::registry().histogram("batch.decode_ns"),
+                        obs::registry().counter("batch.chunks_encoded"),
+                        obs::registry().counter("batch.chunks_decoded")};
+  return m;
+}
+
+/// Per-field chunk-count counters are registered by field name at fan-out
+/// time (dynamic names are exactly what the registry's get-or-create is
+/// for); `suffix` distinguishes the write and decode directions.
+void count_field_chunks(const std::string& field, const char* suffix,
+                        std::uint64_t chunks) {
+  obs::registry().counter("batch.field." + field + suffix).add(chunks);
+}
 
 /// Blocks until every still-pending future in `futures` has run (get()
 /// invalidates futures, so only un-collected ones are waited). Exception
@@ -54,6 +83,7 @@ BatchDecompressResult decompress_archive(ThreadPool& pool,
   // surfacing through get() — wait out the remaining tasks before
   // unwinding: they still reference `archive`, `decoder`, and the output
   // buffers.
+  const obs::ScopedOp batch_op("batch.decompress");
   std::vector<std::vector<std::future<sz::DecompressionResult>>> futures(
       archive.fields().size());
   BatchDecompressResult out;
@@ -65,6 +95,11 @@ BatchDecompressResult decompress_archive(ThreadPool& pool,
   try {
     for (std::size_t fi = 0; fi < archive.fields().size(); ++fi) {
       const FieldEntry& entry = archive.fields()[fi];
+      if (obs::enabled()) {
+        batch_metrics().chunks_decoded.add(entry.chunks.size());
+        count_field_chunks(entry.name, ".chunks_decoded",
+                           entry.chunks.size());
+      }
       futures[fi].reserve(entry.chunks.size());
       for (std::size_t ci = 0; ci < entry.chunks.size(); ++ci) {
         const std::span<float> dest(
@@ -72,6 +107,11 @@ BatchDecompressResult decompress_archive(ThreadPool& pool,
             entry.chunks[ci].dims.count());
         futures[fi].push_back(
             pool.submit([&archive, &decoder, fi, ci, dest] {
+              // Fetch + decode + reconstruct of one chunk: the reader's own
+              // "reader.frame_fetch" span nests under this one.
+              const obs::ScopedOp op(
+                  "batch.decode",
+                  obs::enabled() ? &batch_metrics().decode_ns : nullptr);
               cudasim::SimContext ctx;
               return archive.decode_chunk_into(ctx, fi, ci, dest, decoder);
             }));
@@ -92,6 +132,9 @@ BatchDecompressResult decompress_archive(ThreadPool& pool,
   } catch (...) {
     for (auto& field_futures : futures) wait_all(field_futures);
     throw;
+  }
+  if (obs::enabled()) {
+    obs::absorb_phase_timings(obs::registry(), out.phases);
   }
   return out;
 }
@@ -175,6 +218,7 @@ void BatchScheduler::compress_to(ArchiveWriter& writer,
   // chunks are still compressing, and nothing accumulates beyond the frame
   // currently being handed over. On ANY failure — submit or collect — wait
   // out the remaining tasks before unwinding destroys states/specs.
+  const obs::ScopedOp batch_op("batch.compress");
   try {
     for (std::size_t fi = 0; fi < specs.size(); ++fi) {
       const FieldSpec& spec = specs[fi];
@@ -183,6 +227,9 @@ void BatchScheduler::compress_to(ArchiveWriter& writer,
         state.quants.reserve(state.layout.size());
         for (const ChunkExtent& extent : state.layout) {
           state.quants.push_back(pool_.submit([&spec, &state, extent] {
+            const obs::ScopedOp op(
+                "batch.quantize",
+                obs::enabled() ? &batch_metrics().quantize_ns : nullptr);
             ProbedChunk out;
             out.q = sz::quantize_with_abs_bound(
                 spec.data.subspan(extent.elem_offset, extent.dims.count()),
@@ -195,6 +242,10 @@ void BatchScheduler::compress_to(ArchiveWriter& writer,
         state.frames.reserve(state.layout.size());
         for (const ChunkExtent& extent : state.layout) {
           state.frames.push_back(pool_.submit([&spec, &state, extent] {
+            // Fused path: quantize + encode in one task, charged as encode.
+            const obs::ScopedOp op(
+                "batch.encode",
+                obs::enabled() ? &batch_metrics().encode_ns : nullptr);
             const auto blob = sz::compress_with_abs_bound(
                 spec.data.subspan(extent.elem_offset, extent.dims.count()),
                 extent.dims, state.abs_eb, spec.config);
@@ -207,6 +258,9 @@ void BatchScheduler::compress_to(ArchiveWriter& writer,
       const FieldSpec& spec = specs[fi];
       FieldState& state = states[fi];
       if (!state.planned) continue;
+      // Covers collecting the field's quantize futures plus the pooled plan
+      // itself — the stretch where the collecting thread gates the fan-out.
+      const obs::ScopedOp plan_op("batch.plan");
       state.quantized.reserve(state.quants.size());
       std::vector<ChunkProbe> probes;
       probes.reserve(state.quants.size());
@@ -230,12 +284,16 @@ void BatchScheduler::compress_to(ArchiveWriter& writer,
                                              ? CodebookRef::SharedField
                                              : CodebookRef::Private});
         state.frames.push_back(pool_.submit([&spec, &state, ci] {
+          const obs::ScopedOp op(
+              "batch.encode",
+              obs::enabled() ? &batch_metrics().encode_ns : nullptr);
           return encode_planned_chunk(std::move(state.quantized[ci]),
                                       state.plan.chunks[ci], spec.config,
                                       state.shared.get());
         }));
       }
     }
+    const obs::ScopedOp write_op("batch.write");
     for (std::size_t fi = 0; fi < specs.size(); ++fi) {
       const FieldSpec& spec = specs[fi];
       FieldState& state = states[fi];
@@ -256,6 +314,10 @@ void BatchScheduler::compress_to(ArchiveWriter& writer,
                                : state.meta[ci]);
       }
       writer.end_field();
+      if (obs::enabled()) {
+        batch_metrics().chunks_encoded.add(state.frames.size());
+        count_field_chunks(spec.name, ".chunks", state.frames.size());
+      }
     }
   } catch (...) {
     for (FieldState& state : states) {
@@ -328,6 +390,9 @@ PartialBatchDecompress BatchScheduler::decompress_partial(
             res.fields[fi].decode.data.data() + entry.chunks[ci].elem_offset,
             entry.chunks[ci].dims.count());
         futures[fi].push_back(pool_.submit([&reader, &decoder, fi, ci, dest] {
+          const obs::ScopedOp op(
+              "batch.decode",
+              obs::enabled() ? &batch_metrics().decode_ns : nullptr);
           cudasim::SimContext ctx;
           return reader.decode_chunk_into(ctx, fi, ci, dest, decoder);
         }));
@@ -409,6 +474,7 @@ std::vector<float> BatchScheduler::decode_range(
   if (elem_begin > elem_end || elem_end > f.dims.count()) {
     throw ContainerError("element range out of bounds");
   }
+  const obs::ScopedOp range_op("batch.decode_range");
   std::vector<float> out(elem_end - elem_begin);
 
   // One entry per overlapping chunk, in chunk order. Interior chunks decode

@@ -8,8 +8,23 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/trace.hpp"
+
 namespace ohd::pipeline {
 namespace {
+
+// Aggregates across all file sinks; per-sink counts stay on the sink's own
+// instrument (FileSink::flush_retries()). Only touched behind obs::enabled().
+struct SinkMetrics {
+  obs::Counter& flush_retries;
+  obs::LatencyHistogram& flush_ns;
+};
+
+SinkMetrics& sink_metrics() {
+  static SinkMetrics m{obs::registry().counter("sink.flush_retries"),
+                       obs::registry().histogram("sink.flush_ns")};
+  return m;
+}
 
 /// "<what> '<path>' failed: <strerror>" with the errno captured at the
 /// failure site, so disk-full vs permission vs stale-handle failures are
@@ -87,6 +102,8 @@ void FileSink::write(std::span<const std::uint8_t> bytes) {
 
 void FileSink::flush() {
   if (file_ == nullptr) return;  // already closed: nothing buffered
+  const obs::ScopedOp op(
+      "sink.flush", obs::enabled() ? &sink_metrics().flush_ns : nullptr);
   with_retry(
       flush_retry_,
       [&] {
@@ -101,7 +118,10 @@ void FileSink::flush() {
           throw ArchiveError(errno_detail("flush of", path_, err));
         }
       },
-      [&] { ++flush_retries_; });
+      [&] {
+        flush_retries_.add(1);
+        if (obs::enabled()) sink_metrics().flush_retries.add(1);
+      });
 }
 
 void FileSink::close() {

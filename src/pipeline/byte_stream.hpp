@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace ohd::pipeline {
@@ -200,7 +201,7 @@ class FileSink : public ByteSink {
   void close();
 
   bool closed() const { return file_ == nullptr; }
-  std::uint64_t flush_retries() const { return flush_retries_; }
+  std::uint64_t flush_retries() const { return flush_retries_.value(); }
 
  protected:
   /// Target of the durability fsync in commit() — the temp path for
@@ -211,7 +212,9 @@ class FileSink : public ByteSink {
   std::FILE* file_ = nullptr;
   std::uint64_t written_ = 0;
   RetryPolicy flush_retry_;
-  std::uint64_t flush_retries_ = 0;
+  /// Always-on per-sink instrument behind flush_retries(); the process
+  /// registry additionally aggregates "sink.flush_retries" when enabled.
+  obs::Counter flush_retries_;
 };
 
 /// Crash-consistent file sink: writes go to `<path>.tmp`; commit() flushes,

@@ -42,7 +42,32 @@ void sleep_latency(std::chrono::microseconds latency) {
   if (latency.count() > 0) std::this_thread::sleep_for(latency);
 }
 
+/// Process-registry aggregation of injected faults across all wrappers.
+void mirror_fault(const char* name, std::uint64_t n = 1) {
+  if (n != 0 && obs::enabled()) obs::registry().counter(name).add(n);
+}
+
 }  // namespace
+
+FaultStats FaultInjectingSource::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FaultStats s;
+  s.reads = reads_.value();
+  s.transient_read_errors = transient_read_errors_.value();
+  s.short_reads = short_reads_.value();
+  s.injected_latency_us = injected_latency_us_.value();
+  return s;
+}
+
+FaultStats FaultInjectingSink::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FaultStats s;
+  s.writes = writes_.value();
+  s.torn_writes = torn_writes_.value();
+  s.transient_write_errors = transient_write_errors_.value();
+  s.injected_latency_us = injected_latency_us_.value();
+  return s;
+}
 
 void FaultInjectingSource::read_at(std::uint64_t offset,
                                    std::span<std::uint8_t> out) const {
@@ -50,20 +75,26 @@ void FaultInjectingSource::read_at(std::uint64_t offset,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::uint64_t op = op_++;
-    ++stats_.reads;
+    reads_.add(1);
+    const std::uint64_t faults =
+        transient_read_errors_.value() + short_reads_.value();
     d = draw(spec_, op, out.size(), spec_.transient_read_rate,
-             spec_.short_read_rate, stats_.faults() >= spec_.max_faults);
+             spec_.short_read_rate, faults >= spec_.max_faults);
     switch (d.kind) {
       case Decision::Kind::Transient:
-        ++stats_.transient_read_errors;
+        transient_read_errors_.add(1);
+        mirror_fault("fault.transient_read_errors");
         break;
       case Decision::Kind::Partial:
-        ++stats_.short_reads;
+        short_reads_.add(1);
+        mirror_fault("fault.short_reads");
         break;
       case Decision::Kind::Clean:
         break;
     }
-    stats_.injected_latency_us += static_cast<std::uint64_t>(d.latency.count());
+    const auto latency_us = static_cast<std::uint64_t>(d.latency.count());
+    injected_latency_us_.add(latency_us);
+    mirror_fault("fault.injected_latency_us", latency_us);
   }
   sleep_latency(d.latency);
   switch (d.kind) {
@@ -90,20 +121,26 @@ void FaultInjectingSink::write(std::span<const std::uint8_t> bytes) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::uint64_t op = op_++;
-    ++stats_.writes;
+    writes_.add(1);
+    const std::uint64_t faults =
+        transient_write_errors_.value() + torn_writes_.value();
     d = draw(spec_, op, bytes.size(), spec_.transient_write_rate,
-             spec_.torn_write_rate, stats_.faults() >= spec_.max_faults);
+             spec_.torn_write_rate, faults >= spec_.max_faults);
     switch (d.kind) {
       case Decision::Kind::Transient:
-        ++stats_.transient_write_errors;
+        transient_write_errors_.add(1);
+        mirror_fault("fault.transient_write_errors");
         break;
       case Decision::Kind::Partial:
-        ++stats_.torn_writes;
+        torn_writes_.add(1);
+        mirror_fault("fault.torn_writes");
         break;
       case Decision::Kind::Clean:
         break;
     }
-    stats_.injected_latency_us += static_cast<std::uint64_t>(d.latency.count());
+    const auto latency_us = static_cast<std::uint64_t>(d.latency.count());
+    injected_latency_us_.add(latency_us);
+    mirror_fault("fault.injected_latency_us", latency_us);
   }
   sleep_latency(d.latency);
   switch (d.kind) {

@@ -26,6 +26,7 @@
 #include <mutex>
 #include <span>
 
+#include "obs/metrics.hpp"
 #include "pipeline/byte_stream.hpp"
 
 namespace ohd::pipeline {
@@ -72,8 +73,12 @@ struct FaultStats {
 };
 
 /// Thread-safe (the source contract requires concurrent read_at): the
-/// operation counter and stats live behind a mutex; the fault draw for each
-/// operation is made under the lock, the inner read outside it.
+/// operation counter and the fault draw live behind a mutex, the inner read
+/// runs outside it. Counts are held on obs instruments — stats() assembles
+/// the FaultStats view, and injected faults additionally aggregate into the
+/// process registry under "fault.*" when obs::enabled() — but every
+/// increment still happens under the mutex, so the schedule (which depends
+/// on the fault count via max_faults) stays deterministic.
 class FaultInjectingSource : public ByteSource {
  public:
   FaultInjectingSource(const ByteSource& inner, FaultSpec spec)
@@ -83,17 +88,17 @@ class FaultInjectingSource : public ByteSource {
   void read_at(std::uint64_t offset,
                std::span<std::uint8_t> out) const override;
 
-  FaultStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
-  }
+  FaultStats stats() const;
 
  private:
   const ByteSource& inner_;
   FaultSpec spec_;
   mutable std::mutex mutex_;
   mutable std::uint64_t op_ = 0;
-  mutable FaultStats stats_;
+  mutable obs::Counter reads_;
+  mutable obs::Counter transient_read_errors_;
+  mutable obs::Counter short_reads_;
+  mutable obs::Counter injected_latency_us_;
 };
 
 class FaultInjectingSink : public ByteSink {
@@ -106,17 +111,17 @@ class FaultInjectingSink : public ByteSink {
   void flush() override { inner_.flush(); }
   void commit() override { inner_.commit(); }
 
-  FaultStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
-  }
+  FaultStats stats() const;
 
  private:
   ByteSink& inner_;
   FaultSpec spec_;
   mutable std::mutex mutex_;
   std::uint64_t op_ = 0;
-  FaultStats stats_;
+  obs::Counter writes_;
+  obs::Counter torn_writes_;
+  obs::Counter transient_write_errors_;
+  obs::Counter injected_latency_us_;
 };
 
 }  // namespace ohd::pipeline

@@ -42,22 +42,24 @@ class ThreadPool {
     // packaged_task rides in a shared_ptr.
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) {
-        throw std::runtime_error("submit() on a stopping ThreadPool");
-      }
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    wake_.notify_one();
+    enqueue([task] { (*task)(); });
     return future;
   }
 
  private:
+  /// Queue entry. enqueue_ns is nonzero only when telemetry was enabled at
+  /// submit time; the dequeue side keys every metric update off it, so an
+  /// enable-flag flip mid-flight can never unbalance the queue-depth gauge.
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
+  void enqueue(std::function<void()> fn);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;

@@ -1,0 +1,177 @@
+// obs/trace.hpp: span nesting via the thread-local stack (parent paths),
+// worker-thread spans as thread roots, the deterministic sorted-text export,
+// the Chrome trace_event export's structural invariants (monotone
+// timestamps, balanced JSON, complete events), and disabled-mode no-ops.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ohd::obs {
+namespace {
+
+TEST(TraceRecorder, NestedOpsBuildParentPaths) {
+  TraceRecorder rec;
+  const ScopedTelemetry scope(&rec);
+  {
+    const ScopedOp outer("compress");
+    { const ScopedOp inner("quantize"); }
+    { const ScopedOp inner("encode"); }
+    { const ScopedOp inner("encode"); }
+  }
+  EXPECT_EQ(rec.sorted_text(),
+            "compress x1\n"
+            "compress/encode x2\n"
+            "compress/quantize x1\n");
+  const std::vector<Span> spans = rec.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Completion order: children close before their parent.
+  EXPECT_EQ(spans[3].name, "compress");
+  EXPECT_EQ(spans[3].parent_id, -1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(spans[i].parent_id, spans[3].id);
+  }
+}
+
+TEST(TraceRecorder, SortedTextIsDeterministicAcrossRuns) {
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    TraceRecorder rec;
+    const ScopedTelemetry scope(&rec);
+    {
+      const ScopedOp a("a");
+      { const ScopedOp b("b"); }
+    }
+    { const ScopedOp c("c"); }
+    if (run == 0) {
+      first = rec.sorted_text();
+    } else {
+      EXPECT_EQ(rec.sorted_text(), first);
+    }
+  }
+}
+
+TEST(TraceRecorder, WorkerThreadSpansAreThreadRoots) {
+  TraceRecorder rec;
+  const ScopedTelemetry scope(&rec);
+  {
+    const ScopedOp main_op("main_op");
+    std::thread worker([] { const ScopedOp op("worker_op"); });
+    worker.join();
+  }
+  const std::vector<Span> spans = rec.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  int roots = 0;
+  int thread_indices = 0;
+  for (const Span& s : spans) {
+    if (s.parent_id == -1) ++roots;
+    thread_indices = std::max(thread_indices, s.thread_index);
+  }
+  EXPECT_EQ(roots, 2);  // nesting is per-thread, never across threads
+  EXPECT_EQ(thread_indices, 1);  // two distinct dense thread indices
+  // Both roots appear as distinct top-level paths.
+  EXPECT_EQ(rec.sorted_text(), "main_op x1\nworker_op x1\n");
+}
+
+TEST(TraceRecorder, ChromeExportIsStructurallySound) {
+  TraceRecorder rec;
+  const ScopedTelemetry scope(&rec);
+  {
+    const ScopedOp outer("outer \"quoted\"");
+    { const ScopedOp inner("inner"); }
+  }
+  const std::string json = rec.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // Events are sorted by ts; the parent (earlier start) precedes the child.
+  const auto outer_pos = json.find("outer");
+  const auto inner_pos = json.find("inner");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  EXPECT_LT(outer_pos, inner_pos);
+  // The earliest event starts at ts 0 (timestamps are relative).
+  EXPECT_NE(json.find("\"ts\": 0.000"), std::string::npos);
+}
+
+TEST(TraceRecorder, ClearEmptiesTheTrace) {
+  TraceRecorder rec;
+  const ScopedTelemetry scope(&rec);
+  { const ScopedOp op("op"); }
+  EXPECT_EQ(rec.spans().size(), 1u);
+  rec.clear();
+  EXPECT_TRUE(rec.spans().empty());
+  EXPECT_EQ(rec.sorted_text(), "");
+  EXPECT_EQ(rec.chrome_trace_json(), "{\"traceEvents\": []}");
+}
+
+TEST(TraceRecorder, NothingRecordsWhileDisabled) {
+  TraceRecorder rec;
+  const bool was = enabled();
+  TraceRecorder* prev = tracer();
+  set_tracer(&rec);
+  set_enabled(false);
+  { const ScopedOp op("invisible"); }
+  EXPECT_TRUE(rec.spans().empty());
+  set_enabled(was);
+  set_tracer(prev);
+}
+
+TEST(TraceRecorder, NothingRecordsWithoutAnInstalledRecorder) {
+  TraceRecorder rec;
+  const ScopedTelemetry scope(nullptr);  // enabled, but no tracer
+  { const ScopedOp op("unrecorded"); }
+  EXPECT_TRUE(rec.spans().empty());
+}
+
+TEST(TraceRecorder, ConcurrentSpansFromManyThreads) {
+  TraceRecorder rec;
+  const ScopedTelemetry scope(&rec);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const ScopedOp outer("outer");
+        const ScopedOp inner("inner");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rec.spans().size(), 2u * kThreads * kOpsPerThread);
+  EXPECT_EQ(rec.sorted_text(),
+            "outer x" + std::to_string(kThreads * kOpsPerThread) +
+                "\nouter/inner x" + std::to_string(kThreads * kOpsPerThread) +
+                "\n");
+}
+
+TEST(ScopedTelemetry, RestoresFlagTracerAndResetsRegistry) {
+  set_enabled(false);
+  set_tracer(nullptr);
+  registry().counter("leftover").add(5);
+  TraceRecorder rec;
+  {
+    const ScopedTelemetry scope(&rec);
+    EXPECT_TRUE(enabled());
+    EXPECT_EQ(tracer(), &rec);
+    // Entry reset the registry: earlier counts are gone.
+    EXPECT_EQ(registry().snapshot().counter("leftover")->value, 0u);
+    registry().counter("leftover").add(7);
+  }
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(tracer(), nullptr);
+  // Exit reset it again, so the next run starts clean.
+  EXPECT_EQ(registry().snapshot().counter("leftover")->value, 0u);
+}
+
+}  // namespace
+}  // namespace ohd::obs
