@@ -1,0 +1,532 @@
+// CompressionService soak driver: sustained mixed traffic from 64 concurrent
+// simulated clients (8 driver threads x 8 clients, every workload seeded)
+// through one service instance, with the full observability stack live.
+//
+// Gated properties (all deterministic booleans in BENCH_service.json):
+//  * zero lost/duplicated responses — every admitted request's future yields
+//    exactly one verified response (decompress bit-identical to the client's
+//    reference decode, chunk/range bit-identical to the matching slice), and
+//    the service's own accounting agrees: completed == accepted, failed == 0.
+//  * worker-count invariance — a compact multi-client workload produces
+//    bit-identical archives, floats, and range slices on a (1 worker,
+//    1 dispatcher) service and a (4 workers, 3 dispatchers) service.
+//  * bounded residency — the "reader.frame_bytes" registry gauge (which
+//    aggregates every open reader) peaks under the configured ceiling:
+//    (workers + dispatchers * (2*workers + 2) + dispatchers) * max frame —
+//    pool decode tasks hold one frame each, each dispatcher-run range
+//    request prefetches at most max(2, 2*workers) frames, chunk decodes one.
+//  * deterministic backpressure — a fixed paused-submit script is replayed
+//    twice; both runs must reject exactly the same (expected) count.
+//  * histograms present — all eight per-class "service.*" histograms appear
+//    in the exported snapshot with nonzero counts.
+//
+// Wall-clock metrics (guarded with wide tolerances): sustained request
+// throughput and the chunk-request p99 service latency.
+//
+//   ./bench_service_soak                 # table on stdout
+//   ./bench_service_soak --json [path]   # also write BENCH_service.json
+//
+// OHD_BENCH_SCALE scales the per-client field size (default 1.0 => 16384
+// elements per client; CI smoke uses 0.05).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pipeline/archive_io.hpp"
+#include "pipeline/byte_stream.hpp"
+#include "service/compression_service.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ohd;
+
+constexpr std::size_t kClients = 64;
+constexpr std::size_t kDrivers = 8;
+constexpr std::size_t kRounds = 12;  // mixed requests per client
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kDispatchers = 3;
+
+double bench_scale() {
+  if (const char* env = std::getenv("OHD_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+std::vector<float> client_field(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 0.02 * rng.normal();
+    v[i] = static_cast<float>(
+        std::sin(0.004 * static_cast<double>(i)) + acc * 0.1);
+  }
+  return v;
+}
+
+/// Submit with bounded-impatience retry: ServiceBusy is the expected
+/// backpressure signal under soak load, so drivers back off and retry until
+/// admitted (counting the retries).
+template <typename Fn>
+auto submit_retrying(Fn&& fn, std::atomic<std::uint64_t>& busy_retries)
+    -> decltype(fn()) {
+  for (;;) {
+    try {
+      return fn();
+    } catch (const service::ServiceBusy&) {
+      busy_retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+struct SoakOutcome {
+  std::uint64_t submitted = 0;   // admitted requests (driver-side count)
+  std::uint64_t responses = 0;   // futures that yielded a response
+  std::uint64_t verified = 0;    // responses that matched their reference
+  std::uint64_t busy_retries = 0;
+  std::uint64_t max_frame_bytes = 0;  // largest frame across all archives
+  double wall_s = 0.0;
+  bool ok = true;
+};
+
+/// One client's state during the soak: its reference decode plus the open
+/// handle the mixed rounds hit.
+struct ClientState {
+  service::ClientId id = 0;
+  service::ArchiveHandle handle = 0;
+  std::size_t elems = 0;
+  std::size_t chunks = 0;
+  std::vector<float> reference;
+  util::Xoshiro256 rng{0};
+};
+
+SoakOutcome run_soak(service::CompressionService& svc, std::size_t elems,
+                     std::size_t chunk_elems) {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> verified{0};
+  std::atomic<std::uint64_t> busy_retries{0};
+  std::atomic<std::uint64_t> max_frame{0};
+  std::atomic<bool> ok{true};
+
+  util::WallTimer wall;
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDrivers);
+  for (std::size_t d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      const double bounds[] = {1e-2, 1e-3, 1e-4};
+      std::vector<ClientState> clients(kClients / kDrivers);
+
+      // Set up each of this driver's clients: negotiate options, compress a
+      // seeded field, reopen the archive, take a reference decode.
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        const std::size_t global = d * clients.size() + i;
+        service::ClientOptions opts;
+        opts.rel_error_bound = bounds[global % 3];
+        opts.chunk_elems = chunk_elems;
+        ClientState& c = clients[i];
+        c.id = svc.open_client(opts);
+        c.elems = elems;
+        c.chunks = (elems + chunk_elems - 1) / chunk_elems;
+        c.rng = util::Xoshiro256(0xabcd0000 + global);
+
+        service::CompressJob job;
+        job.fields.push_back({"field", client_field(elems, 1000 + global),
+                              sz::Dims::d1(elems)});
+        auto archive =
+            submit_retrying(
+                [&] { return svc.submit_compress(c.id, job); }, busy_retries)
+                .get()
+                .archive;
+        submitted.fetch_add(1, std::memory_order_relaxed);
+        responses.fetch_add(1, std::memory_order_relaxed);
+        verified.fetch_add(1, std::memory_order_relaxed);
+
+        {
+          // Driver-side probe for the residency ceiling: footer-first open
+          // costs only head+index reads and never fetches a frame.
+          const pipeline::MemorySource probe_src(archive);
+          const pipeline::ArchiveReader probe(probe_src);
+          std::uint64_t seen = max_frame.load(std::memory_order_relaxed);
+          while (probe.max_frame_bytes() > seen &&
+                 !max_frame.compare_exchange_weak(seen, probe.max_frame_bytes(),
+                                                  std::memory_order_relaxed)) {
+          }
+        }
+        c.handle = svc.open_archive(
+            c.id, std::make_shared<pipeline::OwningMemorySource>(
+                      std::move(archive)));
+        auto ref = submit_retrying(
+                       [&] { return svc.submit_decompress(c.id, c.handle); },
+                       busy_retries)
+                       .get();
+        submitted.fetch_add(1, std::memory_order_relaxed);
+        responses.fetch_add(1, std::memory_order_relaxed);
+        verified.fetch_add(1, std::memory_order_relaxed);
+        c.reference = std::move(ref.fields.at(0).decode.data);
+        if (c.reference.size() != elems) ok.store(false);
+      }
+
+      // Mixed rounds: submit one request per client (up to 8 in flight for
+      // this driver, 64 service-wide), then collect and verify the wave.
+      using FloatsFuture = std::future<std::vector<float>>;
+      using DecompFuture = std::future<pipeline::BatchDecompressResult>;
+      struct Pending {
+        std::variant<DecompFuture, FloatsFuture> future;
+        std::size_t begin = 0;  // verified slice [begin, end)
+        std::size_t end = 0;
+      };
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        std::vector<Pending> wave(clients.size());
+        for (std::size_t i = 0; i < clients.size(); ++i) {
+          ClientState& c = clients[i];
+          Pending& p = wave[i];
+          switch (c.rng.bounded(3)) {
+            case 0:
+              p.future = submit_retrying(
+                  [&] { return svc.submit_decompress(c.id, c.handle); },
+                  busy_retries);
+              p.begin = 0;
+              p.end = c.elems;
+              break;
+            case 1: {
+              const std::size_t chunk = c.rng.bounded(c.chunks);
+              p.begin = chunk * chunk_elems;
+              p.end = std::min(c.elems, p.begin + chunk_elems);
+              p.future = submit_retrying(
+                  [&] { return svc.submit_chunk(c.id, c.handle, 0, chunk); },
+                  busy_retries);
+              break;
+            }
+            default: {
+              const std::size_t begin = c.rng.bounded(c.elems - 1);
+              const std::size_t len = 1 + c.rng.bounded(c.elems - begin - 1);
+              p.begin = begin;
+              p.end = std::min(c.elems, begin + len);
+              p.future = submit_retrying(
+                  [&] {
+                    return svc.submit_range(c.id, c.handle, 0, p.begin, p.end);
+                  },
+                  busy_retries);
+              break;
+            }
+          }
+          submitted.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (std::size_t i = 0; i < clients.size(); ++i) {
+          ClientState& c = clients[i];
+          Pending& p = wave[i];
+          std::vector<float> got;
+          if (auto* df = std::get_if<DecompFuture>(&p.future)) {
+            got = std::move(df->get().fields.at(0).decode.data);
+          } else {
+            got = std::get<FloatsFuture>(p.future).get();
+          }
+          responses.fetch_add(1, std::memory_order_relaxed);
+          const bool match =
+              got.size() == p.end - p.begin &&
+              std::equal(got.begin(), got.end(), c.reference.begin() +
+                                                    static_cast<std::ptrdiff_t>(
+                                                        p.begin));
+          if (match) {
+            verified.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            ok.store(false);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+
+  SoakOutcome out;
+  out.wall_s = wall.seconds();
+  out.submitted = submitted.load();
+  out.responses = responses.load();
+  out.verified = verified.load();
+  out.busy_retries = busy_retries.load();
+  out.max_frame_bytes = max_frame.load();
+  out.ok = ok.load();
+  return out;
+}
+
+/// Fixed paused-submit script: with dispatchers idle, exactly
+/// max_queue_depth submits are admitted and the rest rejected. Returns
+/// {accepted, rejected} for one replay.
+std::pair<std::uint64_t, std::uint64_t> rejection_script() {
+  service::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.dispatchers = 1;
+  cfg.max_queue_depth = 4;
+  cfg.max_inflight_per_client = 100;
+  service::CompressionService svc(cfg);
+  const service::ClientId client = svc.open_client();
+  service::CompressJob job;
+  job.fields.push_back(
+      {"f", client_field(2048, 77), sz::Dims::d1(2048)});
+
+  svc.pause();
+  std::vector<std::future<service::CompressResult>> admitted;
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < 7; ++i) {
+    try {
+      admitted.push_back(svc.submit_compress(client, job));
+    } catch (const service::ServiceBusy&) {
+      ++rejected;
+    }
+  }
+  svc.resume();
+  for (auto& f : admitted) f.get();
+  return {svc.stats().accepted, rejected};
+}
+
+/// Compact multi-client workload digest for the invariance check.
+struct Digest {
+  std::vector<std::vector<std::uint8_t>> archives;
+  std::vector<std::vector<float>> floats;
+  std::vector<std::vector<float>> ranges;
+
+  bool operator==(const Digest& other) const {
+    return archives == other.archives && floats == other.floats &&
+           ranges == other.ranges;
+  }
+};
+
+Digest run_invariance(std::size_t workers, std::size_t dispatchers,
+                      std::size_t elems) {
+  service::ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.dispatchers = dispatchers;
+  service::CompressionService svc(cfg);
+  Digest digest;
+  const double bounds[] = {1e-2, 1e-3, 1e-4, 1e-3};
+  for (int c = 0; c < 4; ++c) {
+    service::ClientOptions opts;
+    opts.rel_error_bound = bounds[c];
+    opts.chunk_elems = 1024;
+    opts.plan.auto_method = (c % 2 == 1);
+    opts.plan.shared_codebook = (c % 2 == 1);
+    const service::ClientId client = svc.open_client(opts);
+    service::CompressJob job;
+    job.fields.push_back({"field",
+                          client_field(elems, 500 + static_cast<std::uint64_t>(c)),
+                          sz::Dims::d1(elems)});
+    auto archive = svc.submit_compress(client, job).get().archive;
+    auto copy = archive;
+    digest.archives.push_back(std::move(archive));
+    const service::ArchiveHandle h = svc.open_archive(
+        client,
+        std::make_shared<pipeline::OwningMemorySource>(std::move(copy)));
+    digest.floats.push_back(std::move(
+        svc.submit_decompress(client, h).get().fields.at(0).decode.data));
+    digest.ranges.push_back(
+        svc.submit_range(client, h, 0, elems / 5, (4 * elems) / 5).get());
+  }
+  return digest;
+}
+
+int run(bool emit_json, const char* json_path) {
+  const double scale = bench_scale();
+  const auto elems = std::max<std::size_t>(
+      2048, static_cast<std::size_t>(16384 * scale));
+  const std::size_t chunk_elems = 1024;
+  std::printf(
+      "soak: %zu clients on %zu drivers, %zu rounds, %zu elems/client "
+      "(scale %.3g), service %zu workers + %zu dispatchers\n",
+      kClients, kDrivers, kRounds, elems, scale, kWorkers, kDispatchers);
+
+  // ---- Soak phase (telemetry live for the whole run) ----------------------
+  service::ServiceStats stats;
+  SoakOutcome soak;
+  std::uint64_t frame_peak = 0;
+  bool histograms_present = true;
+  std::string snapshot_json;
+  double chunk_p99_ms = 0.0;
+  {
+    const obs::ScopedTelemetry telemetry;
+    service::ServiceConfig cfg;
+    cfg.workers = kWorkers;
+    cfg.dispatchers = kDispatchers;
+    cfg.max_queue_depth = 128;
+    cfg.max_inflight_per_client = 4;
+    cfg.max_open_readers_per_client = 2;
+    service::CompressionService svc(cfg);
+    soak = run_soak(svc, elems, chunk_elems);
+    svc.shutdown();
+    stats = svc.stats();
+
+    const auto snap = obs::registry().snapshot();
+    if (const auto* g = snap.gauge("reader.frame_bytes")) {
+      frame_peak = static_cast<std::uint64_t>(g->peak);
+    }
+    for (const char* cls : {"compress", "decompress", "chunk", "range"}) {
+      for (const char* kind : {".latency_ns", ".queue_wait_ns"}) {
+        const std::string name = std::string("service.") + cls + kind;
+        const auto* h = snap.histogram(name);
+        if (h == nullptr || h->count == 0) histograms_present = false;
+      }
+    }
+    if (const auto* h = snap.histogram("service.chunk.latency_ns")) {
+      chunk_p99_ms = static_cast<double>(h->p99_ns) / 1e6;
+    }
+    snapshot_json = snap.to_json(4);
+  }
+
+  // Frame-residency ceiling: pool workers hold one frame per decode task,
+  // each dispatcher-run range request prefetches at most max(2, 2*workers)
+  // frames, a chunk request holds one.
+  const std::uint64_t window = std::max<std::uint64_t>(2, 2 * kWorkers);
+  const std::uint64_t ceiling =
+      (kWorkers + kDispatchers * (window + 2) + kDispatchers) *
+      soak.max_frame_bytes;
+  const bool residency_bounded = frame_peak > 0 && frame_peak <= ceiling;
+
+  const bool zero_lost = soak.ok && soak.responses == soak.submitted &&
+                         soak.verified == soak.submitted &&
+                         stats.completed == soak.submitted &&
+                         stats.accepted == soak.submitted &&
+                         stats.failed == 0;
+  const double throughput =
+      static_cast<double>(soak.submitted) / soak.wall_s;
+
+  // ---- Deterministic backpressure -----------------------------------------
+  const auto [acc1, rej1] = rejection_script();
+  const auto [acc2, rej2] = rejection_script();
+  const bool deterministic_rejections =
+      acc1 == 4 && rej1 == 3 && acc2 == acc1 && rej2 == rej1;
+
+  // ---- Worker-count invariance --------------------------------------------
+  const std::size_t inv_elems = std::max<std::size_t>(2048, elems / 4);
+  const bool worker_invariant =
+      run_invariance(1, 1, inv_elems) == run_invariance(4, 3, inv_elems);
+
+  std::printf(
+      "requests: %llu admitted (+%llu busy retries), %llu responses, "
+      "%llu verified => zero lost: %s\n",
+      static_cast<unsigned long long>(soak.submitted),
+      static_cast<unsigned long long>(soak.busy_retries),
+      static_cast<unsigned long long>(soak.responses),
+      static_cast<unsigned long long>(soak.verified),
+      zero_lost ? "yes" : "NO");
+  std::printf(
+      "accounting: accepted %llu, completed %llu, failed %llu, rejected "
+      "%llu, inflight peak %lld, queue peak %lld\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.rejected()),
+      static_cast<long long>(stats.inflight_peak),
+      static_cast<long long>(stats.queue_depth_peak));
+  std::printf(
+      "throughput: %.1f req/s over %.2f s; chunk p99 %.3f ms\n", throughput,
+      soak.wall_s, chunk_p99_ms);
+  std::printf(
+      "residency: frame peak %llu B vs ceiling %llu B (max frame %llu B) "
+      "=> bounded: %s\n",
+      static_cast<unsigned long long>(frame_peak),
+      static_cast<unsigned long long>(ceiling),
+      static_cast<unsigned long long>(soak.max_frame_bytes),
+      residency_bounded ? "yes" : "NO");
+  std::printf("deterministic rejections: %s (4 admitted / 3 rejected x2)\n",
+              deterministic_rejections ? "yes" : "NO");
+  std::printf("worker-count invariant: %s; service histograms present: %s\n",
+              worker_invariant ? "yes" : "NO",
+              histograms_present ? "yes" : "NO");
+
+  const bool all_ok = zero_lost && residency_bounded &&
+                      deterministic_rejections && worker_invariant &&
+                      histograms_present;
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: soak property violated\n");
+  }
+
+  if (emit_json) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"service\",\n"
+        "  \"scale\": %.4f,\n"
+        "  \"clients\": %zu,\n"
+        "  \"drivers\": %zu,\n"
+        "  \"rounds\": %zu,\n"
+        "  \"elems_per_client\": %zu,\n"
+        "  \"workers\": %zu,\n"
+        "  \"dispatchers\": %zu,\n"
+        "  \"requests_admitted\": %llu,\n"
+        "  \"busy_retries\": %llu,\n"
+        "  \"responses\": %llu,\n"
+        "  \"responses_verified\": %llu,\n"
+        "  \"inflight_peak\": %lld,\n"
+        "  \"queue_depth_peak\": %lld,\n"
+        "  \"frame_peak_bytes\": %llu,\n"
+        "  \"frame_ceiling_bytes\": %llu,\n"
+        "  \"soak_wall_s\": %.6f,\n"
+        "  \"zero_lost\": %s,\n"
+        "  \"worker_invariant\": %s,\n"
+        "  \"residency_bounded\": %s,\n"
+        "  \"deterministic_rejections\": %s,\n"
+        "  \"histograms_present\": %s,\n"
+        "  \"throughput_req_per_s\": %.2f,\n"
+        "  \"chunk_p99_ms\": %.4f,\n"
+        "  \"telemetry\": {\n"
+        "    \"snapshot\": %s\n"
+        "  }\n"
+        "}\n",
+        scale, kClients, kDrivers, kRounds, elems, kWorkers, kDispatchers,
+        static_cast<unsigned long long>(soak.submitted),
+        static_cast<unsigned long long>(soak.busy_retries),
+        static_cast<unsigned long long>(soak.responses),
+        static_cast<unsigned long long>(soak.verified),
+        static_cast<long long>(stats.inflight_peak),
+        static_cast<long long>(stats.queue_depth_peak),
+        static_cast<unsigned long long>(frame_peak),
+        static_cast<unsigned long long>(ceiling), soak.wall_s,
+        zero_lost ? "true" : "false", worker_invariant ? "true" : "false",
+        residency_bounded ? "true" : "false",
+        deterministic_rejections ? "true" : "false",
+        histograms_present ? "true" : "false", throughput, chunk_p99_ms,
+        snapshot_json.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit_json = false;
+  const char* json_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json [path]]\n", argv[0]);
+      return 2;
+    }
+  }
+  return run(emit_json, json_path);
+}

@@ -1,0 +1,134 @@
+// Service quickstart: one CompressionService, three clients with different
+// negotiated error bounds, mixed compress / batch-decompress / random-access
+// traffic through futures, and the "service.*" telemetry snapshot at the
+// end. See docs/service_api.md for the full surface.
+//
+//   ./example_service_demo
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pipeline/byte_stream.hpp"
+#include "service/compression_service.hpp"
+#include "util/rng.hpp"
+
+using namespace ohd;
+
+namespace {
+
+std::vector<float> make_field(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(std::sin(0.002 * static_cast<double>(i)) +
+                              0.03 * rng.normal());
+  }
+  return v;
+}
+
+double max_abs_error(const std::vector<float>& a, const std::vector<float>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(a[i]) - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  // Telemetry on for the whole run so the final snapshot carries the
+  // "service.*" catalogue.
+  const obs::ScopedTelemetry telemetry;
+
+  service::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.dispatchers = 2;
+  cfg.max_queue_depth = 32;
+  service::CompressionService svc(cfg);
+
+  // Three clients, each with its own negotiated error bound — the service
+  // applies a client's options to every request it submits.
+  const double bounds[] = {1e-2, 1e-3, 1e-4};
+  constexpr std::size_t kElems = 40000;
+
+  struct Session {
+    service::ClientId id;
+    service::ArchiveHandle archive;
+    std::vector<float> input;
+  };
+  std::vector<Session> sessions;
+
+  // Compress one field per client, concurrently (three futures in flight).
+  std::vector<std::future<service::CompressResult>> compresses;
+  for (int c = 0; c < 3; ++c) {
+    service::ClientOptions opts;
+    opts.rel_error_bound = bounds[c];
+    opts.chunk_elems = 4096;
+    Session s;
+    s.id = svc.open_client(opts);
+    s.input = make_field(kElems, 42 + static_cast<std::uint64_t>(c));
+    service::CompressJob job;
+    job.fields.push_back({"field", s.input, sz::Dims::d1(kElems)});
+    compresses.push_back(svc.submit_compress(s.id, std::move(job)));
+    sessions.push_back(std::move(s));
+  }
+  for (int c = 0; c < 3; ++c) {
+    auto archive = compresses[c].get().archive;
+    std::printf("client %llu: eb %.0e, archive %zu B (%.2fx)\n",
+                static_cast<unsigned long long>(sessions[c].id), bounds[c],
+                archive.size(),
+                static_cast<double>(kElems * 4) /
+                    static_cast<double>(archive.size()));
+    sessions[c].archive = svc.open_archive(
+        sessions[c].id,
+        std::make_shared<pipeline::OwningMemorySource>(std::move(archive)));
+  }
+
+  // Mixed traffic: a full decompress, a random-access chunk, and an element
+  // range per client, all in flight at once.
+  std::vector<std::future<pipeline::BatchDecompressResult>> decodes;
+  std::vector<std::future<std::vector<float>>> chunks;
+  std::vector<std::future<std::vector<float>>> ranges;
+  for (const Session& s : sessions) {
+    decodes.push_back(svc.submit_decompress(s.id, s.archive));
+    chunks.push_back(svc.submit_chunk(s.id, s.archive, 0, 3));
+    ranges.push_back(svc.submit_range(s.id, s.archive, 0, 10000, 30000));
+  }
+  for (int c = 0; c < 3; ++c) {
+    const auto full = decodes[c].get();
+    const auto& values = full.fields.at(0).decode.data;
+    const auto chunk = chunks[c].get();
+    const auto range = ranges[c].get();
+    const bool consistent =
+        std::equal(chunk.begin(), chunk.end(), values.begin() + 3 * 4096) &&
+        std::equal(range.begin(), range.end(), values.begin() + 10000);
+    std::printf(
+        "client %llu: decode %zu floats (max |err| %.2e), chunk 3 + range "
+        "[10000,30000) %s\n",
+        static_cast<unsigned long long>(sessions[c].id), values.size(),
+        max_abs_error(sessions[c].input, values),
+        consistent ? "match the full decode" : "DIVERGED");
+  }
+
+  const service::ServiceStats stats = svc.stats();
+  std::printf(
+      "\nstats: accepted %llu, completed %llu, failed %llu, rejected %llu, "
+      "inflight peak %lld, %zu clients, %zu open readers\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.rejected()),
+      static_cast<long long>(stats.inflight_peak), stats.active_clients,
+      stats.open_readers);
+
+  svc.shutdown();
+  std::printf("\nobs snapshot:\n%s\n",
+              obs::registry().snapshot().to_json(2).c_str());
+  return 0;
+}

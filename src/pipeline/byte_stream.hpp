@@ -180,6 +180,31 @@ class MemorySource : public ByteSource {
   std::span<const std::uint8_t> bytes_;
 };
 
+/// Source that OWNS its bytes — for handing a finished in-memory archive to
+/// a long-lived consumer (a service client's open ArchiveReader) without the
+/// caller keeping the vector alive. Neither copyable nor movable: readers
+/// borrow the source by reference, so its address must be stable; share it
+/// behind a shared_ptr instead.
+class OwningMemorySource : public ByteSource {
+ public:
+  explicit OwningMemorySource(std::vector<std::uint8_t> bytes)
+      : buf_(std::move(bytes)), view_(buf_) {}
+  OwningMemorySource(const OwningMemorySource&) = delete;
+  OwningMemorySource& operator=(const OwningMemorySource&) = delete;
+
+  std::uint64_t size() const override { return buf_.size(); }
+  void read_at(std::uint64_t offset,
+               std::span<std::uint8_t> out) const override {
+    view_.read_at(offset, out);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  MemorySource view_;  // bounds-checked read_at over buf_
+};
+
 /// Sink over a freshly created (truncated) file. Errors carry errno detail;
 /// close()/commit() check the fclose result instead of ignoring it (a
 /// buffered write can fail as late as close on a full disk). flush() retries

@@ -1,0 +1,141 @@
+#include "service/client_registry.hpp"
+
+#include <string>
+#include <utility>
+
+namespace ohd::service {
+
+const char* request_class_name(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::Compress:
+      return "compress";
+    case RequestClass::BatchDecompress:
+      return "decompress";
+    case RequestClass::RandomAccessChunk:
+      return "chunk";
+    case RequestClass::RangeDecode:
+      return "range";
+  }
+  return "unknown";
+}
+
+ArchiveHandle ClientContext::open_reader(
+    std::shared_ptr<const pipeline::ByteSource> source,
+    const pipeline::ReaderOptions& options, std::size_t cap,
+    std::uint64_t* evicted) {
+  if (!source) {
+    throw ClientError("open_archive: null byte source");
+  }
+  // Construct the entry before touching the registry: a malformed archive
+  // throws out of the ArchiveReader constructor and must leave the client's
+  // handle table (and LRU) exactly as it was.
+  auto entry = std::make_shared<ReaderEntry>(std::move(source), options);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cap == 0) {
+    throw ClientError("open_archive: reader cap is zero");
+  }
+  while (readers_.size() >= cap) {
+    const ArchiveHandle victim = lru_.back();
+    lru_.pop_back();
+    readers_.erase(victim);
+    if (evicted != nullptr) {
+      ++*evicted;
+    }
+  }
+  const ArchiveHandle handle = next_handle_++;
+  lru_.push_front(handle);
+  readers_.emplace(handle, Slot{lru_.begin(), std::move(entry)});
+  return handle;
+}
+
+std::shared_ptr<ReaderEntry> ClientContext::reader(ArchiveHandle handle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = readers_.find(handle);
+  if (it == readers_.end()) {
+    throw ClientError("unknown archive handle " + std::to_string(handle) +
+                      " for client " + std::to_string(id_) +
+                      " (closed or evicted?)");
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.entry;
+}
+
+void ClientContext::close_reader(ArchiveHandle handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = readers_.find(handle);
+  if (it == readers_.end()) {
+    throw ClientError("close_archive: unknown handle " +
+                      std::to_string(handle) + " for client " +
+                      std::to_string(id_));
+  }
+  lru_.erase(it->second.lru_pos);
+  readers_.erase(it);
+}
+
+std::size_t ClientContext::open_reader_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return readers_.size();
+}
+
+bool ClientContext::try_acquire_slot(std::size_t cap) {
+  std::uint64_t cur = inflight_.load(std::memory_order_relaxed);
+  while (cur < cap) {
+    if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClientContext::release_slot() {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<ClientContext> ClientRegistry::open(ClientOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ClientId id = next_id_++;
+  auto ctx = std::make_shared<ClientContext>(id, std::move(options));
+  clients_.emplace(id, ctx);
+  return ctx;
+}
+
+std::shared_ptr<ClientContext> ClientRegistry::find(ClientId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = clients_.find(id);
+  if (it == clients_.end()) {
+    throw ClientError("unknown client " + std::to_string(id) +
+                      " (never opened, or already closed)");
+  }
+  return it->second;
+}
+
+std::shared_ptr<ClientContext> ClientRegistry::close(ClientId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = clients_.find(id);
+  if (it == clients_.end()) {
+    throw ClientError("close_client: unknown client " + std::to_string(id) +
+                      " (double close?)");
+  }
+  auto ctx = std::move(it->second);
+  clients_.erase(it);
+  return ctx;
+}
+
+std::size_t ClientRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clients_.size();
+}
+
+std::size_t ClientRegistry::open_readers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [id, ctx] : clients_) {
+    (void)id;
+    total += ctx->open_reader_count();
+  }
+  return total;
+}
+
+}  // namespace ohd::service

@@ -1,0 +1,380 @@
+#include "service/compression_service.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "cudasim/exec.hpp"
+#include "obs/trace.hpp"
+
+namespace ohd::service {
+
+namespace {
+
+/// Registry handles of the "service.*" catalogue, resolved once; recording
+/// through them is lock-free. Heap-allocated so the handles (which point
+/// into the process registry, itself never destroyed before exit) outlive
+/// every service instance.
+struct ServiceMetrics {
+  obs::Counter& accepted;
+  obs::Counter& rejected_busy;
+  obs::Counter& rejected_client_cap;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& readers_evicted;
+  obs::Gauge& queue_depth;
+  obs::Gauge& inflight;
+  obs::Gauge& active_clients;
+  obs::Gauge& open_readers;
+  obs::LatencyHistogram* queue_wait[kRequestClasses];
+  obs::LatencyHistogram* latency[kRequestClasses];
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics* m = [] {
+    auto& r = obs::registry();
+    auto* sm = new ServiceMetrics{
+        r.counter("service.accepted"),
+        r.counter("service.rejected_busy"),
+        r.counter("service.rejected_client_cap"),
+        r.counter("service.completed"),
+        r.counter("service.failed"),
+        r.counter("service.readers_evicted"),
+        r.gauge("service.queue_depth"),
+        r.gauge("service.inflight"),
+        r.gauge("service.active_clients"),
+        r.gauge("service.open_readers"),
+        {},
+        {}};
+    for (std::size_t i = 0; i < kRequestClasses; ++i) {
+      const std::string base =
+          std::string("service.") +
+          request_class_name(static_cast<RequestClass>(i));
+      sm->queue_wait[i] = &r.histogram(base + ".queue_wait_ns");
+      sm->latency[i] = &r.histogram(base + ".latency_ns");
+    }
+    return sm;
+  }();
+  return *m;
+}
+
+/// Span names of the per-request ScopedOps ("service.compress", ...).
+const std::string& span_name(RequestClass cls) {
+  static const std::string names[kRequestClasses] = {
+      "service.compress", "service.decompress", "service.chunk",
+      "service.range"};
+  return names[static_cast<std::size_t>(cls)];
+}
+
+ServiceConfig normalize(ServiceConfig config) {
+  config.dispatchers = std::max<std::size_t>(1, config.dispatchers);
+  config.max_queue_depth = std::max<std::size_t>(1, config.max_queue_depth);
+  config.max_inflight_per_client =
+      std::max<std::size_t>(1, config.max_inflight_per_client);
+  config.max_open_readers_per_client =
+      std::max<std::size_t>(1, config.max_open_readers_per_client);
+  return config;
+}
+
+}  // namespace
+
+CompressionService::CompressionService(ServiceConfig config)
+    : config_(normalize(std::move(config))),
+      pool_(config_.workers),
+      scheduler_(pool_) {
+  dispatchers_.reserve(config_.dispatchers);
+  for (std::size_t i = 0; i < config_.dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+CompressionService::~CompressionService() { shutdown(); }
+
+ClientId CompressionService::open_client(ClientOptions options) {
+  if (stopped()) {
+    throw ServiceStopped("open_client: service is shut down");
+  }
+  auto ctx = clients_.open(std::move(options));
+  if (obs::enabled()) {
+    service_metrics().active_clients.set(
+        static_cast<std::int64_t>(clients_.size()));
+  }
+  return ctx->id();
+}
+
+void CompressionService::close_client(ClientId id) {
+  clients_.close(id);  // throws ClientError on unknown ids (double close)
+  if (obs::enabled()) {
+    auto& m = service_metrics();
+    m.active_clients.set(static_cast<std::int64_t>(clients_.size()));
+    m.open_readers.set(static_cast<std::int64_t>(clients_.open_readers()));
+  }
+}
+
+ArchiveHandle CompressionService::open_archive(
+    ClientId id, std::shared_ptr<const pipeline::ByteSource> source) {
+  auto client = clients_.find(id);
+  std::uint64_t evicted = 0;
+  const ArchiveHandle handle =
+      client->open_reader(std::move(source), config_.reader,
+                          config_.max_open_readers_per_client, &evicted);
+  if (evicted != 0) {
+    readers_evicted_.add(evicted);
+  }
+  if (obs::enabled()) {
+    auto& m = service_metrics();
+    if (evicted != 0) m.readers_evicted.add(evicted);
+    m.open_readers.set(static_cast<std::int64_t>(clients_.open_readers()));
+  }
+  return handle;
+}
+
+void CompressionService::close_archive(ClientId id, ArchiveHandle handle) {
+  clients_.find(id)->close_reader(handle);
+  if (obs::enabled()) {
+    service_metrics().open_readers.set(
+        static_cast<std::int64_t>(clients_.open_readers()));
+  }
+}
+
+void CompressionService::admit(RequestClass cls,
+                               std::shared_ptr<ClientContext> client,
+                               std::function<void()> run) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw ServiceStopped("submit: service is shut down");
+    }
+    if (queue_.size() >= config_.max_queue_depth) {
+      rejected_busy_.add(1);
+      if (obs::enabled()) service_metrics().rejected_busy.add(1);
+      throw ServiceBusy("submit: request queue at high-water mark (" +
+                        std::to_string(config_.max_queue_depth) + ")");
+    }
+    if (!client->try_acquire_slot(config_.max_inflight_per_client)) {
+      rejected_client_cap_.add(1);
+      if (obs::enabled()) service_metrics().rejected_client_cap.add(1);
+      throw ServiceBusy("submit: client " + std::to_string(client->id()) +
+                        " at in-flight cap (" +
+                        std::to_string(config_.max_inflight_per_client) + ")");
+    }
+    // Admitted: from here to push_back nothing throws, so an acquired slot
+    // is always matched by run_counted()'s release inside the request body.
+    accepted_.add(1);
+    inflight_gauge_.add(1);
+    queue_depth_gauge_.add(1);
+    const bool telemetry = obs::enabled();
+    if (telemetry) {
+      auto& m = service_metrics();
+      m.accepted.add(1);
+      m.inflight.set(inflight_gauge_.value());
+      m.queue_depth.set(queue_depth_gauge_.value());
+    }
+    queue_.push_back(Request{cls, std::move(client), std::move(run),
+                             telemetry ? obs::now_ns() : 0});
+  }
+  wake_.notify_one();
+}
+
+void CompressionService::dispatcher_loop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) return;  // stopping and fully drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_gauge_.sub(1);
+      if (obs::enabled()) {
+        service_metrics().queue_depth.set(queue_depth_gauge_.value());
+      }
+    }
+    const auto ci = static_cast<std::size_t>(req.cls);
+    if (req.enqueue_ns != 0) {
+      service_metrics().queue_wait[ci]->record(obs::now_ns() - req.enqueue_ns);
+    }
+    {
+      obs::ScopedOp op(span_name(req.cls), service_metrics().latency[ci]);
+      req.run();  // packaged_task: request exceptions land in the future
+    }
+  }
+}
+
+// Completion accounting runs INSIDE the packaged task, before it fulfills
+// the future — so by the time a caller's .get() returns, the slot is
+// released and completed/failed/inflight have settled (stats() observed
+// right after a get() is exact, not racing the dispatcher's cleanup).
+template <typename Fn>
+auto CompressionService::run_counted(ClientContext& client, Fn&& fn)
+    -> decltype(fn()) {
+  const auto finish = [this, &client] {
+    client.release_slot();
+    inflight_gauge_.sub(1);
+    if (obs::enabled()) {
+      service_metrics().inflight.set(inflight_gauge_.value());
+    }
+  };
+  try {
+    auto result = fn();
+    completed_.add(1);
+    if (obs::enabled()) service_metrics().completed.add(1);
+    finish();
+    return result;
+  } catch (...) {
+    failed_.add(1);
+    if (obs::enabled()) service_metrics().failed.add(1);
+    finish();
+    throw;
+  }
+}
+
+CompressResult CompressionService::run_compress(const ClientContext& client,
+                                                const CompressJob& job) const {
+  const ClientOptions& opt = client.options();
+  std::vector<pipeline::FieldSpec> specs;
+  specs.reserve(job.fields.size());
+  for (const CompressField& f : job.fields) {
+    sz::CompressorConfig cfg;
+    cfg.rel_error_bound = opt.rel_error_bound;
+    cfg.radius = opt.radius;
+    cfg.method = opt.method;
+    cfg.decoder = opt.decoder;
+    specs.push_back(pipeline::FieldSpec{
+        f.name, std::span<const float>(f.data), f.dims, cfg, opt.chunk_elems,
+        opt.plan});
+  }
+  pipeline::MemorySink sink;
+  pipeline::ArchiveWriter writer(sink);
+  scheduler_.compress_to(writer, specs);
+  writer.finish();
+  return CompressResult{sink.take()};
+}
+
+std::future<CompressResult> CompressionService::submit_compress(
+    ClientId id, CompressJob job) {
+  auto client = clients_.find(id);
+  auto task = std::make_shared<std::packaged_task<CompressResult()>>(
+      [this, client, job = std::move(job)] {
+        return run_counted(*client, [&] { return run_compress(*client, job); });
+      });
+  auto fut = task->get_future();
+  admit(RequestClass::Compress, std::move(client),
+        [task] { (*task)(); });
+  return fut;
+}
+
+std::future<pipeline::BatchDecompressResult>
+CompressionService::submit_decompress(ClientId id, ArchiveHandle archive) {
+  auto client = clients_.find(id);
+  // Resolve the handle NOW: a later LRU eviction must not fail an admitted
+  // request, and an unknown handle must throw on the caller's thread.
+  auto entry = client->reader(archive);
+  auto task =
+      std::make_shared<std::packaged_task<pipeline::BatchDecompressResult()>>(
+          [this, client, entry] {
+            return run_counted(*client, [&] {
+              return scheduler_.decompress(entry->reader,
+                                           client->options().decoder);
+            });
+          });
+  auto fut = task->get_future();
+  admit(RequestClass::BatchDecompress, std::move(client),
+        [task] { (*task)(); });
+  return fut;
+}
+
+std::future<std::vector<float>> CompressionService::submit_chunk(
+    ClientId id, ArchiveHandle archive, std::size_t field, std::size_t chunk) {
+  auto client = clients_.find(id);
+  auto entry = client->reader(archive);
+  auto task = std::make_shared<std::packaged_task<std::vector<float>()>>(
+      [this, client, entry, field, chunk] {
+        return run_counted(*client, [&] {
+          // One chunk decodes on the dispatcher thread itself — the request
+          // IS the unit of work, so bouncing it through the pool would only
+          // add queueing latency.
+          cudasim::SimContext ctx;
+          return entry->reader
+              .decode_chunk(ctx, field, chunk, client->options().decoder)
+              .data;
+        });
+      });
+  auto fut = task->get_future();
+  admit(RequestClass::RandomAccessChunk, std::move(client),
+        [task] { (*task)(); });
+  return fut;
+}
+
+std::future<std::vector<float>> CompressionService::submit_range(
+    ClientId id, ArchiveHandle archive, std::size_t field,
+    std::uint64_t elem_begin, std::uint64_t elem_end) {
+  auto client = clients_.find(id);
+  auto entry = client->reader(archive);
+  auto task = std::make_shared<std::packaged_task<std::vector<float>()>>(
+      [this, client, entry, field, elem_begin, elem_end] {
+        return run_counted(*client, [&] {
+          return scheduler_.decode_range(entry->reader, field, elem_begin,
+                                         elem_end, client->options().decoder);
+        });
+      });
+  auto fut = task->get_future();
+  admit(RequestClass::RangeDecode, std::move(client), [task] { (*task)(); });
+  return fut;
+}
+
+void CompressionService::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void CompressionService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  wake_.notify_all();
+}
+
+void CompressionService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    paused_ = false;  // a paused service still drains
+  }
+  wake_.notify_all();
+  for (std::thread& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool CompressionService::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
+}
+
+ServiceStats CompressionService::stats() const {
+  ServiceStats s;
+  s.accepted = accepted_.value();
+  s.rejected_busy = rejected_busy_.value();
+  s.rejected_client_cap = rejected_client_cap_.value();
+  s.completed = completed_.value();
+  s.failed = failed_.value();
+  s.readers_evicted = readers_evicted_.value();
+  s.queue_depth = queue_depth_gauge_.value();
+  s.queue_depth_peak = queue_depth_gauge_.peak();
+  s.inflight = inflight_gauge_.value();
+  s.inflight_peak = inflight_gauge_.peak();
+  s.active_clients = clients_.size();
+  s.open_readers = clients_.open_readers();
+  return s;
+}
+
+std::size_t CompressionService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace ohd::service

@@ -1,0 +1,204 @@
+// CompressionService: the persistent front end of the archive stack. One
+// service owns the ThreadPool and multiplexes any number of concurrent
+// clients over it through a bounded request queue:
+//
+//   client threads ──submit_*()──▶ [bounded FIFO queue] ──▶ dispatcher
+//   (futures back)                  admission control        threads ──▶
+//                                                            BatchScheduler
+//                                                            on the shared
+//                                                            ThreadPool
+//
+// Dispatcher threads are deliberately separate from pool workers: a request
+// EXECUTES by fanning its chunk tasks onto the pool and blocking on their
+// futures, so running requests on the pool itself would deadlock the moment
+// every worker blocked waiting for chunk tasks that no worker is free to
+// run. `dispatchers` is therefore the request-level concurrency and
+// `workers` the chunk-level parallelism each request taps.
+//
+// Admission control (all enforced at submit, before anything is enqueued):
+//  * queue high-water  — pending requests == max_queue_depth ⇒ ServiceBusy;
+//  * per-client cap    — client in-flight == max_inflight_per_client ⇒
+//                        ServiceBusy;
+//  * lifecycle         — shutdown ⇒ ServiceStopped; unknown client/handle ⇒
+//                        ClientError.
+// A rejected submit has NO effect: nothing enqueued, no slot consumed, the
+// caller retries later. shutdown() drains gracefully — everything already
+// admitted completes, its futures all become ready — then joins the
+// dispatchers.
+//
+// Determinism: request RESULTS are bit-identical for any workers/dispatchers
+// count (the scheduler merges in chunk-id order). Request COMPLETION ORDER
+// is not deterministic with >1 dispatcher — responses are matched to
+// requests by future, never by order.
+//
+// Telemetry: always-on embedded instruments back stats() exactly; while
+// obs::enabled(), the process registry additionally carries the "service.*"
+// catalogue (accepted/rejected/completed counters, queue-depth and in-flight
+// gauges, and per-request-class queue-wait + service-latency histograms
+// "service.<class>.queue_wait_ns" / "service.<class>.latency_ns").
+//
+// Full reference: docs/service_api.md.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "pipeline/batch.hpp"
+#include "pipeline/byte_stream.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "service/client_registry.hpp"
+#include "service/service_types.hpp"
+
+namespace ohd::service {
+
+class CompressionService {
+ public:
+  /// Starts the pool and dispatcher threads immediately. The config is
+  /// normalized (dispatchers/max_queue_depth/caps floored at 1) and fixed
+  /// for the service's lifetime.
+  explicit CompressionService(ServiceConfig config = {});
+  /// shutdown(): drains admitted requests, then joins.
+  ~CompressionService();
+
+  CompressionService(const CompressionService&) = delete;
+  CompressionService& operator=(const CompressionService&) = delete;
+
+  // ---- client lifecycle ----------------------------------------------
+
+  /// Registers a client with its negotiated options; returns its stable id.
+  /// Throws ServiceStopped after shutdown.
+  ClientId open_client(ClientOptions options = {});
+
+  /// Unregisters a client. In-flight requests of the client finish normally
+  /// (they share the context); subsequent submits throw ClientError. A
+  /// second close of the same id throws ClientError.
+  void close_client(ClientId id);
+
+  /// Opens `source` as an ArchiveReader owned by client `id`, evicting the
+  /// client's least-recently-used readers beyond max_open_readers_per_client.
+  /// Runs synchronously on the calling thread (footer+index read); throws
+  /// ContainerError/ArchiveError on malformed archives, ClientError on
+  /// unknown clients.
+  ArchiveHandle open_archive(ClientId id,
+                             std::shared_ptr<const pipeline::ByteSource> source);
+
+  /// Closes a reader handle explicitly. Throws ClientError if the handle is
+  /// not open (never opened, closed, or LRU-evicted).
+  void close_archive(ClientId id, ArchiveHandle handle);
+
+  // ---- typed requests (futures) --------------------------------------
+  //
+  // All submit_* methods: resolve the client (and handle) synchronously —
+  // ClientError surfaces on the calling thread — then run admission and
+  // enqueue. ServiceBusy/ServiceStopped also throw synchronously; every
+  // ADMITTED request's future becomes ready exactly once (value or the
+  // request's own exception).
+
+  /// Compresses `job` under the client's negotiated options into a complete
+  /// v3 archive image (byte-identical for any worker count).
+  std::future<CompressResult> submit_compress(ClientId id, CompressJob job);
+
+  /// Decompresses every field of an open archive (streamed, chunk-parallel).
+  std::future<pipeline::BatchDecompressResult> submit_decompress(
+      ClientId id, ArchiveHandle archive);
+
+  /// Random access: decodes exactly one chunk of one field (only that
+  /// chunk's frame is fetched) and returns its floats.
+  std::future<std::vector<float>> submit_chunk(ClientId id,
+                                               ArchiveHandle archive,
+                                               std::size_t field,
+                                               std::size_t chunk);
+
+  /// Decodes the element range [elem_begin, elem_end) of a field via the
+  /// prefetching parallel range decode.
+  std::future<std::vector<float>> submit_range(ClientId id,
+                                               ArchiveHandle archive,
+                                               std::size_t field,
+                                               std::uint64_t elem_begin,
+                                               std::uint64_t elem_end);
+
+  // ---- flow control ---------------------------------------------------
+
+  /// Stops dispatchers from picking up NEW requests (running ones finish).
+  /// Admission still runs, so the queue fills to its high-water mark — this
+  /// is the deterministic-backpressure valve the queue-full tests and the
+  /// soak harness use. shutdown() implicitly resumes.
+  void pause();
+  void resume();
+
+  /// Graceful drain: no new admissions (submits throw ServiceStopped), every
+  /// already-admitted request completes, dispatchers join. Idempotent.
+  void shutdown();
+  bool stopped() const;
+
+  // ---- introspection ---------------------------------------------------
+
+  /// Exact always-on accounting (independent of the telemetry flag).
+  ServiceStats stats() const;
+  std::size_t queue_depth() const;
+  const ServiceConfig& config() const { return config_; }
+  /// The shared pool, exposed for tests pinning residency ceilings.
+  pipeline::ThreadPool& pool() { return pool_; }
+
+ private:
+  struct Request {
+    RequestClass cls = RequestClass::Compress;
+    std::shared_ptr<ClientContext> client;
+    std::function<void()> run;
+    /// now_ns() at admission when telemetry was enabled, else 0 — the
+    /// queue-wait histogram sample is keyed off this recorded state, not a
+    /// re-read of the flag, so a mid-flight flip cannot skew the histogram.
+    std::uint64_t enqueue_ns = 0;
+  };
+
+  /// Admission control + enqueue (throws ServiceStopped/ServiceBusy; on
+  /// throw nothing is enqueued and no slot is held).
+  void admit(RequestClass cls, std::shared_ptr<ClientContext> client,
+             std::function<void()> run);
+  void dispatcher_loop();
+
+  /// Runs a request body, counting completed/failed and releasing the
+  /// client's in-flight slot before the surrounding packaged_task fulfills
+  /// the future (so stats() observed after a .get() is exact).
+  template <typename Fn>
+  auto run_counted(ClientContext& client, Fn&& fn) -> decltype(fn());
+
+  CompressResult run_compress(const ClientContext& client,
+                              const CompressJob& job) const;
+
+  ServiceConfig config_;
+  ClientRegistry clients_;
+  pipeline::ThreadPool pool_;
+  pipeline::BatchScheduler scheduler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  bool paused_ = false;
+
+  /// Always-on embedded instruments behind stats(); the registry mirrors
+  /// them under "service.*" while obs::enabled().
+  obs::Counter accepted_;
+  obs::Counter rejected_busy_;
+  obs::Counter rejected_client_cap_;
+  obs::Counter completed_;
+  obs::Counter failed_;
+  obs::Counter readers_evicted_;
+  obs::Gauge queue_depth_gauge_;
+  obs::Gauge inflight_gauge_;
+
+  /// Started last in the constructor; joined by shutdown().
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace ohd::service

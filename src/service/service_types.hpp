@@ -1,0 +1,159 @@
+// Shared vocabulary of the compression service front end (see
+// docs/service_api.md for the full reference): client/archive identifiers,
+// the per-client negotiated options, the service-wide limits, the typed
+// request payloads/results, and the service error taxonomy.
+//
+// Errors derive std::runtime_error (not std::invalid_argument like the
+// pipeline's format errors) because they describe SERVICE state — a full
+// queue, a stopped service, a closed client — not malformed input. Pipeline
+// errors (ContainerError, ArchiveError) still surface unchanged through a
+// request's future when the request itself touches bad data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/huffman_codec.hpp"
+#include "pipeline/archive_io.hpp"
+#include "pipeline/method_selector.hpp"
+#include "sz/lorenzo.hpp"
+
+namespace ohd::service {
+
+/// Any failure raised by the service layer itself.
+class ServiceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Admission rejection: the request queue is at its high-water mark or the
+/// client is at its in-flight cap. The request was NOT enqueued; retrying
+/// after a backoff is the expected client response.
+class ServiceBusy : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
+
+/// The service has been shut down (or is draining); no new work is accepted.
+class ServiceStopped : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
+
+/// Client-lifecycle violation: unknown or already-closed client id, unknown
+/// (or LRU-evicted) archive handle, double close.
+class ClientError : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
+
+/// Stable client identity, assigned by open_client and valid until
+/// close_client. Ids are never reused within a service's lifetime.
+using ClientId = std::uint64_t;
+
+/// Per-client handle to an open ArchiveReader, assigned by open_archive.
+/// Handles are scoped to their client and never reused within its lifetime;
+/// a handle evicted by the reader LRU behaves exactly like a closed one.
+using ArchiveHandle = std::uint64_t;
+
+/// The four request classes the service multiplexes. Each class gets its own
+/// queue-wait and service-latency histograms ("service.<name>.*", see
+/// request_class_name).
+enum class RequestClass : std::uint8_t {
+  Compress = 0,          // whole-job compress -> archive bytes
+  BatchDecompress = 1,   // all fields of an open archive
+  RandomAccessChunk = 2, // one chunk of one field
+  RangeDecode = 3,       // an element range of one field
+};
+inline constexpr std::size_t kRequestClasses = 4;
+
+/// Metric/label segment of a request class: "compress", "decompress",
+/// "chunk", "range".
+const char* request_class_name(RequestClass cls);
+
+/// Negotiated per-client compression parameters, fixed at open_client (the
+/// ROHC-style context: one long-lived entry per client holding everything a
+/// request needs beyond its payload). Every request of the client is
+/// executed under these.
+struct ClientOptions {
+  /// Error bound of compress requests, relative to each field's value range.
+  double rel_error_bound = 1e-3;
+  std::uint32_t radius = 512;
+  core::Method method = core::Method::GapArrayOptimized;
+  /// Decode-path selection applied to every decompress/chunk/range request.
+  core::DecoderConfig decoder;
+  std::size_t chunk_elems = std::size_t{1} << 16;
+  /// Adaptive planning (per-chunk method selection / shared codebooks) for
+  /// compress requests.
+  pipeline::PlanOptions plan;
+};
+
+/// Service-wide sizing and admission limits, fixed at construction.
+struct ServiceConfig {
+  /// ThreadPool workers shared by every request (0 = hardware concurrency).
+  std::size_t workers = 4;
+  /// Dispatcher threads draining the request queue: the number of requests
+  /// that EXECUTE concurrently (each one fans its chunk tasks onto the
+  /// shared pool). At least 1.
+  std::size_t dispatchers = 2;
+  /// Admission high-water mark: a submit that would make the number of
+  /// PENDING (queued, not yet executing) requests exceed this is rejected
+  /// with ServiceBusy. At least 1.
+  std::size_t max_queue_depth = 64;
+  /// Per-client cap on in-flight requests (pending + executing); submits
+  /// beyond it are rejected with ServiceBusy.
+  std::size_t max_inflight_per_client = 8;
+  /// Per-client LRU cap on open ArchiveReader handles: opening one more
+  /// evicts the least-recently-used handle (in-flight requests already
+  /// holding the evicted reader finish unharmed — the entry is shared, not
+  /// destroyed).
+  std::size_t max_open_readers_per_client = 4;
+  /// Retry policy applied to every reader the service opens.
+  pipeline::ReaderOptions reader;
+};
+
+/// One field of a compress request. The service owns the floats for the
+/// request's queued lifetime, so the submitting thread may release its copy
+/// immediately.
+struct CompressField {
+  std::string name;
+  std::vector<float> data;
+  sz::Dims dims;
+};
+
+struct CompressJob {
+  std::vector<CompressField> fields;
+};
+
+/// A finished compress request: a complete v3 archive image (byte-identical
+/// for any worker count). Feed it back through open_archive via an
+/// OwningMemorySource, or write it to storage as-is.
+struct CompressResult {
+  std::vector<std::uint8_t> archive;
+};
+
+/// Always-on accounting snapshot (exact regardless of the telemetry flag;
+/// the obs registry additionally aggregates the same values under
+/// "service.*" while obs::enabled()).
+struct ServiceStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_busy = 0;        // queue high-water rejections
+  std::uint64_t rejected_client_cap = 0;  // per-client in-flight rejections
+  std::uint64_t completed = 0;            // futures fulfilled with a value
+  std::uint64_t failed = 0;               // futures fulfilled with an error
+  std::uint64_t readers_evicted = 0;      // LRU evictions across all clients
+  std::int64_t queue_depth = 0;           // pending requests right now
+  std::int64_t queue_depth_peak = 0;
+  std::int64_t inflight = 0;              // pending + executing right now
+  std::int64_t inflight_peak = 0;
+  std::size_t active_clients = 0;
+  std::size_t open_readers = 0;
+
+  std::uint64_t rejected() const { return rejected_busy + rejected_client_cap; }
+};
+
+}  // namespace ohd::service

@@ -1,0 +1,429 @@
+// CompressionService end-to-end coverage: round-trip fidelity against the
+// direct pipeline, the client/archive lifecycle errors (double close,
+// submit after close/shutdown, unknown handles), deterministic queue-full
+// and per-client-cap rejections via the pause() valve, LRU eviction with a
+// decode in flight, graceful drain, the multi-client worker-count-invariance
+// property, stats accounting, and the "service.*" registry catalogue.
+#include "service/compression_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "pipeline/batch.hpp"
+#include "pipeline/byte_stream.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace ohd::service {
+namespace {
+
+std::vector<float> wavy_field(std::size_t n, std::uint64_t seed,
+                              double noise = 0.02) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(std::sin(0.003 * static_cast<double>(i)) +
+                              noise * rng.normal());
+  }
+  return v;
+}
+
+CompressJob two_field_job(std::uint64_t seed) {
+  CompressJob job;
+  job.fields.push_back(
+      {"alpha", wavy_field(6000, seed), sz::Dims::d1(6000)});
+  job.fields.push_back(
+      {"beta", wavy_field(40 * 50, seed + 1, 0.005), sz::Dims::d2(40, 50)});
+  return job;
+}
+
+/// Compress a job through the service and reopen the archive as a handle.
+ArchiveHandle compress_and_open(CompressionService& svc, ClientId client,
+                                CompressJob job) {
+  auto bytes = svc.submit_compress(client, std::move(job)).get().archive;
+  return svc.open_archive(
+      client,
+      std::make_shared<pipeline::OwningMemorySource>(std::move(bytes)));
+}
+
+bool identical_floats(const std::vector<float>& a,
+                      const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// ---- Round trip -----------------------------------------------------------
+
+TEST(CompressionService, RoundTripMatchesDirectPipeline) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  CompressionService svc(cfg);
+  ClientOptions opts;
+  opts.rel_error_bound = 1e-3;
+  opts.chunk_elems = 2048;
+  const ClientId client = svc.open_client(opts);
+
+  CompressJob job = two_field_job(7);
+  const std::vector<float> input0 = job.fields[0].data;
+  auto archive = svc.submit_compress(client, job).get().archive;
+
+  // Byte-identical to the same specs run directly through the scheduler.
+  pipeline::ThreadPool pool(1);
+  std::vector<pipeline::FieldSpec> specs;
+  for (const auto& f : job.fields) {
+    pipeline::FieldSpec s;
+    s.name = f.name;
+    s.data = f.data;
+    s.dims = f.dims;
+    s.config.rel_error_bound = opts.rel_error_bound;
+    s.chunk_elems = opts.chunk_elems;
+    specs.push_back(s);
+  }
+  pipeline::MemorySink direct;
+  pipeline::ArchiveWriter writer(direct);
+  pipeline::BatchScheduler(pool).compress_to(writer, specs);
+  writer.finish();
+  EXPECT_EQ(archive, direct.bytes());
+
+  // Decompress through the service: error-bounded floats, both fields.
+  const ArchiveHandle h = svc.open_archive(
+      client,
+      std::make_shared<pipeline::OwningMemorySource>(std::move(archive)));
+  const auto result = svc.submit_decompress(client, h).get();
+  ASSERT_EQ(result.fields.size(), 2u);
+  EXPECT_EQ(result.fields[0].name, "alpha");
+  const auto& decoded = result.fields[0].decode.data;
+  ASSERT_EQ(decoded.size(), input0.size());
+  const auto [lo, hi] = std::minmax_element(input0.begin(), input0.end());
+  const double bound = opts.rel_error_bound * (*hi - *lo) * 1.000001;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    ASSERT_NEAR(decoded[i], input0[i], bound) << "element " << i;
+  }
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.rejected(), 0u);
+}
+
+TEST(CompressionService, ChunkAndRangeMatchFullDecode) {
+  CompressionService svc{ServiceConfig{}};
+  ClientOptions opts;
+  opts.chunk_elems = 1024;
+  const ClientId client = svc.open_client(opts);
+  CompressJob job;
+  const std::vector<float> data = wavy_field(5000, 11);
+  job.fields.push_back({"f", data, sz::Dims::d1(data.size())});
+  const ArchiveHandle h = compress_and_open(svc, client, std::move(job));
+
+  const auto full = svc.submit_decompress(client, h).get();
+  const auto& values = full.fields[0].decode.data;
+
+  // Chunk 2 covers elements [2048, 3072).
+  const auto chunk = svc.submit_chunk(client, h, 0, 2).get();
+  ASSERT_EQ(chunk.size(), 1024u);
+  EXPECT_TRUE(std::equal(chunk.begin(), chunk.end(), values.begin() + 2048));
+
+  // An unaligned range crossing two chunk boundaries.
+  const auto range = svc.submit_range(client, h, 0, 1000, 3500).get();
+  ASSERT_EQ(range.size(), 2500u);
+  EXPECT_TRUE(std::equal(range.begin(), range.end(), values.begin() + 1000));
+}
+
+// ---- Lifecycle errors -----------------------------------------------------
+
+TEST(CompressionService, DoubleCloseClientThrows) {
+  CompressionService svc{ServiceConfig{}};
+  const ClientId client = svc.open_client();
+  svc.close_client(client);
+  EXPECT_THROW(svc.close_client(client), ClientError);
+}
+
+TEST(CompressionService, SubmitAfterClientCloseThrows) {
+  CompressionService svc{ServiceConfig{}};
+  const ClientId client = svc.open_client();
+  svc.close_client(client);
+  EXPECT_THROW(svc.submit_compress(client, two_field_job(1)), ClientError);
+  EXPECT_THROW(svc.open_archive(client, nullptr), ClientError);
+}
+
+TEST(CompressionService, SubmitAfterShutdownThrowsServiceStopped) {
+  CompressionService svc{ServiceConfig{}};
+  const ClientId client = svc.open_client();
+  svc.shutdown();
+  EXPECT_TRUE(svc.stopped());
+  EXPECT_THROW(svc.submit_compress(client, two_field_job(1)), ServiceStopped);
+  EXPECT_THROW(svc.open_client(), ServiceStopped);
+  svc.shutdown();  // idempotent
+}
+
+TEST(CompressionService, UnknownHandleThrowsOnCallerThread) {
+  CompressionService svc{ServiceConfig{}};
+  const ClientId client = svc.open_client();
+  EXPECT_THROW(svc.submit_decompress(client, 42), ClientError);
+  EXPECT_THROW(svc.submit_chunk(client, 42, 0, 0), ClientError);
+  EXPECT_THROW(svc.submit_range(client, 42, 0, 0, 1), ClientError);
+  EXPECT_THROW(svc.close_archive(client, 42), ClientError);
+}
+
+// ---- Admission control ----------------------------------------------------
+
+TEST(CompressionService, QueueFullRejectionIsDeterministic) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.dispatchers = 1;
+  cfg.max_queue_depth = 3;
+  cfg.max_inflight_per_client = 100;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+  CompressJob job;
+  const std::vector<float> data = wavy_field(2048, 3);
+  job.fields.push_back({"f", data, sz::Dims::d1(data.size())});
+
+  // Paused, nothing drains: exactly max_queue_depth submits are admitted and
+  // every further one is rejected — same counts on every run.
+  svc.pause();
+  std::vector<std::future<CompressResult>> admitted;
+  for (int i = 0; i < 3; ++i) {
+    admitted.push_back(svc.submit_compress(client, job));
+  }
+  EXPECT_EQ(svc.queue_depth(), 3u);
+  EXPECT_THROW(svc.submit_compress(client, job), ServiceBusy);
+  EXPECT_THROW(svc.submit_compress(client, job), ServiceBusy);
+  EXPECT_EQ(svc.stats().rejected_busy, 2u);
+  EXPECT_EQ(svc.stats().accepted, 3u);
+
+  svc.resume();
+  for (auto& f : admitted) {
+    EXPECT_FALSE(f.get().archive.empty());
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.queue_depth_peak, 3);
+}
+
+TEST(CompressionService, PerClientInflightCapRejectsOnlyThatClient) {
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  cfg.max_queue_depth = 100;
+  cfg.max_inflight_per_client = 2;
+  CompressionService svc(cfg);
+  const ClientId a = svc.open_client();
+  const ClientId b = svc.open_client();
+  CompressJob job;
+  const std::vector<float> data = wavy_field(2048, 5);
+  job.fields.push_back({"f", data, sz::Dims::d1(data.size())});
+
+  svc.pause();
+  auto f1 = svc.submit_compress(a, job);
+  auto f2 = svc.submit_compress(a, job);
+  EXPECT_THROW(svc.submit_compress(a, job), ServiceBusy);
+  EXPECT_EQ(svc.stats().rejected_client_cap, 1u);
+  // Client b is under its own cap; the queue has room.
+  auto f3 = svc.submit_compress(b, job);
+  svc.resume();
+  f1.get();
+  f2.get();
+  f3.get();
+  EXPECT_EQ(svc.stats().completed, 3u);
+
+  // Slots were released: a can submit again.
+  EXPECT_FALSE(svc.submit_compress(a, job).get().archive.empty());
+}
+
+// ---- LRU eviction with a decode in flight ---------------------------------
+
+TEST(CompressionService, LruEvictionWhileDecodeInFlight) {
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  cfg.max_open_readers_per_client = 1;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+  CompressJob job;
+  const std::vector<float> data = wavy_field(4096, 9);
+  job.fields.push_back({"f", data, sz::Dims::d1(data.size())});
+  auto bytes = svc.submit_compress(client, job).get().archive;
+  auto bytes2 = bytes;
+
+  const ArchiveHandle h1 = svc.open_archive(
+      client,
+      std::make_shared<pipeline::OwningMemorySource>(std::move(bytes)));
+
+  // Queue a decompress of h1, then evict h1 before it can run.
+  svc.pause();
+  auto pending = svc.submit_decompress(client, h1);
+  const ArchiveHandle h2 = svc.open_archive(
+      client,
+      std::make_shared<pipeline::OwningMemorySource>(std::move(bytes2)));
+  EXPECT_EQ(svc.stats().readers_evicted, 1u);
+  // The evicted handle is gone for NEW requests...
+  EXPECT_THROW(svc.submit_decompress(client, h1), ClientError);
+  // ...but the queued request resolved its entry at submit time and must
+  // complete correctly after resume.
+  svc.resume();
+  const auto result = pending.get();
+  ASSERT_EQ(result.fields.size(), 1u);
+  EXPECT_EQ(result.fields[0].decode.data.size(), data.size());
+  EXPECT_NO_THROW(svc.submit_decompress(client, h2).get());
+}
+
+// ---- Graceful drain -------------------------------------------------------
+
+TEST(CompressionService, ShutdownDrainsAdmittedRequests) {
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  cfg.max_queue_depth = 16;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+  CompressJob job;
+  const std::vector<float> data = wavy_field(2048, 13);
+  job.fields.push_back({"f", data, sz::Dims::d1(data.size())});
+
+  svc.pause();
+  std::vector<std::future<CompressResult>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(svc.submit_compress(client, job));
+  }
+  // shutdown() resumes, drains all five, then joins.
+  svc.shutdown();
+  for (auto& f : futures) {
+    EXPECT_FALSE(f.get().archive.empty());
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.accepted, 5u);
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.inflight, 0);
+}
+
+// ---- Failure accounting ---------------------------------------------------
+
+TEST(CompressionService, RequestFailureLandsInFutureAndFailedCounter) {
+  CompressionService svc{ServiceConfig{}};
+  const ClientId client = svc.open_client();
+  CompressJob job;
+  const std::vector<float> data = wavy_field(2048, 17);
+  job.fields.push_back({"f", data, sz::Dims::d1(data.size())});
+  const ArchiveHandle h = compress_and_open(svc, client, std::move(job));
+
+  auto bad = svc.submit_chunk(client, h, 7, 0);  // field 7 does not exist
+  EXPECT_THROW(bad.get(), std::invalid_argument);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);  // the compress
+  EXPECT_EQ(stats.inflight, 0);    // slot released on failure too
+}
+
+// ---- Worker-count invariance ----------------------------------------------
+
+TEST(CompressionService, MultiClientResultsInvariantAcrossPoolSizes) {
+  // The same three-client workload on a (1 worker, 1 dispatcher) service and
+  // a (4 workers, 3 dispatchers) service: every archive and every decoded
+  // field must be bit-identical.
+  const auto run = [](std::size_t workers, std::size_t dispatchers) {
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.dispatchers = dispatchers;
+    CompressionService svc(cfg);
+
+    struct Output {
+      std::vector<std::uint8_t> archive;
+      std::vector<std::vector<float>> fields;
+      std::vector<float> range;
+    };
+    std::vector<Output> outputs;
+    const double bounds[] = {1e-2, 1e-3, 1e-4};
+    for (int c = 0; c < 3; ++c) {
+      ClientOptions opts;
+      opts.rel_error_bound = bounds[c];
+      opts.chunk_elems = 1024;
+      opts.plan.auto_method = (c == 1);
+      opts.plan.shared_codebook = (c == 1);
+      const ClientId client = svc.open_client(opts);
+
+      Output out;
+      CompressJob job = two_field_job(100 + static_cast<std::uint64_t>(c));
+      out.archive = svc.submit_compress(client, job).get().archive;
+      auto copy = out.archive;
+      const ArchiveHandle h = svc.open_archive(
+          client,
+          std::make_shared<pipeline::OwningMemorySource>(std::move(copy)));
+      auto result = svc.submit_decompress(client, h).get();
+      for (auto& f : result.fields) {
+        out.fields.push_back(std::move(f.decode.data));
+      }
+      out.range = svc.submit_range(client, h, 0, 500, 4500).get();
+      outputs.push_back(std::move(out));
+    }
+    return outputs;
+  };
+
+  const auto small = run(1, 1);
+  const auto big = run(4, 3);
+  ASSERT_EQ(small.size(), big.size());
+  for (std::size_t c = 0; c < small.size(); ++c) {
+    EXPECT_EQ(small[c].archive, big[c].archive) << "client " << c;
+    ASSERT_EQ(small[c].fields.size(), big[c].fields.size());
+    for (std::size_t f = 0; f < small[c].fields.size(); ++f) {
+      EXPECT_TRUE(identical_floats(small[c].fields[f], big[c].fields[f]))
+          << "client " << c << " field " << f;
+    }
+    EXPECT_TRUE(identical_floats(small[c].range, big[c].range))
+        << "client " << c;
+  }
+}
+
+// ---- Telemetry ------------------------------------------------------------
+
+TEST(CompressionService, ServiceCatalogueAppearsInSnapshot) {
+  obs::ScopedTelemetry telemetry;
+  CompressionService svc{ServiceConfig{}};
+  ClientOptions opts;
+  opts.chunk_elems = 1024;  // 3000 elems => 3 chunks, so chunk 1 exists
+  const ClientId client = svc.open_client(opts);
+  CompressJob job;
+  const std::vector<float> data = wavy_field(3000, 23);
+  job.fields.push_back({"f", data, sz::Dims::d1(data.size())});
+  const ArchiveHandle h = compress_and_open(svc, client, std::move(job));
+  svc.submit_decompress(client, h).get();
+  svc.submit_chunk(client, h, 0, 1).get();
+  svc.submit_range(client, h, 0, 100, 900).get();
+
+  const auto snap = obs::registry().snapshot();
+  ASSERT_NE(snap.counter("service.accepted"), nullptr);
+  EXPECT_EQ(snap.counter("service.accepted")->value, 4u);
+  ASSERT_NE(snap.counter("service.completed"), nullptr);
+  EXPECT_EQ(snap.counter("service.completed")->value, 4u);
+  ASSERT_NE(snap.gauge("service.queue_depth"), nullptr);
+  ASSERT_NE(snap.gauge("service.inflight"), nullptr);
+  EXPECT_GE(snap.gauge("service.inflight")->peak, 1);
+  ASSERT_NE(snap.gauge("service.active_clients"), nullptr);
+  EXPECT_EQ(snap.gauge("service.active_clients")->value, 1);
+  ASSERT_NE(snap.gauge("service.open_readers"), nullptr);
+  EXPECT_EQ(snap.gauge("service.open_readers")->value, 1);
+
+  for (const char* name :
+       {"service.compress", "service.decompress", "service.chunk",
+        "service.range"}) {
+    const auto latency = std::string(name) + ".latency_ns";
+    const auto wait = std::string(name) + ".queue_wait_ns";
+    ASSERT_NE(snap.histogram(latency), nullptr) << latency;
+    EXPECT_EQ(snap.histogram(latency)->count, 1u) << latency;
+    ASSERT_NE(snap.histogram(wait), nullptr) << wait;
+    EXPECT_EQ(snap.histogram(wait)->count, 1u) << wait;
+  }
+}
+
+}  // namespace
+}  // namespace ohd::service
