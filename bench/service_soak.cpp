@@ -19,6 +19,19 @@
 //    twice; both runs must reject exactly the same (expected) count.
 //  * histograms present — all eight per-class "service.*" histograms appear
 //    in the exported snapshot with nonzero counts.
+//  * chaos soak — every client archive is wrapped in a seeded
+//    FaultInjectingSource (transient + short reads) behind the service's
+//    ReaderOptions::retry, while drivers race cancels, short deadlines, and
+//    overload-priced priorities against the dispatchers. Gated: no future is
+//    lost (every admitted request settles exactly once, failed == 0), every
+//    admitted byte is released (in-flight bytes reconcile to zero after the
+//    drain), every uncancelled result is bit-identical to its fault-free
+//    reference decode, and the faults actually fired (io_retries > 0).
+//  * deterministic shedding/expiry — fixed paused-submit scripts replayed
+//    twice: the priority-shed script must shed exactly the two newest
+//    background requests for two interactive submits and reject the next
+//    background; the expiry script must expire exactly its three
+//    short-deadline requests via the sweeper and complete the rest.
 //
 // Wall-clock metrics (guarded with wide tolerances): sustained request
 // throughput and the chunk-request p99 service latency.
@@ -32,10 +45,12 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <span>
 #include <memory>
 #include <string>
 #include <thread>
@@ -46,6 +61,7 @@
 #include "obs/trace.hpp"
 #include "pipeline/archive_io.hpp"
 #include "pipeline/byte_stream.hpp"
+#include "pipeline/fault_injection.hpp"
 #include "service/compression_service.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -174,7 +190,7 @@ SoakOutcome run_soak(service::CompressionService& svc, std::size_t elems,
             c.id, std::make_shared<pipeline::OwningMemorySource>(
                       std::move(archive)));
         auto ref = submit_retrying(
-                       [&] { return svc.submit_decompress(c.id, c.handle); },
+                       [&] { return svc.submit_decompress(c.id, c.handle).future; },
                        busy_retries)
                        .get();
         submitted.fetch_add(1, std::memory_order_relaxed);
@@ -201,7 +217,7 @@ SoakOutcome run_soak(service::CompressionService& svc, std::size_t elems,
           switch (c.rng.bounded(3)) {
             case 0:
               p.future = submit_retrying(
-                  [&] { return svc.submit_decompress(c.id, c.handle); },
+                  [&] { return svc.submit_decompress(c.id, c.handle).future; },
                   busy_retries);
               p.begin = 0;
               p.end = c.elems;
@@ -211,7 +227,7 @@ SoakOutcome run_soak(service::CompressionService& svc, std::size_t elems,
               p.begin = chunk * chunk_elems;
               p.end = std::min(c.elems, p.begin + chunk_elems);
               p.future = submit_retrying(
-                  [&] { return svc.submit_chunk(c.id, c.handle, 0, chunk); },
+                  [&] { return svc.submit_chunk(c.id, c.handle, 0, chunk).future; },
                   busy_retries);
               break;
             }
@@ -222,7 +238,8 @@ SoakOutcome run_soak(service::CompressionService& svc, std::size_t elems,
               p.end = std::min(c.elems, begin + len);
               p.future = submit_retrying(
                   [&] {
-                    return svc.submit_range(c.id, c.handle, 0, p.begin, p.end);
+                    return svc.submit_range(c.id, c.handle, 0, p.begin, p.end)
+                        .future;
                   },
                   busy_retries);
               break;
@@ -287,7 +304,7 @@ std::pair<std::uint64_t, std::uint64_t> rejection_script() {
   std::uint64_t rejected = 0;
   for (int i = 0; i < 7; ++i) {
     try {
-      admitted.push_back(svc.submit_compress(client, job));
+      admitted.push_back(svc.submit_compress(client, job).future);
     } catch (const service::ServiceBusy&) {
       ++rejected;
     }
@@ -340,6 +357,353 @@ Digest run_invariance(std::size_t workers, std::size_t dispatchers,
         svc.submit_range(client, h, 0, elems / 5, (4 * elems) / 5).get());
   }
   return digest;
+}
+
+// ---- Chaos soak -------------------------------------------------------------
+
+/// Owning fault wrapper: FaultInjectingSource borrows its inner source, so
+/// the archive bytes and the injector must travel together behind the one
+/// shared_ptr the service holds.
+struct FaultyArchiveSource : pipeline::ByteSource {
+  FaultyArchiveSource(std::vector<std::uint8_t> bytes,
+                      pipeline::FaultSpec spec)
+      : mem(std::move(bytes)), faults(mem, spec) {}
+  std::uint64_t size() const override { return faults.size(); }
+  void read_at(std::uint64_t offset,
+               std::span<std::uint8_t> out) const override {
+    faults.read_at(offset, out);
+  }
+  pipeline::OwningMemorySource mem;
+  pipeline::FaultInjectingSource faults;
+};
+
+struct ChaosOutcome {
+  std::uint64_t admitted = 0;   // driver-side admitted round requests
+  std::uint64_t settled = 0;    // futures that yielded value or verdict
+  std::uint64_t completed = 0;  // futures that yielded a value
+  std::uint64_t io_retries = 0;
+  bool zero_lost = false;
+  bool bit_identical = false;
+  bool quota_reconciled = false;
+  bool faults_observed = false;
+};
+
+/// Fault-injected request-lifecycle storm: every archive read may fail or
+/// come up short (retried transparently by the service's ReaderOptions),
+/// drivers cancel a seeded quarter of their submissions, attach occasional
+/// sub-millisecond deadlines, and mix priorities against a small queue so
+/// overload shedding fires. The only acceptable future outcomes are a
+/// bit-identical result or one of the three lifecycle verdicts.
+ChaosOutcome run_chaos(std::size_t elems, std::size_t chunk_elems) {
+  constexpr std::size_t kChaosClients = 8;
+  constexpr std::size_t kChaosDrivers = 4;
+  constexpr std::size_t kChaosRounds = 10;
+
+  service::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.dispatchers = 2;
+  cfg.max_queue_depth = 8;
+  cfg.max_inflight_per_client = 4;
+  cfg.reader.retry.max_attempts = 8;
+  service::CompressionService svc(cfg);
+
+  struct ChaosClient {
+    service::ClientId id = 0;
+    service::ArchiveHandle handle = 0;
+    std::size_t elems = 0;
+    std::size_t chunks = 0;
+    std::vector<float> reference;
+  };
+  std::vector<ChaosClient> clients(kChaosClients);
+  for (std::size_t c = 0; c < kChaosClients; ++c) {
+    service::ClientOptions opts;
+    opts.chunk_elems = chunk_elems;
+    ChaosClient& cc = clients[c];
+    cc.id = svc.open_client(opts);
+    cc.elems = elems;
+    cc.chunks = (elems + chunk_elems - 1) / chunk_elems;
+    service::CompressJob job;
+    job.fields.push_back(
+        {"field", client_field(elems, 9000 + c), sz::Dims::d1(elems)});
+    auto archive = svc.submit_compress(cc.id, job).get().archive;
+    {
+      // Fault-free reference decode through a pristine copy of the archive.
+      auto copy = archive;
+      const service::ArchiveHandle ref = svc.open_archive(
+          cc.id,
+          std::make_shared<pipeline::OwningMemorySource>(std::move(copy)));
+      cc.reference = std::move(
+          svc.submit_decompress(cc.id, ref).get().fields.at(0).decode.data);
+      svc.close_archive(cc.id, ref);
+    }
+    pipeline::FaultSpec spec;
+    spec.seed = 0x900d + c;
+    spec.transient_read_rate = 0.08;
+    spec.short_read_rate = 0.04;
+    cc.handle = svc.open_archive(
+        cc.id, std::make_shared<FaultyArchiveSource>(std::move(archive), spec));
+  }
+  // Requests the setup itself ran through the service (per client: the
+  // compress and the reference decompress).
+  const std::uint64_t setup_requests = 2 * kChaosClients;
+
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> settled{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> mismatched{0};
+  std::atomic<std::uint64_t> unexpected{0};
+
+  std::vector<std::thread> drivers;
+  drivers.reserve(kChaosDrivers);
+  for (std::size_t d = 0; d < kChaosDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      using FloatsFuture = std::future<std::vector<float>>;
+      using DecompFuture = std::future<pipeline::BatchDecompressResult>;
+      struct Pending {
+        std::variant<DecompFuture, FloatsFuture> future;
+        const ChaosClient* client = nullptr;
+        std::size_t begin = 0;
+        std::size_t end = 0;
+      };
+      util::Xoshiro256 rng(0xc4a05 + d);
+      for (std::size_t round = 0; round < kChaosRounds; ++round) {
+        std::vector<Pending> wave;
+        for (std::size_t i = d; i < kChaosClients; i += kChaosDrivers) {
+          ChaosClient& c = clients[i];
+          // Two submissions per client per round keep the small queue near
+          // its high-water mark so shedding genuinely fires.
+          for (int k = 0; k < 2; ++k) {
+            service::RequestOptions opts;
+            opts.priority =
+                static_cast<service::Priority>(rng.bounded(3));
+            if (rng.bounded(8) == 0) {
+              opts.deadline = service::Deadline::after(
+                  std::chrono::microseconds(300));
+            }
+            Pending p;
+            p.client = &c;
+            service::RequestId id = 0;
+            try {
+              switch (rng.bounded(3)) {
+                case 0: {
+                  auto sub = svc.submit_decompress(c.id, c.handle, opts);
+                  id = sub.id;
+                  p.future = std::move(sub.future);
+                  p.begin = 0;
+                  p.end = c.elems;
+                  break;
+                }
+                case 1: {
+                  const std::size_t chunk = rng.bounded(c.chunks);
+                  p.begin = chunk * chunk_elems;
+                  p.end = std::min(c.elems, p.begin + chunk_elems);
+                  auto sub = svc.submit_chunk(c.id, c.handle, 0, chunk, opts);
+                  id = sub.id;
+                  p.future = std::move(sub.future);
+                  break;
+                }
+                default: {
+                  const std::size_t begin = rng.bounded(c.elems - 1);
+                  const std::size_t len =
+                      1 + rng.bounded(c.elems - begin - 1);
+                  p.begin = begin;
+                  p.end = std::min(c.elems, begin + len);
+                  auto sub =
+                      svc.submit_range(c.id, c.handle, 0, p.begin, p.end, opts);
+                  id = sub.id;
+                  p.future = std::move(sub.future);
+                  break;
+                }
+              }
+            } catch (const service::ServiceBusy&) {
+              continue;  // not admitted (cap or overload): nothing to settle
+            }
+            admitted.fetch_add(1, std::memory_order_relaxed);
+            // A seeded quarter of admitted requests get cancelled right
+            // away — racing the dispatcher on the same id.
+            if (rng.bounded(4) == 0) (void)svc.cancel(id);
+            wave.push_back(std::move(p));
+          }
+        }
+        for (Pending& p : wave) {
+          try {
+            std::vector<float> got;
+            if (auto* df = std::get_if<DecompFuture>(&p.future)) {
+              got = std::move(df->get().fields.at(0).decode.data);
+            } else {
+              got = std::get<FloatsFuture>(p.future).get();
+            }
+            completed.fetch_add(1, std::memory_order_relaxed);
+            const bool match =
+                got.size() == p.end - p.begin &&
+                std::equal(got.begin(), got.end(),
+                           p.client->reference.begin() +
+                               static_cast<std::ptrdiff_t>(p.begin));
+            if (!match) mismatched.fetch_add(1, std::memory_order_relaxed);
+          } catch (const service::RequestCancelled&) {
+          } catch (const service::DeadlineExceeded&) {
+          } catch (const service::ServiceOverloaded&) {
+          } catch (...) {
+            unexpected.fetch_add(1, std::memory_order_relaxed);
+          }
+          settled.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  svc.shutdown();
+  const service::ServiceStats stats = svc.stats();
+
+  ChaosOutcome out;
+  out.admitted = admitted.load();
+  out.settled = settled.load();
+  out.completed = completed.load();
+  out.io_retries = stats.io_retries;
+  out.zero_lost = out.settled == out.admitted && unexpected.load() == 0 &&
+                  stats.accepted == out.admitted + setup_requests &&
+                  stats.settled() == stats.accepted && stats.failed == 0;
+  out.bit_identical = mismatched.load() == 0 && out.completed > 0;
+  out.quota_reconciled = stats.inflight == 0 && stats.inflight_bytes == 0;
+  out.faults_observed = stats.io_retries > 0;
+  return out;
+}
+
+// ---- Deterministic shed / expiry scripts ------------------------------------
+
+/// Fixed paused-submit shed script: 4 background requests fill the queue,
+/// 2 interactive submits shed the 2 newest of them, a further background
+/// submit is rejected outright, and the 4 survivors complete after resume.
+/// Returns (accepted, shed, rejected, completed, futures_ok).
+struct ShedScriptResult {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  bool futures_ok = false;
+
+  bool operator==(const ShedScriptResult& o) const {
+    return accepted == o.accepted && shed == o.shed && rejected == o.rejected &&
+           completed == o.completed && futures_ok == o.futures_ok;
+  }
+};
+
+ShedScriptResult shed_script() {
+  service::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.dispatchers = 1;
+  cfg.max_queue_depth = 4;
+  cfg.max_inflight_per_client = 100;
+  service::CompressionService svc(cfg);
+  const service::ClientId client = svc.open_client();
+  service::CompressJob job;
+  job.fields.push_back({"f", client_field(2048, 88), sz::Dims::d1(2048)});
+
+  svc.pause();
+  service::RequestOptions bg;
+  bg.priority = service::Priority::Background;
+  std::vector<service::Submission<service::CompressResult>> background;
+  for (int i = 0; i < 4; ++i) {
+    background.push_back(svc.submit_compress(client, job, bg));
+  }
+  service::RequestOptions interactive;
+  interactive.priority = service::Priority::Interactive;
+  auto i1 = svc.submit_compress(client, job, interactive);
+  auto i2 = svc.submit_compress(client, job, interactive);
+
+  ShedScriptResult r;
+  try {
+    svc.submit_compress(client, job, bg);
+  } catch (const service::ServiceOverloaded&) {
+    ++r.rejected;
+  }
+  // The two newest background futures hold ServiceOverloaded already.
+  bool shed_ok = true;
+  for (int i = 2; i < 4; ++i) {
+    try {
+      background[static_cast<std::size_t>(i)].get();
+      shed_ok = false;
+    } catch (const service::ServiceOverloaded&) {
+    } catch (...) {
+      shed_ok = false;
+    }
+  }
+  svc.resume();
+  bool done_ok = true;
+  try {
+    done_ok = !background[0].get().archive.empty() &&
+              !background[1].get().archive.empty() &&
+              !i1.get().archive.empty() && !i2.get().archive.empty();
+  } catch (...) {
+    done_ok = false;
+  }
+  const service::ServiceStats stats = svc.stats();
+  r.accepted = stats.accepted;
+  r.shed = stats.shed;
+  r.completed = stats.completed;
+  r.futures_ok = shed_ok && done_ok;
+  return r;
+}
+
+/// Fixed paused-submit expiry script: 3 requests with a 2 ms deadline expire
+/// via the sweeper while the service is paused; the 2 without deadlines
+/// complete after resume. Returns (expired, completed, futures_ok).
+struct ExpiryScriptResult {
+  std::uint64_t expired = 0;
+  std::uint64_t completed = 0;
+  bool futures_ok = false;
+
+  bool operator==(const ExpiryScriptResult& o) const {
+    return expired == o.expired && completed == o.completed &&
+           futures_ok == o.futures_ok;
+  }
+};
+
+ExpiryScriptResult expiry_script() {
+  service::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.dispatchers = 1;
+  cfg.sweep_interval = std::chrono::microseconds(200);
+  service::CompressionService svc(cfg);
+  const service::ClientId client = svc.open_client();
+  service::CompressJob job;
+  job.fields.push_back({"f", client_field(2048, 99), sz::Dims::d1(2048)});
+
+  svc.pause();
+  service::RequestOptions late;
+  late.deadline = service::Deadline::after(std::chrono::milliseconds(2));
+  std::vector<service::Submission<service::CompressResult>> doomed;
+  for (int i = 0; i < 3; ++i) {
+    doomed.push_back(svc.submit_compress(client, job, late));
+  }
+  auto s1 = svc.submit_compress(client, job);
+  auto s2 = svc.submit_compress(client, job);
+
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (svc.stats().expired < 3 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  bool futures_ok = true;
+  for (auto& d : doomed) {
+    try {
+      d.get();
+      futures_ok = false;
+    } catch (const service::DeadlineExceeded&) {
+    } catch (...) {
+      futures_ok = false;
+    }
+  }
+  svc.resume();
+  try {
+    futures_ok = futures_ok && !s1.get().archive.empty() &&
+                 !s2.get().archive.empty();
+  } catch (...) {
+    futures_ok = false;
+  }
+  const service::ServiceStats stats = svc.stats();
+  return {stats.expired, stats.completed, futures_ok};
 }
 
 int run(bool emit_json, const char* json_path) {
@@ -417,6 +781,22 @@ int run(bool emit_json, const char* json_path) {
   const bool worker_invariant =
       run_invariance(1, 1, inv_elems) == run_invariance(4, 3, inv_elems);
 
+  // ---- Chaos soak ---------------------------------------------------------
+  const std::size_t chaos_elems = std::max<std::size_t>(2048, elems / 2);
+  const ChaosOutcome chaos = run_chaos(chaos_elems, chunk_elems);
+
+  // ---- Deterministic shedding and expiry ----------------------------------
+  const ShedScriptResult shed1 = shed_script();
+  const ShedScriptResult shed2 = shed_script();
+  const ShedScriptResult shed_expected{6, 2, 1, 4, true};
+  const bool deterministic_shed =
+      shed1 == shed_expected && shed2 == shed_expected;
+  const ExpiryScriptResult exp1 = expiry_script();
+  const ExpiryScriptResult exp2 = expiry_script();
+  const ExpiryScriptResult exp_expected{3, 2, true};
+  const bool deterministic_expiry =
+      exp1 == exp_expected && exp2 == exp_expected;
+
   std::printf(
       "requests: %llu admitted (+%llu busy retries), %llu responses, "
       "%llu verified => zero lost: %s\n",
@@ -449,10 +829,29 @@ int run(bool emit_json, const char* json_path) {
   std::printf("worker-count invariant: %s; service histograms present: %s\n",
               worker_invariant ? "yes" : "NO",
               histograms_present ? "yes" : "NO");
+  std::printf(
+      "chaos: %llu admitted, %llu settled (%llu values, %llu io retries) => "
+      "zero lost: %s, bit-identical: %s, quota reconciled: %s, faults "
+      "observed: %s\n",
+      static_cast<unsigned long long>(chaos.admitted),
+      static_cast<unsigned long long>(chaos.settled),
+      static_cast<unsigned long long>(chaos.completed),
+      static_cast<unsigned long long>(chaos.io_retries),
+      chaos.zero_lost ? "yes" : "NO", chaos.bit_identical ? "yes" : "NO",
+      chaos.quota_reconciled ? "yes" : "NO",
+      chaos.faults_observed ? "yes" : "NO");
+  std::printf(
+      "deterministic shed: %s (6 accepted / 2 shed / 1 rejected / 4 "
+      "completed x2); deterministic expiry: %s (3 expired / 2 completed "
+      "x2)\n",
+      deterministic_shed ? "yes" : "NO", deterministic_expiry ? "yes" : "NO");
 
   const bool all_ok = zero_lost && residency_bounded &&
                       deterministic_rejections && worker_invariant &&
-                      histograms_present;
+                      histograms_present && chaos.zero_lost &&
+                      chaos.bit_identical && chaos.quota_reconciled &&
+                      chaos.faults_observed && deterministic_shed &&
+                      deterministic_expiry;
   if (!all_ok) {
     std::fprintf(stderr, "FAIL: soak property violated\n");
   }
@@ -488,6 +887,15 @@ int run(bool emit_json, const char* json_path) {
         "  \"residency_bounded\": %s,\n"
         "  \"deterministic_rejections\": %s,\n"
         "  \"histograms_present\": %s,\n"
+        "  \"chaos_admitted\": %llu,\n"
+        "  \"chaos_settled\": %llu,\n"
+        "  \"chaos_io_retries\": %llu,\n"
+        "  \"chaos_zero_lost\": %s,\n"
+        "  \"chaos_bit_identical\": %s,\n"
+        "  \"chaos_quota_reconciled\": %s,\n"
+        "  \"chaos_faults_observed\": %s,\n"
+        "  \"deterministic_shed\": %s,\n"
+        "  \"deterministic_expiry\": %s,\n"
         "  \"throughput_req_per_s\": %.2f,\n"
         "  \"chunk_p99_ms\": %.4f,\n"
         "  \"telemetry\": {\n"
@@ -506,7 +914,16 @@ int run(bool emit_json, const char* json_path) {
         zero_lost ? "true" : "false", worker_invariant ? "true" : "false",
         residency_bounded ? "true" : "false",
         deterministic_rejections ? "true" : "false",
-        histograms_present ? "true" : "false", throughput, chunk_p99_ms,
+        histograms_present ? "true" : "false",
+        static_cast<unsigned long long>(chaos.admitted),
+        static_cast<unsigned long long>(chaos.settled),
+        static_cast<unsigned long long>(chaos.io_retries),
+        chaos.zero_lost ? "true" : "false",
+        chaos.bit_identical ? "true" : "false",
+        chaos.quota_reconciled ? "true" : "false",
+        chaos.faults_observed ? "true" : "false",
+        deterministic_shed ? "true" : "false",
+        deterministic_expiry ? "true" : "false", throughput, chunk_p99_ms,
         snapshot_json.c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path);

@@ -75,7 +75,7 @@ int main() {
     s.input = make_field(kElems, 42 + static_cast<std::uint64_t>(c));
     service::CompressJob job;
     job.fields.push_back({"field", s.input, sz::Dims::d1(kElems)});
-    compresses.push_back(svc.submit_compress(s.id, std::move(job)));
+    compresses.push_back(svc.submit_compress(s.id, std::move(job)).future);
     sessions.push_back(std::move(s));
   }
   for (int c = 0; c < 3; ++c) {
@@ -96,9 +96,9 @@ int main() {
   std::vector<std::future<std::vector<float>>> chunks;
   std::vector<std::future<std::vector<float>>> ranges;
   for (const Session& s : sessions) {
-    decodes.push_back(svc.submit_decompress(s.id, s.archive));
-    chunks.push_back(svc.submit_chunk(s.id, s.archive, 0, 3));
-    ranges.push_back(svc.submit_range(s.id, s.archive, 0, 10000, 30000));
+    decodes.push_back(svc.submit_decompress(s.id, s.archive).future);
+    chunks.push_back(svc.submit_chunk(s.id, s.archive, 0, 3).future);
+    ranges.push_back(svc.submit_range(s.id, s.archive, 0, 10000, 30000).future);
   }
   for (int c = 0; c < 3; ++c) {
     const auto full = decodes[c].get();

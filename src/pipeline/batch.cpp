@@ -72,7 +72,8 @@ void wait_all(std::vector<std::future<T>>& futures) noexcept {
 template <typename Archive>
 BatchDecompressResult decompress_archive(ThreadPool& pool,
                                          const Archive& archive,
-                                         const core::DecoderConfig& decoder) {
+                                         const core::DecoderConfig& decoder,
+                                         const CancelToken& cancel = {}) {
   // Fan out, then collect in deterministic (field, chunk) order via the
   // same chunk-merge path the sequential decode_field uses. Every field
   // buffer is allocated BEFORE the fan-out and each task reconstructs its
@@ -94,6 +95,10 @@ BatchDecompressResult decompress_archive(ThreadPool& pool,
   }
   try {
     for (std::size_t fi = 0; fi < archive.fields().size(); ++fi) {
+      // Task-boundary cancellation: stop fanning out new chunk tasks, and
+      // every already-submitted task re-checks at entry, so a cancel lands
+      // between chunks — never inside one.
+      cancel.throw_if_cancelled();
       const FieldEntry& entry = archive.fields()[fi];
       if (obs::enabled()) {
         batch_metrics().chunks_decoded.add(entry.chunks.size());
@@ -106,7 +111,8 @@ BatchDecompressResult decompress_archive(ThreadPool& pool,
             out.fields[fi].decode.data.data() + entry.chunks[ci].elem_offset,
             entry.chunks[ci].dims.count());
         futures[fi].push_back(
-            pool.submit([&archive, &decoder, fi, ci, dest] {
+            pool.submit([&archive, &decoder, &cancel, fi, ci, dest] {
+              cancel.throw_if_cancelled();
               // Fetch + decode + reconstruct of one chunk: the reader's own
               // "reader.frame_fetch" span nests under this one.
               const obs::ScopedOp op(
@@ -142,7 +148,8 @@ BatchDecompressResult decompress_archive(ThreadPool& pool,
 }  // namespace
 
 void BatchScheduler::compress_to(ArchiveWriter& writer,
-                                 std::span<const FieldSpec> specs) const {
+                                 std::span<const FieldSpec> specs,
+                                 const CancelToken& cancel) const {
   // A planned field's quantize tasks also PROBE their chunk (histogram +
   // canonical lengths + statistics) in the pool, so only the cheap pooled
   // work of plan_from_probes stays on the collecting thread.
@@ -223,10 +230,15 @@ void BatchScheduler::compress_to(ArchiveWriter& writer,
     for (std::size_t fi = 0; fi < specs.size(); ++fi) {
       const FieldSpec& spec = specs[fi];
       FieldState& state = states[fi];
+      // Task-boundary cancellation, mirrored from decompress_archive: stop
+      // fanning out new chunk tasks, and every submitted task re-checks at
+      // entry so cancels land between chunks.
+      cancel.throw_if_cancelled();
       if (state.planned) {
         state.quants.reserve(state.layout.size());
         for (const ChunkExtent& extent : state.layout) {
-          state.quants.push_back(pool_.submit([&spec, &state, extent] {
+          state.quants.push_back(pool_.submit([&spec, &state, &cancel, extent] {
+            cancel.throw_if_cancelled();
             const obs::ScopedOp op(
                 "batch.quantize",
                 obs::enabled() ? &batch_metrics().quantize_ns : nullptr);
@@ -241,7 +253,8 @@ void BatchScheduler::compress_to(ArchiveWriter& writer,
       } else {
         state.frames.reserve(state.layout.size());
         for (const ChunkExtent& extent : state.layout) {
-          state.frames.push_back(pool_.submit([&spec, &state, extent] {
+          state.frames.push_back(pool_.submit([&spec, &state, &cancel, extent] {
+            cancel.throw_if_cancelled();
             // Fused path: quantize + encode in one task, charged as encode.
             const obs::ScopedOp op(
                 "batch.encode",
@@ -279,11 +292,13 @@ void BatchScheduler::compress_to(ArchiveWriter& writer,
       state.meta.reserve(state.layout.size());
       state.frames.reserve(state.layout.size());
       for (std::size_t ci = 0; ci < state.layout.size(); ++ci) {
+        cancel.throw_if_cancelled();
         const ChunkPlan& cp = state.plan.chunks[ci];
         state.meta.push_back({cp.method, cp.use_shared_codebook
                                              ? CodebookRef::SharedField
                                              : CodebookRef::Private});
-        state.frames.push_back(pool_.submit([&spec, &state, ci] {
+        state.frames.push_back(pool_.submit([&spec, &state, &cancel, ci] {
+          cancel.throw_if_cancelled();
           const obs::ScopedOp op(
               "batch.encode",
               obs::enabled() ? &batch_metrics().encode_ns : nullptr);
@@ -306,6 +321,10 @@ void BatchScheduler::compress_to(ArchiveWriter& writer,
       field_spec.shared_codebook = state.shared;
       writer.begin_field(field_spec);
       for (std::size_t ci = 0; ci < state.frames.size(); ++ci) {
+        // Between streamed chunks: a cancelled compress abandons the writer
+        // session mid-stream (documented in the header), after waiting out
+        // the still-running tasks in the catch below.
+        cancel.throw_if_cancelled();
         const std::vector<std::uint8_t> frame = state.frames[ci].get();
         writer.write_chunk(state.layout[ci], frame,
                            state.meta.empty()
@@ -350,7 +369,8 @@ BatchDecompressResult BatchScheduler::decompress(
 }
 
 BatchDecompressResult BatchScheduler::decompress(
-    const ArchiveReader& reader, const core::DecoderConfig& decoder) const {
+    const ArchiveReader& reader, const core::DecoderConfig& decoder,
+    const CancelToken& cancel) const {
   // Strict mode: refuse salvaged readers with holes up front, before any
   // task runs — the shared fan-out would otherwise decode the recovered
   // chunks and silently leave the holes zero-filled.
@@ -360,7 +380,7 @@ BatchDecompressResult BatchScheduler::decompress(
                            "' was salvaged incomplete; use decompress_partial");
     }
   }
-  return decompress_archive(pool_, reader, decoder);
+  return decompress_archive(pool_, reader, decoder, cancel);
 }
 
 PartialBatchDecompress BatchScheduler::decompress_partial(
@@ -465,7 +485,8 @@ PartialBatchDecompress BatchScheduler::decompress_partial(
 
 std::vector<float> BatchScheduler::decode_range(
     const ArchiveReader& reader, std::size_t field, std::uint64_t elem_begin,
-    std::uint64_t elem_end, const core::DecoderConfig& decoder) const {
+    std::uint64_t elem_end, const core::DecoderConfig& decoder,
+    const CancelToken& cancel) const {
   const std::vector<FieldEntry>& fields = reader.fields();
   if (field >= fields.size()) {
     throw ContainerError("field index out of range");
@@ -525,6 +546,9 @@ std::vector<float> BatchScheduler::decode_range(
       const std::uint64_t chunk_begin = rec.elem_offset;
       const std::uint64_t chunk_end = chunk_begin + rec.dims.count();
       if (chunk_end <= elem_begin || chunk_begin >= elem_end) continue;
+      // Between prefetch steps: stop fetching further frames once cancelled;
+      // decode tasks for frames already in flight re-check at entry.
+      cancel.throw_if_cancelled();
       while (futures.size() - collected >= window) collect_one();
       // Prefetch: the frame's IO happens here, on the calling thread, while
       // the decode tasks of previously fetched chunks run on the pool.
@@ -538,25 +562,30 @@ std::vector<float> BatchScheduler::decode_range(
       if (w.interior) {
         const std::span<float> dest(out.data() + (chunk_begin - elem_begin),
                                     rec.dims.count());
-        futures.push_back(pool_.submit([&f, c, frame, dest, &decoder]() mutable {
-          cudasim::SimContext ctx;
-          const sz::CompressedBlob blob =
-              wire::parse_chunk_frame(f, c, frame->bytes);
-          // The blob owns its data: drop the frame (and its residency lease)
-          // before the decode, and before the future can become ready.
-          frame.reset();
-          sz::decompress_into(ctx, blob, dest, decoder);
-          return std::vector<float>();
-        }));
+        futures.push_back(
+            pool_.submit([&f, c, frame, dest, &decoder, &cancel]() mutable {
+              cancel.throw_if_cancelled();
+              cudasim::SimContext ctx;
+              const sz::CompressedBlob blob =
+                  wire::parse_chunk_frame(f, c, frame->bytes);
+              // The blob owns its data: drop the frame (and its residency
+              // lease) before the decode, and before the future can become
+              // ready.
+              frame.reset();
+              sz::decompress_into(ctx, blob, dest, decoder);
+              return std::vector<float>();
+            }));
       } else {
-        futures.push_back(pool_.submit([&f, c, frame, &decoder]() mutable {
-          cudasim::SimContext ctx;
-          const sz::CompressedBlob blob =
-              wire::parse_chunk_frame(f, c, frame->bytes);
-          frame.reset();
-          sz::DecompressionResult r = sz::decompress(ctx, blob, decoder);
-          return std::move(r.data);
-        }));
+        futures.push_back(
+            pool_.submit([&f, c, frame, &decoder, &cancel]() mutable {
+              cancel.throw_if_cancelled();
+              cudasim::SimContext ctx;
+              const sz::CompressedBlob blob =
+                  wire::parse_chunk_frame(f, c, frame->bytes);
+              frame.reset();
+              sz::DecompressionResult r = sz::decompress(ctx, blob, decoder);
+              return std::move(r.data);
+            }));
       }
       windows.push_back(w);
     }

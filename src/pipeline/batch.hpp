@@ -29,6 +29,7 @@
 #include "core/decode_result.hpp"
 #include "core/huffman_codec.hpp"
 #include "pipeline/archive_io.hpp"
+#include "pipeline/cancel.hpp"
 #include "pipeline/container.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "sz/compressor.hpp"
@@ -78,13 +79,24 @@ class BatchScheduler {
  public:
   explicit BatchScheduler(ThreadPool& pool) : pool_(pool) {}
 
+  // Cancellation: the entry points taking a CancelToken poll it cooperatively
+  // at task boundaries — before submitting each chunk task, at every task's
+  // entry, and between streamed/prefetched chunks on the collecting thread —
+  // and abort by throwing OperationCancelled once it fires. In-flight chunk
+  // tasks are always waited out before the throw unwinds (the same
+  // exception-safety discipline every fan-out here already follows), and an
+  // UNCANCELLED run is bit-identical to a run without a token. A cancelled
+  // compress_to abandons its writer session mid-stream; callers stream into
+  // disposable sinks (MemorySink) or discard the file.
+
   /// Compresses every chunk of every field concurrently and STREAMS the
   /// archive into `writer` — each frame is handed to the sink the moment its
   /// future completes in deterministic (field, chunk) order, overlapping the
   /// IO of finished chunks with the compression of later ones. Byte-identical
   /// output for any worker count. The caller finishes the session (the
   /// writer stays open so more fields can follow).
-  void compress_to(ArchiveWriter& writer, std::span<const FieldSpec> specs) const;
+  void compress_to(ArchiveWriter& writer, std::span<const FieldSpec> specs,
+                   const CancelToken& cancel = {}) const;
 
   /// In-memory convenience over compress_to: runs the same streaming session
   /// into a MemorySink and reopens it as a Container — byte-identical
@@ -105,7 +117,8 @@ class BatchScheduler {
   /// salvaged readers holding incomplete fields — degraded decode is the
   /// explicit opt-in below.
   BatchDecompressResult decompress(const ArchiveReader& reader,
-                                   const core::DecoderConfig& decoder = {}) const;
+                                   const core::DecoderConfig& decoder = {},
+                                   const CancelToken& cancel = {}) const;
 
   /// Degraded (opt-in) decompress: same parallel fan-out, but damage is
   /// contained per chunk instead of aborting the batch — a chunk whose frame
@@ -124,7 +137,8 @@ class BatchScheduler {
   std::vector<float> decode_range(const ArchiveReader& reader,
                                   std::size_t field, std::uint64_t elem_begin,
                                   std::uint64_t elem_end,
-                                  const core::DecoderConfig& decoder = {}) const;
+                                  const core::DecoderConfig& decoder = {},
+                                  const CancelToken& cancel = {}) const;
 
   /// Decode-only batch over raw encoded streams (covers the decode-only
   /// 8-bit gap-array method too); results in stream order.

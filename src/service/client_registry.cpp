@@ -3,7 +3,29 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace ohd::service {
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::Interactive:
+      return "interactive";
+    case Priority::Batch:
+      return "batch";
+    case Priority::Background:
+      return "background";
+  }
+  return "unknown";
+}
+
+Deadline Deadline::after(std::chrono::nanoseconds d) {
+  // Clamp to "at least 1ns from the epoch": ns == 0 is the "none" sentinel
+  // and must never be produced by a real deadline request.
+  const std::int64_t now = static_cast<std::int64_t>(obs::now_ns());
+  const std::int64_t at = now + d.count();
+  return Deadline{at > 0 ? static_cast<std::uint64_t>(at) : 1};
+}
 
 const char* request_class_name(RequestClass cls) {
   switch (cls) {
@@ -38,7 +60,11 @@ ArchiveHandle ClientContext::open_reader(
   while (readers_.size() >= cap) {
     const ArchiveHandle victim = lru_.back();
     lru_.pop_back();
-    readers_.erase(victim);
+    const auto it = readers_.find(victim);
+    // Harvest the victim's retry total before the registry drops its
+    // reference — io_retries() stays a lifetime figure across evictions.
+    retired_io_retries_ += it->second.entry->reader.io_retries();
+    readers_.erase(it);
     if (evicted != nullptr) {
       ++*evicted;
     }
@@ -70,7 +96,18 @@ void ClientContext::close_reader(ArchiveHandle handle) {
                       std::to_string(id_));
   }
   lru_.erase(it->second.lru_pos);
+  retired_io_retries_ += it->second.entry->reader.io_retries();
   readers_.erase(it);
+}
+
+std::uint64_t ClientContext::io_retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = retired_io_retries_;
+  for (const auto& [handle, slot] : readers_) {
+    (void)handle;
+    total += slot.entry->reader.io_retries();
+  }
+  return total;
 }
 
 std::size_t ClientContext::open_reader_count() const {
@@ -91,6 +128,24 @@ bool ClientContext::try_acquire_slot(std::size_t cap) {
 
 void ClientContext::release_slot() {
   inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool ClientContext::try_acquire_bytes(std::size_t bytes, std::size_t quota) {
+  if (bytes == 0) return true;
+  std::uint64_t cur = inflight_bytes_.load(std::memory_order_relaxed);
+  while (cur + bytes <= quota) {
+    if (inflight_bytes_.compare_exchange_weak(cur, cur + bytes,
+                                              std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClientContext::release_bytes(std::size_t bytes) {
+  if (bytes != 0) {
+    inflight_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
 }
 
 std::shared_ptr<ClientContext> ClientRegistry::open(ClientOptions options) {
@@ -120,6 +175,9 @@ std::shared_ptr<ClientContext> ClientRegistry::close(ClientId id) {
   }
   auto ctx = std::move(it->second);
   clients_.erase(it);
+  // Fold the departing client's lifetime retry total into the registry's
+  // retired counter so io_retries() never decreases across close_client.
+  retired_io_retries_ += ctx->io_retries();
   return ctx;
 }
 
@@ -134,6 +192,16 @@ std::size_t ClientRegistry::open_readers() const {
   for (const auto& [id, ctx] : clients_) {
     (void)id;
     total += ctx->open_reader_count();
+  }
+  return total;
+}
+
+std::uint64_t ClientRegistry::io_retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = retired_io_retries_;
+  for (const auto& [id, ctx] : clients_) {
+    (void)id;
+    total += ctx->io_retries();
   }
   return total;
 }

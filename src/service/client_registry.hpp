@@ -68,13 +68,29 @@ class ClientContext {
   std::size_t open_reader_count() const;
 
   /// Reserves an in-flight slot if the client is under `cap`; the matching
-  /// release_slot() must run when the request leaves the service (complete
-  /// or failed).
+  /// release_slot() must run when the request leaves the service (complete,
+  /// failed, cancelled, shed, or expired).
   bool try_acquire_slot(std::size_t cap);
   void release_slot();
   std::uint64_t inflight() const {
     return inflight_.load(std::memory_order_relaxed);
   }
+
+  /// Reserves `bytes` of the client's in-flight byte quota; fails when the
+  /// reservation would push the client past `quota`. The matching
+  /// release_bytes(bytes) must run when the request leaves the service —
+  /// exactly once, on every outcome.
+  bool try_acquire_bytes(std::size_t bytes, std::size_t quota);
+  void release_bytes(std::size_t bytes);
+  std::uint64_t inflight_bytes() const {
+    return inflight_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Lifetime total of transient-IO retries by this client's readers:
+  /// retries of the currently open ones plus everything harvested from
+  /// evicted/closed readers at eviction/close time (retries an in-flight
+  /// request performs on an already-harvested reader are not re-counted).
+  std::uint64_t io_retries() const;
 
  private:
   const ClientId id_;
@@ -89,8 +105,11 @@ class ClientContext {
   mutable std::list<ArchiveHandle> lru_;
   std::unordered_map<ArchiveHandle, Slot> readers_;
   ArchiveHandle next_handle_ = 1;
+  /// Retries of readers no longer in readers_, folded in when they left.
+  std::uint64_t retired_io_retries_ = 0;
 
   std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> inflight_bytes_{0};
 };
 
 /// ClientId -> context map with an open/find/close lifecycle. Ids are
@@ -109,11 +128,17 @@ class ClientRegistry {
   std::size_t size() const;
   /// Sum of open_reader_count() over all active clients.
   std::size_t open_readers() const;
+  /// Lifetime transient-IO retry total across ALL clients ever registered:
+  /// active clients' io_retries() plus the totals harvested from clients at
+  /// close_client time.
+  std::uint64_t io_retries() const;
 
  private:
   mutable std::mutex mutex_;
   std::unordered_map<ClientId, std::shared_ptr<ClientContext>> clients_;
   ClientId next_id_ = 1;
+  /// io_retries() of clients harvested at close().
+  std::uint64_t retired_io_retries_ = 0;
 };
 
 }  // namespace ohd::service

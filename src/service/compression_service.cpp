@@ -1,6 +1,7 @@
 #include "service/compression_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <utility>
 
@@ -19,13 +20,23 @@ struct ServiceMetrics {
   obs::Counter& accepted;
   obs::Counter& rejected_busy;
   obs::Counter& rejected_client_cap;
+  obs::Counter& rejected_quota;
   obs::Counter& completed;
   obs::Counter& failed;
+  obs::Counter& cancelled;        // service.cancel.total
+  obs::Counter& cancel_queued;    // service.cancel.queued
+  obs::Counter& cancel_running;   // service.cancel.running
+  obs::Counter& expired;          // service.expired.total
+  obs::Counter& expired_queued;   // service.expired.queued
+  obs::Counter& shed;             // service.shed.count
+  obs::Counter& shed_rejected;    // service.shed.rejected
   obs::Counter& readers_evicted;
   obs::Gauge& queue_depth;
   obs::Gauge& inflight;
+  obs::Gauge& inflight_bytes;
   obs::Gauge& active_clients;
   obs::Gauge& open_readers;
+  obs::Gauge* queue_age[kPriorityClasses];
   obs::LatencyHistogram* queue_wait[kRequestClasses];
   obs::LatencyHistogram* latency[kRequestClasses];
 };
@@ -33,19 +44,33 @@ struct ServiceMetrics {
 ServiceMetrics& service_metrics() {
   static ServiceMetrics* m = [] {
     auto& r = obs::registry();
-    auto* sm = new ServiceMetrics{
-        r.counter("service.accepted"),
-        r.counter("service.rejected_busy"),
-        r.counter("service.rejected_client_cap"),
-        r.counter("service.completed"),
-        r.counter("service.failed"),
-        r.counter("service.readers_evicted"),
-        r.gauge("service.queue_depth"),
-        r.gauge("service.inflight"),
-        r.gauge("service.active_clients"),
-        r.gauge("service.open_readers"),
-        {},
-        {}};
+    auto* sm = new ServiceMetrics{r.counter("service.accepted"),
+                                  r.counter("service.rejected_busy"),
+                                  r.counter("service.rejected_client_cap"),
+                                  r.counter("service.rejected_quota"),
+                                  r.counter("service.completed"),
+                                  r.counter("service.failed"),
+                                  r.counter("service.cancel.total"),
+                                  r.counter("service.cancel.queued"),
+                                  r.counter("service.cancel.running"),
+                                  r.counter("service.expired.total"),
+                                  r.counter("service.expired.queued"),
+                                  r.counter("service.shed.count"),
+                                  r.counter("service.shed.rejected"),
+                                  r.counter("service.readers_evicted"),
+                                  r.gauge("service.queue_depth"),
+                                  r.gauge("service.inflight"),
+                                  r.gauge("service.inflight_bytes"),
+                                  r.gauge("service.active_clients"),
+                                  r.gauge("service.open_readers"),
+                                  {},
+                                  {},
+                                  {}};
+    for (std::size_t i = 0; i < kPriorityClasses; ++i) {
+      sm->queue_age[i] = &r.gauge(
+          std::string("service.queue_age.") +
+          priority_name(static_cast<Priority>(i)) + "_ns");
+    }
     for (std::size_t i = 0; i < kRequestClasses; ++i) {
       const std::string base =
           std::string("service.") +
@@ -73,7 +98,56 @@ ServiceConfig normalize(ServiceConfig config) {
       std::max<std::size_t>(1, config.max_inflight_per_client);
   config.max_open_readers_per_client =
       std::max<std::size_t>(1, config.max_open_readers_per_client);
+  config.max_inflight_bytes_per_client =
+      std::max<std::size_t>(1, config.max_inflight_bytes_per_client);
+  if (config.sweep_interval.count() <= 0) {
+    config.sweep_interval = std::chrono::microseconds(1000);
+  }
   return config;
+}
+
+/// "~X.X ms" fragments of the pinned rejection messages (one decimal, so a
+/// zero hint prints a deterministic "0.0").
+std::string format_ms(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+// ---- request byte costs (the quota currency: output floats for reads,
+// payload floats for compress). Invalid indices cost 0 instead of throwing:
+// admission must never fail a malformed request synchronously — the body
+// throws through the future, where existing callers expect it.
+
+std::size_t compress_cost(const CompressJob& job) {
+  std::size_t total = 0;
+  for (const CompressField& f : job.fields) {
+    total += f.data.size() * sizeof(float);
+  }
+  return total;
+}
+
+std::size_t decompress_cost(const pipeline::ArchiveReader& reader) {
+  std::size_t total = 0;
+  for (const pipeline::FieldEntry& f : reader.fields()) {
+    total += static_cast<std::size_t>(f.dims.count()) * sizeof(float);
+  }
+  return total;
+}
+
+std::size_t chunk_cost(const pipeline::ArchiveReader& reader,
+                       std::size_t field, std::size_t chunk) {
+  const auto& fields = reader.fields();
+  if (field >= fields.size() || chunk >= fields[field].chunks.size()) {
+    return 0;
+  }
+  return static_cast<std::size_t>(fields[field].chunks[chunk].dims.count()) *
+         sizeof(float);
+}
+
+std::size_t range_cost(std::uint64_t elem_begin, std::uint64_t elem_end) {
+  if (elem_end <= elem_begin) return 0;
+  return static_cast<std::size_t>(elem_end - elem_begin) * sizeof(float);
 }
 
 }  // namespace
@@ -86,6 +160,7 @@ CompressionService::CompressionService(ServiceConfig config)
   for (std::size_t i = 0; i < config_.dispatchers; ++i) {
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
   }
+  sweeper_ = std::thread([this] { sweeper_loop(); });
 }
 
 CompressionService::~CompressionService() { shutdown(); }
@@ -137,57 +212,148 @@ void CompressionService::close_archive(ClientId id, ArchiveHandle handle) {
   }
 }
 
-void CompressionService::admit(RequestClass cls,
-                               std::shared_ptr<ClientContext> client,
-                               std::function<void()> run) {
+std::uint64_t CompressionService::retry_after_ns_locked() const {
+  if (drain_ewma_ns_ <= 0.0) return 0;  // no drain observed yet
+  return static_cast<std::uint64_t>(drain_ewma_ns_ *
+                                    static_cast<double>(queue_.size()));
+}
+
+RequestId CompressionService::admit(RequestClass cls,
+                                    std::shared_ptr<RequestState> state,
+                                    std::function<void()> run) {
+  ClientContext& client = *state->client;
+  std::function<void()> shed_run;
+  RequestId id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       throw ServiceStopped("submit: service is shut down");
     }
-    if (queue_.size() >= config_.max_queue_depth) {
-      rejected_busy_.add(1);
-      if (obs::enabled()) service_metrics().rejected_busy.add(1);
-      throw ServiceBusy("submit: request queue at high-water mark (" +
-                        std::to_string(config_.max_queue_depth) + ")");
-    }
-    if (!client->try_acquire_slot(config_.max_inflight_per_client)) {
+    const std::string queue_suffix =
+        "; queue depth " + std::to_string(queue_.size()) + "/" +
+        std::to_string(config_.max_queue_depth) + ")";
+    // Client-local limits first (nothing to roll back, and shedding a queue
+    // victim for a request the client's own caps then reject would waste
+    // admitted work): slot cap, then byte quota, then queue high-water.
+    if (!client.try_acquire_slot(config_.max_inflight_per_client)) {
       rejected_client_cap_.add(1);
       if (obs::enabled()) service_metrics().rejected_client_cap.add(1);
-      throw ServiceBusy("submit: client " + std::to_string(client->id()) +
+      throw ServiceBusy("submit: client " + std::to_string(client.id()) +
                         " at in-flight cap (" +
-                        std::to_string(config_.max_inflight_per_client) + ")");
+                        std::to_string(client.inflight()) + "/" +
+                        std::to_string(config_.max_inflight_per_client) +
+                        queue_suffix);
     }
-    // Admitted: from here to push_back nothing throws, so an acquired slot
-    // is always matched by run_counted()'s release inside the request body.
+    if (!client.try_acquire_bytes(state->bytes,
+                                  config_.max_inflight_bytes_per_client)) {
+      client.release_slot();
+      rejected_quota_.add(1);
+      if (obs::enabled()) service_metrics().rejected_quota.add(1);
+      throw ServiceBusy(
+          "submit: client " + std::to_string(client.id()) +
+          " over byte quota (in flight " +
+          std::to_string(client.inflight_bytes()) + " + request " +
+          std::to_string(state->bytes) + " > " +
+          std::to_string(config_.max_inflight_bytes_per_client) +
+          queue_suffix);
+    }
+    if (queue_.size() >= config_.max_queue_depth) {
+      auto victim = queue_.shed_below(state->priority);
+      if (!victim) {
+        // Nothing below the incoming priority to displace: the incoming
+        // request is the one rejected. Roll back its reservations.
+        client.release_bytes(state->bytes);
+        client.release_slot();
+        rejected_busy_.add(1);
+        if (obs::enabled()) {
+          auto& m = service_metrics();
+          m.rejected_busy.add(1);
+          m.shed_rejected.add(1);
+        }
+        const std::uint64_t hint = retry_after_ns_locked();
+        throw ServiceOverloaded(
+            "submit: queue overloaded (depth " +
+                std::to_string(queue_.size()) + "/" +
+                std::to_string(config_.max_queue_depth) + "; client " +
+                std::to_string(client.id()) + " in-flight " +
+                std::to_string(client.inflight()) + "/" +
+                std::to_string(config_.max_inflight_per_client) +
+                "; retry-after ~" + format_ms(hint) + " ms)",
+            hint);
+      }
+      // A lower-priority victim makes room: its future settles with
+      // ServiceOverloaded on this thread, after the lock drops. The verdict
+      // is written before the release-store on the flag the body acquires.
+      const auto vit = live_.find(victim->id);
+      if (vit != live_.end()) {
+        RequestState& vs = *vit->second;
+        const std::uint64_t hint = retry_after_ns_locked();
+        vs.shed_retry_after_ns = hint;
+        vs.shed_message =
+            "request " + std::to_string(victim->id) +
+            " shed under overload by " +
+            priority_name(state->priority) + "-priority submit (queue depth " +
+            std::to_string(queue_.size() + 1) + "/" +
+            std::to_string(config_.max_queue_depth) + "; retry-after ~" +
+            format_ms(hint) + " ms)";
+        vs.shed.store(true, std::memory_order_release);
+      }
+      queue_depth_gauge_.sub(1);
+      if (obs::enabled()) {
+        service_metrics().queue_depth.set(queue_depth_gauge_.value());
+      }
+      shed_run = std::move(victim->run);
+    }
+    // Admitted: from here to push nothing throws, so acquired slot/bytes
+    // are always matched by run_counted()'s release inside the request body.
+    state->id = next_request_id_++;
+    id = state->id;
+    live_.emplace(id, state);
     accepted_.add(1);
     inflight_gauge_.add(1);
+    inflight_bytes_gauge_.add(static_cast<std::int64_t>(state->bytes));
     queue_depth_gauge_.add(1);
     const bool telemetry = obs::enabled();
     if (telemetry) {
       auto& m = service_metrics();
       m.accepted.add(1);
       m.inflight.set(inflight_gauge_.value());
+      m.inflight_bytes.set(inflight_bytes_gauge_.value());
       m.queue_depth.set(queue_depth_gauge_.value());
     }
-    queue_.push_back(Request{cls, std::move(client), std::move(run),
-                             telemetry ? obs::now_ns() : 0});
+    queue_.push(QueuedRequest{id, state->priority, cls,
+                              telemetry ? obs::now_ns() : 0,
+                              state->deadline_ns, std::move(run)});
   }
+  // The shed victim's packaged task runs OUTSIDE the lock: its body throws
+  // the ServiceOverloaded verdict and run_counted settles its accounting.
+  if (shed_run) shed_run();
   wake_.notify_one();
+  return id;
 }
 
 void CompressionService::dispatcher_loop() {
   for (;;) {
-    Request req;
+    QueuedRequest req;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [&] {
         return stopping_ || (!paused_ && !queue_.empty());
       });
       if (queue_.empty()) return;  // stopping and fully drained
-      req = std::move(queue_.front());
-      queue_.pop_front();
+      auto popped = queue_.pop();
+      req = std::move(*popped);
       queue_depth_gauge_.sub(1);
+      // Drain-rate EWMA over dispatcher inter-pop gaps feeds the
+      // retry-after hints; always-on (steady clock, no telemetry needed).
+      const std::uint64_t now = obs::now_ns();
+      if (last_pop_ns_ != 0) {
+        const double inter = static_cast<double>(now - last_pop_ns_);
+        drain_ewma_ns_ = drain_ewma_ns_ == 0.0
+                             ? inter
+                             : 0.2 * inter + 0.8 * drain_ewma_ns_;
+      }
+      last_pop_ns_ = now;
       if (obs::enabled()) {
         service_metrics().queue_depth.set(queue_depth_gauge_.value());
       }
@@ -203,19 +369,77 @@ void CompressionService::dispatcher_loop() {
   }
 }
 
-// Completion accounting runs INSIDE the packaged task, before it fulfills
-// the future — so by the time a caller's .get() returns, the slot is
-// released and completed/failed/inflight have settled (stats() observed
-// right after a get() is exact, not racing the dispatcher's cleanup).
-template <typename Fn>
-auto CompressionService::run_counted(ClientContext& client, Fn&& fn)
-    -> decltype(fn()) {
-  const auto finish = [this, &client] {
-    client.release_slot();
-    inflight_gauge_.sub(1);
-    if (obs::enabled()) {
-      service_metrics().inflight.set(inflight_gauge_.value());
+void CompressionService::sweeper_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    sweep_wake_.wait_for(lock, config_.sweep_interval,
+                         [this] { return stopping_; });
+    if (stopping_) break;
+    std::vector<QueuedRequest> expired = queue_.expire(obs::now_ns());
+    if (!expired.empty()) {
+      queue_depth_gauge_.sub(static_cast<std::int64_t>(expired.size()));
     }
+    if (obs::enabled()) {
+      auto& m = service_metrics();
+      if (!expired.empty()) {
+        m.queue_depth.set(queue_depth_gauge_.value());
+        m.expired_queued.add(expired.size());
+      }
+      // Queue-age gauges: how long the OLDEST queued request of each class
+      // has been waiting (0 when the class is empty or admitted without
+      // telemetry).
+      const std::uint64_t now = obs::now_ns();
+      for (std::size_t p = 0; p < kPriorityClasses; ++p) {
+        const std::uint64_t oldest =
+            queue_.oldest_enqueue_ns(static_cast<Priority>(p));
+        m.queue_age[p]->set(
+            oldest == 0 ? 0 : static_cast<std::int64_t>(now - oldest));
+      }
+    }
+    if (expired.empty()) continue;
+    // Settle the expired futures OUTSIDE the lock: each body re-checks its
+    // deadline and throws DeadlineExceeded through run_counted.
+    lock.unlock();
+    for (QueuedRequest& req : expired) req.run();
+    lock.lock();
+  }
+}
+
+void CompressionService::throw_verdict(const RequestState& state) const {
+  if (state.shed.load(std::memory_order_acquire)) {
+    throw ServiceOverloaded(state.shed_message, state.shed_retry_after_ns);
+  }
+  if (state.cancel.cancelled()) {
+    throw RequestCancelled("request " + std::to_string(state.id) +
+                           " cancelled before execution");
+  }
+  if (state.deadline_ns != 0 && obs::now_ns() >= state.deadline_ns) {
+    throw DeadlineExceeded("request " + std::to_string(state.id) +
+                           " deadline exceeded before execution");
+  }
+}
+
+// Settlement accounting runs INSIDE the packaged task, before it fulfills
+// the future — so by the time a caller's .get() returns (or throws), the
+// slot and bytes are released, the live_ entry is gone, and the outcome
+// counter has settled (stats() observed right after a get() is exact, not
+// racing the dispatcher's cleanup). Every admitted future lands in exactly
+// one of the five outcome buckets.
+template <typename Fn>
+auto CompressionService::run_counted(RequestState& state, Fn&& fn)
+    -> decltype(fn()) {
+  const auto finish = [this, &state] {
+    state.client->release_slot();
+    state.client->release_bytes(state.bytes);
+    inflight_gauge_.sub(1);
+    inflight_bytes_gauge_.sub(static_cast<std::int64_t>(state.bytes));
+    if (obs::enabled()) {
+      auto& m = service_metrics();
+      m.inflight.set(inflight_gauge_.value());
+      m.inflight_bytes.set(inflight_bytes_gauge_.value());
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.erase(state.id);
   };
   try {
     auto result = fn();
@@ -223,6 +447,21 @@ auto CompressionService::run_counted(ClientContext& client, Fn&& fn)
     if (obs::enabled()) service_metrics().completed.add(1);
     finish();
     return result;
+  } catch (const ServiceOverloaded&) {
+    shed_.add(1);
+    if (obs::enabled()) service_metrics().shed.add(1);
+    finish();
+    throw;
+  } catch (const RequestCancelled&) {
+    cancelled_.add(1);
+    if (obs::enabled()) service_metrics().cancelled.add(1);
+    finish();
+    throw;
+  } catch (const DeadlineExceeded&) {
+    expired_.add(1);
+    if (obs::enabled()) service_metrics().expired.add(1);
+    finish();
+    throw;
   } catch (...) {
     failed_.add(1);
     if (obs::enabled()) service_metrics().failed.add(1);
@@ -231,8 +470,9 @@ auto CompressionService::run_counted(ClientContext& client, Fn&& fn)
   }
 }
 
-CompressResult CompressionService::run_compress(const ClientContext& client,
-                                                const CompressJob& job) const {
+CompressResult CompressionService::run_compress(
+    const ClientContext& client, const CompressJob& job,
+    const CancellationToken& cancel) const {
   const ClientOptions& opt = client.options();
   std::vector<pipeline::FieldSpec> specs;
   specs.reserve(job.fields.size());
@@ -248,81 +488,168 @@ CompressResult CompressionService::run_compress(const ClientContext& client,
   }
   pipeline::MemorySink sink;
   pipeline::ArchiveWriter writer(sink);
-  scheduler_.compress_to(writer, specs);
+  scheduler_.compress_to(writer, specs, cancel);
   writer.finish();
   return CompressResult{sink.take()};
 }
 
-std::future<CompressResult> CompressionService::submit_compress(
-    ClientId id, CompressJob job) {
-  auto client = clients_.find(id);
-  auto task = std::make_shared<std::packaged_task<CompressResult()>>(
-      [this, client, job = std::move(job)] {
-        return run_counted(*client, [&] { return run_compress(*client, job); });
-      });
-  auto fut = task->get_future();
-  admit(RequestClass::Compress, std::move(client),
-        [task] { (*task)(); });
-  return fut;
+std::shared_ptr<CompressionService::RequestState>
+CompressionService::make_state(std::shared_ptr<ClientContext> client,
+                               const RequestOptions& opts, std::size_t bytes) {
+  auto state = std::make_shared<RequestState>();
+  state->priority = opts.priority;
+  state->deadline_ns = opts.deadline.ns;
+  // Always carry a LIVE token: cancel(RequestId) must be able to signal a
+  // running request even when the caller never made one.
+  state->cancel =
+      opts.cancel.valid() ? opts.cancel : CancellationToken::make();
+  state->bytes = bytes;
+  state->client = std::move(client);
+  return state;
 }
 
-std::future<pipeline::BatchDecompressResult>
-CompressionService::submit_decompress(ClientId id, ArchiveHandle archive) {
+Submission<CompressResult> CompressionService::submit_compress(
+    ClientId id, CompressJob job, RequestOptions opts) {
+  auto state = make_state(clients_.find(id), opts, compress_cost(job));
+  auto task = std::make_shared<std::packaged_task<CompressResult()>>(
+      [this, state, job = std::move(job)] {
+        return run_counted(*state, [&] {
+          throw_verdict(*state);
+          try {
+            return run_compress(*state->client, job, state->cancel);
+          } catch (const pipeline::OperationCancelled&) {
+            throw RequestCancelled("request " + std::to_string(state->id) +
+                                   " cancelled during execution");
+          }
+        });
+      });
+  Submission<CompressResult> out;
+  out.future = task->get_future();
+  out.id = admit(RequestClass::Compress, std::move(state),
+                 [task] { (*task)(); });
+  return out;
+}
+
+Submission<pipeline::BatchDecompressResult>
+CompressionService::submit_decompress(ClientId id, ArchiveHandle archive,
+                                      RequestOptions opts) {
   auto client = clients_.find(id);
   // Resolve the handle NOW: a later LRU eviction must not fail an admitted
   // request, and an unknown handle must throw on the caller's thread.
   auto entry = client->reader(archive);
+  auto state =
+      make_state(std::move(client), opts, decompress_cost(entry->reader));
   auto task =
       std::make_shared<std::packaged_task<pipeline::BatchDecompressResult()>>(
-          [this, client, entry] {
-            return run_counted(*client, [&] {
-              return scheduler_.decompress(entry->reader,
-                                           client->options().decoder);
+          [this, state, entry] {
+            return run_counted(*state, [&] {
+              throw_verdict(*state);
+              try {
+                return scheduler_.decompress(entry->reader,
+                                             state->client->options().decoder,
+                                             state->cancel);
+              } catch (const pipeline::OperationCancelled&) {
+                throw RequestCancelled("request " +
+                                       std::to_string(state->id) +
+                                       " cancelled during execution");
+              }
             });
           });
-  auto fut = task->get_future();
-  admit(RequestClass::BatchDecompress, std::move(client),
-        [task] { (*task)(); });
-  return fut;
+  Submission<pipeline::BatchDecompressResult> out;
+  out.future = task->get_future();
+  out.id = admit(RequestClass::BatchDecompress, std::move(state),
+                 [task] { (*task)(); });
+  return out;
 }
 
-std::future<std::vector<float>> CompressionService::submit_chunk(
-    ClientId id, ArchiveHandle archive, std::size_t field, std::size_t chunk) {
+Submission<std::vector<float>> CompressionService::submit_chunk(
+    ClientId id, ArchiveHandle archive, std::size_t field, std::size_t chunk,
+    RequestOptions opts) {
   auto client = clients_.find(id);
   auto entry = client->reader(archive);
+  auto state = make_state(std::move(client), opts,
+                          chunk_cost(entry->reader, field, chunk));
   auto task = std::make_shared<std::packaged_task<std::vector<float>()>>(
-      [this, client, entry, field, chunk] {
-        return run_counted(*client, [&] {
+      [this, state, entry, field, chunk] {
+        return run_counted(*state, [&] {
+          throw_verdict(*state);
           // One chunk decodes on the dispatcher thread itself — the request
           // IS the unit of work, so bouncing it through the pool would only
-          // add queueing latency.
+          // add queueing latency. (A single chunk has no interior task
+          // boundary, so a running chunk request finishes even if
+          // signalled.)
           cudasim::SimContext ctx;
           return entry->reader
-              .decode_chunk(ctx, field, chunk, client->options().decoder)
+              .decode_chunk(ctx, field, chunk,
+                            state->client->options().decoder)
               .data;
         });
       });
-  auto fut = task->get_future();
-  admit(RequestClass::RandomAccessChunk, std::move(client),
-        [task] { (*task)(); });
-  return fut;
+  Submission<std::vector<float>> out;
+  out.future = task->get_future();
+  out.id = admit(RequestClass::RandomAccessChunk, std::move(state),
+                 [task] { (*task)(); });
+  return out;
 }
 
-std::future<std::vector<float>> CompressionService::submit_range(
+Submission<std::vector<float>> CompressionService::submit_range(
     ClientId id, ArchiveHandle archive, std::size_t field,
-    std::uint64_t elem_begin, std::uint64_t elem_end) {
+    std::uint64_t elem_begin, std::uint64_t elem_end, RequestOptions opts) {
   auto client = clients_.find(id);
   auto entry = client->reader(archive);
+  auto state =
+      make_state(std::move(client), opts, range_cost(elem_begin, elem_end));
   auto task = std::make_shared<std::packaged_task<std::vector<float>()>>(
-      [this, client, entry, field, elem_begin, elem_end] {
-        return run_counted(*client, [&] {
-          return scheduler_.decode_range(entry->reader, field, elem_begin,
-                                         elem_end, client->options().decoder);
+      [this, state, entry, field, elem_begin, elem_end] {
+        return run_counted(*state, [&] {
+          throw_verdict(*state);
+          try {
+            return scheduler_.decode_range(entry->reader, field, elem_begin,
+                                           elem_end,
+                                           state->client->options().decoder,
+                                           state->cancel);
+          } catch (const pipeline::OperationCancelled&) {
+            throw RequestCancelled("request " + std::to_string(state->id) +
+                                   " cancelled during execution");
+          }
         });
       });
-  auto fut = task->get_future();
-  admit(RequestClass::RangeDecode, std::move(client), [task] { (*task)(); });
-  return fut;
+  Submission<std::vector<float>> out;
+  out.future = task->get_future();
+  out.id = admit(RequestClass::RangeDecode, std::move(state),
+                 [task] { (*task)(); });
+  return out;
+}
+
+CancelResult CompressionService::cancel(RequestId id) {
+  std::function<void()> queued_run;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = live_.find(id);
+    if (it == live_.end()) {
+      return CancelResult::NotFound;  // unknown or already settled: no-op
+    }
+    // Signal first: if the request is mid-dispatch (popped but not yet past
+    // its verdict gate), the flag still lands before the body's check.
+    it->second->cancel.request_cancel();
+    auto removed = queue_.remove(id);
+    if (!removed) {
+      if (obs::enabled()) service_metrics().cancel_running.add(1);
+      return CancelResult::Signalled;
+    }
+    queue_depth_gauge_.sub(1);
+    if (obs::enabled()) {
+      auto& m = service_metrics();
+      m.queue_depth.set(queue_depth_gauge_.value());
+      m.cancel_queued.add(1);
+    }
+    queued_run = std::move(removed->run);
+  }
+  // Settle the removed request's future on this thread, outside the lock:
+  // the body's verdict gate sees the cancelled token and throws
+  // RequestCancelled through run_counted.
+  queued_run();
+  return CancelResult::Cancelled;
 }
 
 void CompressionService::pause() {
@@ -345,9 +672,11 @@ void CompressionService::shutdown() {
     paused_ = false;  // a paused service still drains
   }
   wake_.notify_all();
+  sweep_wake_.notify_all();
   for (std::thread& t : dispatchers_) {
     if (t.joinable()) t.join();
   }
+  if (sweeper_.joinable()) sweeper_.join();
 }
 
 bool CompressionService::stopped() const {
@@ -360,13 +689,20 @@ ServiceStats CompressionService::stats() const {
   s.accepted = accepted_.value();
   s.rejected_busy = rejected_busy_.value();
   s.rejected_client_cap = rejected_client_cap_.value();
+  s.rejected_quota = rejected_quota_.value();
   s.completed = completed_.value();
   s.failed = failed_.value();
+  s.cancelled = cancelled_.value();
+  s.expired = expired_.value();
+  s.shed = shed_.value();
   s.readers_evicted = readers_evicted_.value();
+  s.io_retries = clients_.io_retries();
   s.queue_depth = queue_depth_gauge_.value();
   s.queue_depth_peak = queue_depth_gauge_.peak();
   s.inflight = inflight_gauge_.value();
   s.inflight_peak = inflight_gauge_.peak();
+  s.inflight_bytes = inflight_bytes_gauge_.value();
+  s.inflight_bytes_peak = inflight_bytes_gauge_.peak();
   s.active_clients = clients_.size();
   s.open_readers = clients_.open_readers();
   return s;

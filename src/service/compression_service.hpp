@@ -1,12 +1,13 @@
 // CompressionService: the persistent front end of the archive stack. One
 // service owns the ThreadPool and multiplexes any number of concurrent
-// clients over it through a bounded request queue:
+// clients over it through a bounded, priority-classed request queue:
 //
-//   client threads ──submit_*()──▶ [bounded FIFO queue] ──▶ dispatcher
-//   (futures back)                  admission control        threads ──▶
-//                                                            BatchScheduler
-//                                                            on the shared
-//                                                            ThreadPool
+//   client threads ──submit_*()──▶ [priority queue: Interactive/Batch/
+//   (Submission back: id+future)    Background, weighted pop] ──▶ dispatcher
+//                                   admission control            threads ──▶
+//                                   deadline sweeper             BatchScheduler
+//                                                                on the shared
+//                                                                ThreadPool
 //
 // Dispatcher threads are deliberately separate from pool workers: a request
 // EXECUTES by fanning its chunk tasks onto the pool and blocking on their
@@ -15,40 +16,62 @@
 // run. `dispatchers` is therefore the request-level concurrency and
 // `workers` the chunk-level parallelism each request taps.
 //
-// Admission control (all enforced at submit, before anything is enqueued):
-//  * queue high-water  — pending requests == max_queue_depth ⇒ ServiceBusy;
+// Admission control (all enforced at submit, before anything is enqueued;
+// checked in this order — client-local limits first, so the queue never
+// sheds a victim for a request the client's own caps then reject):
+//  * lifecycle         — shutdown ⇒ ServiceStopped; unknown client/handle ⇒
+//                        ClientError;
 //  * per-client cap    — client in-flight == max_inflight_per_client ⇒
 //                        ServiceBusy;
-//  * lifecycle         — shutdown ⇒ ServiceStopped; unknown client/handle ⇒
-//                        ClientError.
-// A rejected submit has NO effect: nothing enqueued, no slot consumed, the
-// caller retries later. shutdown() drains gracefully — everything already
-// admitted completes, its futures all become ready — then joins the
-// dispatchers.
+//  * per-client quota  — admitted bytes + this request's payload would pass
+//                        max_inflight_bytes_per_client ⇒ ServiceBusy;
+//  * queue high-water  — pending == max_queue_depth ⇒ shed the newest queued
+//                        request of a class BELOW the incoming priority
+//                        (its future gets ServiceOverloaded) or, when
+//                        nothing lower is queued, reject the submit with
+//                        ServiceOverloaded carrying a retry-after hint.
+// A rejected submit has NO effect: nothing enqueued, no slot or bytes held,
+// the caller retries later (ServiceOverloaded says how long). shutdown()
+// drains gracefully — everything admitted settles its future — then joins
+// dispatchers and sweeper.
+//
+// Request lifecycle: every admitted request carries a RequestId, a Priority,
+// an optional Deadline, and a live CancellationToken. cancel(id) settles a
+// QUEUED request with RequestCancelled immediately and signals a RUNNING one
+// cooperatively (the token is threaded into the BatchScheduler fan-out, so
+// it stops between chunks). The sweeper expires queued requests whose
+// deadline passed (DeadlineExceeded) even while paused; dispatch re-checks
+// the deadline so a late request never starts. EVERY admitted future is
+// fulfilled exactly once — completed, failed, cancelled, expired, or shed —
+// and its slot and bytes are released before the future becomes ready.
 //
 // Determinism: request RESULTS are bit-identical for any workers/dispatchers
-// count (the scheduler merges in chunk-id order). Request COMPLETION ORDER
-// is not deterministic with >1 dispatcher — responses are matched to
+// count (the scheduler merges in chunk-id order), and an uncancelled request
+// is bit-identical to one submitted without a token. Request COMPLETION
+// ORDER is not deterministic with >1 dispatcher — responses are matched to
 // requests by future, never by order.
 //
 // Telemetry: always-on embedded instruments back stats() exactly; while
 // obs::enabled(), the process registry additionally carries the "service.*"
-// catalogue (accepted/rejected/completed counters, queue-depth and in-flight
-// gauges, and per-request-class queue-wait + service-latency histograms
-// "service.<class>.queue_wait_ns" / "service.<class>.latency_ns").
+// catalogue (accepted/rejected/completed/cancelled/expired/shed counters,
+// queue-depth / in-flight / in-flight-byte gauges, per-class queue-age
+// gauges "service.queue_age.<priority>_ns", and per-request-class queue-wait
+// + service-latency histograms).
 //
 // Full reference: docs/service_api.md.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -56,15 +79,28 @@
 #include "pipeline/byte_stream.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "service/client_registry.hpp"
+#include "service/request_queue.hpp"
 #include "service/service_types.hpp"
 
 namespace ohd::service {
 
+/// What cancel(RequestId) observed and did.
+enum class CancelResult : std::uint8_t {
+  /// The request was still queued: removed, its future now holds
+  /// RequestCancelled, its slot and bytes are released.
+  Cancelled = 0,
+  /// The request is executing: its token is signalled and the body stops at
+  /// the next chunk boundary (future gets RequestCancelled shortly).
+  Signalled = 1,
+  /// Unknown id, or the request already settled — a harmless no-op.
+  NotFound = 2,
+};
+
 class CompressionService {
  public:
-  /// Starts the pool and dispatcher threads immediately. The config is
-  /// normalized (dispatchers/max_queue_depth/caps floored at 1) and fixed
-  /// for the service's lifetime.
+  /// Starts the pool, dispatcher threads, and the deadline sweeper
+  /// immediately. The config is normalized (dispatchers/max_queue_depth/caps
+  /// floored at 1) and fixed for the service's lifetime.
   explicit CompressionService(ServiceConfig config = {});
   /// shutdown(): drains admitted requests, then joins.
   ~CompressionService();
@@ -95,48 +131,62 @@ class CompressionService {
   /// not open (never opened, closed, or LRU-evicted).
   void close_archive(ClientId id, ArchiveHandle handle);
 
-  // ---- typed requests (futures) --------------------------------------
+  // ---- typed requests (Submission = RequestId + future) ---------------
   //
   // All submit_* methods: resolve the client (and handle) synchronously —
   // ClientError surfaces on the calling thread — then run admission and
-  // enqueue. ServiceBusy/ServiceStopped also throw synchronously; every
-  // ADMITTED request's future becomes ready exactly once (value or the
-  // request's own exception).
+  // enqueue. ServiceBusy/ServiceOverloaded/ServiceStopped also throw
+  // synchronously; every ADMITTED request's future becomes ready exactly
+  // once (value, the request's own exception, or a lifecycle verdict:
+  // RequestCancelled / DeadlineExceeded / ServiceOverloaded when shed).
 
   /// Compresses `job` under the client's negotiated options into a complete
   /// v3 archive image (byte-identical for any worker count).
-  std::future<CompressResult> submit_compress(ClientId id, CompressJob job);
+  Submission<CompressResult> submit_compress(ClientId id, CompressJob job,
+                                             RequestOptions opts = {});
 
   /// Decompresses every field of an open archive (streamed, chunk-parallel).
-  std::future<pipeline::BatchDecompressResult> submit_decompress(
-      ClientId id, ArchiveHandle archive);
+  Submission<pipeline::BatchDecompressResult> submit_decompress(
+      ClientId id, ArchiveHandle archive, RequestOptions opts = {});
 
   /// Random access: decodes exactly one chunk of one field (only that
   /// chunk's frame is fetched) and returns its floats.
-  std::future<std::vector<float>> submit_chunk(ClientId id,
-                                               ArchiveHandle archive,
-                                               std::size_t field,
-                                               std::size_t chunk);
+  Submission<std::vector<float>> submit_chunk(ClientId id,
+                                              ArchiveHandle archive,
+                                              std::size_t field,
+                                              std::size_t chunk,
+                                              RequestOptions opts = {});
 
   /// Decodes the element range [elem_begin, elem_end) of a field via the
   /// prefetching parallel range decode.
-  std::future<std::vector<float>> submit_range(ClientId id,
-                                               ArchiveHandle archive,
-                                               std::size_t field,
-                                               std::uint64_t elem_begin,
-                                               std::uint64_t elem_end);
+  Submission<std::vector<float>> submit_range(ClientId id,
+                                              ArchiveHandle archive,
+                                              std::size_t field,
+                                              std::uint64_t elem_begin,
+                                              std::uint64_t elem_end,
+                                              RequestOptions opts = {});
+
+  // ---- request lifecycle ----------------------------------------------
+
+  /// Cancels one admitted request by id: a queued request settles with
+  /// RequestCancelled on the calling thread; a running one is signalled
+  /// cooperatively. Unknown/settled ids are a harmless no-op (NotFound).
+  /// Safe to call from any thread, any number of times.
+  CancelResult cancel(RequestId id);
 
   // ---- flow control ---------------------------------------------------
 
   /// Stops dispatchers from picking up NEW requests (running ones finish).
   /// Admission still runs, so the queue fills to its high-water mark — this
   /// is the deterministic-backpressure valve the queue-full tests and the
-  /// soak harness use. shutdown() implicitly resumes.
+  /// soak harness use. The deadline sweeper keeps running while paused.
+  /// shutdown() implicitly resumes.
   void pause();
   void resume();
 
   /// Graceful drain: no new admissions (submits throw ServiceStopped), every
-  /// already-admitted request completes, dispatchers join. Idempotent.
+  /// already-admitted request settles, dispatchers + sweeper join.
+  /// Idempotent.
   void shutdown();
   bool stopped() const;
 
@@ -150,30 +200,58 @@ class CompressionService {
   pipeline::ThreadPool& pool() { return pool_; }
 
  private:
-  struct Request {
-    RequestClass cls = RequestClass::Compress;
+  /// Service-side envelope of one admitted request, shared between the
+  /// packaged task body, the live_ map, and cancel(). The shed verdict is
+  /// written under mutex_ before its flag is released; the body reads the
+  /// flag with acquire so message/hint are visible without the lock.
+  struct RequestState {
+    RequestId id = 0;
+    Priority priority = Priority::Batch;
+    std::uint64_t deadline_ns = 0;  // 0 = none
+    std::size_t bytes = 0;          // admitted against the client quota
+    CancellationToken cancel;       // always live (make()d when caller's inert)
     std::shared_ptr<ClientContext> client;
-    std::function<void()> run;
-    /// now_ns() at admission when telemetry was enabled, else 0 — the
-    /// queue-wait histogram sample is keyed off this recorded state, not a
-    /// re-read of the flag, so a mid-flight flip cannot skew the histogram.
-    std::uint64_t enqueue_ns = 0;
+    std::atomic<bool> shed{false};
+    std::uint64_t shed_retry_after_ns = 0;
+    std::string shed_message;
   };
 
-  /// Admission control + enqueue (throws ServiceStopped/ServiceBusy; on
-  /// throw nothing is enqueued and no slot is held).
-  void admit(RequestClass cls, std::shared_ptr<ClientContext> client,
-             std::function<void()> run);
-  void dispatcher_loop();
+  /// Builds the shared envelope of one submit: scheduling options resolved,
+  /// the token made live when the caller's is inert, bytes priced.
+  static std::shared_ptr<RequestState> make_state(
+      std::shared_ptr<ClientContext> client, const RequestOptions& opts,
+      std::size_t bytes);
 
-  /// Runs a request body, counting completed/failed and releasing the
-  /// client's in-flight slot before the surrounding packaged_task fulfills
-  /// the future (so stats() observed after a .get() is exact).
+  /// Admission control + enqueue (throws ServiceStopped/ServiceBusy/
+  /// ServiceOverloaded; on throw nothing is enqueued and nothing is held).
+  /// Assigns state->id, registers it in live_, and — when admission had to
+  /// shed a lower-priority victim — settles the victim's future on this
+  /// thread after dropping the lock. Returns the new request's id.
+  RequestId admit(RequestClass cls, std::shared_ptr<RequestState> state,
+                  std::function<void()> run);
+  void dispatcher_loop();
+  /// Expires queued past-deadline requests every config_.sweep_interval and
+  /// refreshes the per-class queue-age gauges; runs while paused.
+  void sweeper_loop();
+
+  /// The verdict gate at the top of every request body: throws
+  /// ServiceOverloaded (shed), RequestCancelled, or DeadlineExceeded.
+  void throw_verdict(const RequestState& state) const;
+
+  /// Runs a request body, classifying the outcome into exactly one of
+  /// completed/failed/cancelled/expired/shed and releasing the client's
+  /// slot + bytes and the live_ entry before the surrounding packaged_task
+  /// fulfills the future (so stats() observed after a .get() is exact).
   template <typename Fn>
-  auto run_counted(ClientContext& client, Fn&& fn) -> decltype(fn());
+  auto run_counted(RequestState& state, Fn&& fn) -> decltype(fn());
 
   CompressResult run_compress(const ClientContext& client,
-                              const CompressJob& job) const;
+                              const CompressJob& job,
+                              const CancellationToken& cancel) const;
+
+  /// queue depth x EWMA inter-pop time: the retry-after hint (0 until the
+  /// dispatchers have popped at least twice). Requires mutex_.
+  std::uint64_t retry_after_ns_locked() const;
 
   ServiceConfig config_;
   ClientRegistry clients_;
@@ -182,23 +260,35 @@ class CompressionService {
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<Request> queue_;
+  std::condition_variable sweep_wake_;
+  PriorityRequestQueue queue_;
+  std::unordered_map<RequestId, std::shared_ptr<RequestState>> live_;
+  RequestId next_request_id_ = 1;
   bool stopping_ = false;
   bool paused_ = false;
+  /// Observed queue drain rate: EWMA of dispatcher inter-pop times (ns).
+  double drain_ewma_ns_ = 0.0;
+  std::uint64_t last_pop_ns_ = 0;
 
   /// Always-on embedded instruments behind stats(); the registry mirrors
   /// them under "service.*" while obs::enabled().
   obs::Counter accepted_;
   obs::Counter rejected_busy_;
   obs::Counter rejected_client_cap_;
+  obs::Counter rejected_quota_;
   obs::Counter completed_;
   obs::Counter failed_;
+  obs::Counter cancelled_;
+  obs::Counter expired_;
+  obs::Counter shed_;
   obs::Counter readers_evicted_;
   obs::Gauge queue_depth_gauge_;
   obs::Gauge inflight_gauge_;
+  obs::Gauge inflight_bytes_gauge_;
 
   /// Started last in the constructor; joined by shutdown().
   std::vector<std::thread> dispatchers_;
+  std::thread sweeper_;
 };
 
 }  // namespace ohd::service

@@ -9,16 +9,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/trace.hpp"
 #include "pipeline/batch.hpp"
 #include "pipeline/byte_stream.hpp"
+#include "pipeline/fault_injection.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "util/rng.hpp"
 
@@ -195,7 +200,7 @@ TEST(CompressionService, QueueFullRejectionIsDeterministic) {
   svc.pause();
   std::vector<std::future<CompressResult>> admitted;
   for (int i = 0; i < 3; ++i) {
-    admitted.push_back(svc.submit_compress(client, job));
+    admitted.push_back(svc.submit_compress(client, job).future);
   }
   EXPECT_EQ(svc.queue_depth(), 3u);
   EXPECT_THROW(svc.submit_compress(client, job), ServiceBusy);
@@ -293,7 +298,7 @@ TEST(CompressionService, ShutdownDrainsAdmittedRequests) {
   svc.pause();
   std::vector<std::future<CompressResult>> futures;
   for (int i = 0; i < 5; ++i) {
-    futures.push_back(svc.submit_compress(client, job));
+    futures.push_back(svc.submit_compress(client, job).future);
   }
   // shutdown() resumes, drains all five, then joins.
   svc.shutdown();
@@ -422,6 +427,485 @@ TEST(CompressionService, ServiceCatalogueAppearsInSnapshot) {
     EXPECT_EQ(snap.histogram(latency)->count, 1u) << latency;
     ASSERT_NE(snap.histogram(wait), nullptr) << wait;
     EXPECT_EQ(snap.histogram(wait)->count, 1u) << wait;
+  }
+}
+
+// ---- Cancellation ---------------------------------------------------------
+
+/// One small one-field job — cheap enough that lifecycle tests can submit
+/// dozens without dominating the suite's runtime.
+CompressJob small_job(std::uint64_t seed) {
+  CompressJob job;
+  const std::vector<float> data = wavy_field(2048, seed);
+  job.fields.push_back({"f", data, sz::Dims::d1(data.size())});
+  return job;
+}
+
+TEST(CompressionService, CancelQueuedRequestSettlesImmediately) {
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  cfg.max_queue_depth = 8;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+
+  svc.pause();
+  auto keep = svc.submit_compress(client, small_job(31));
+  auto doomed = svc.submit_compress(client, small_job(32));
+  EXPECT_EQ(svc.cancel(doomed.id), CancelResult::Cancelled);
+
+  // cancel() settled the future inline: ready before resume, exact stats.
+  try {
+    doomed.get();
+    FAIL() << "expected RequestCancelled";
+  } catch (const RequestCancelled& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "request " + std::to_string(doomed.id) +
+                  " cancelled before execution");
+  }
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+  EXPECT_EQ(svc.stats().queue_depth, 1);
+
+  // Double-cancel and cancelling an unknown id are harmless no-ops.
+  EXPECT_EQ(svc.cancel(doomed.id), CancelResult::NotFound);
+  EXPECT_EQ(svc.cancel(999999), CancelResult::NotFound);
+
+  svc.resume();
+  EXPECT_FALSE(keep.get().archive.empty());
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.settled(), stats.accepted);
+  EXPECT_EQ(stats.inflight, 0);
+  EXPECT_EQ(stats.inflight_bytes, 0);
+}
+
+TEST(CompressionService, CancelAfterCompletionIsNoOp) {
+  CompressionService svc{ServiceConfig{}};
+  const ClientId client = svc.open_client();
+  auto sub = svc.submit_compress(client, small_job(33));
+  EXPECT_FALSE(sub.get().archive.empty());
+  EXPECT_EQ(svc.cancel(sub.id), CancelResult::NotFound);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST(CompressionService, CancelRunningRequestStopsBetweenChunks) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.dispatchers = 1;
+  CompressionService svc(cfg);
+  ClientOptions opts;
+  opts.chunk_elems = 512;  // 512 chunks: a wide cancellation window
+  const ClientId client = svc.open_client(opts);
+  CompressJob job;
+  const std::vector<float> data = wavy_field(512 * 512, 34);
+  job.fields.push_back({"big", data, sz::Dims::d1(data.size())});
+
+  auto sub = svc.submit_compress(client, std::move(job));
+  // Wait until the dispatcher picked it up, then cancel mid-execution.
+  while (svc.queue_depth() > 0) std::this_thread::yield();
+  const CancelResult r = svc.cancel(sub.id);
+  EXPECT_NE(r, CancelResult::Cancelled);  // no longer queued
+
+  bool was_cancelled = false;
+  try {
+    sub.get();  // value only if cancel lost the race to the last chunk
+  } catch (const RequestCancelled&) {
+    was_cancelled = true;
+  }
+  if (r == CancelResult::Signalled) {
+    EXPECT_TRUE(was_cancelled);  // 512 chunk boundaries: the check must hit
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.settled(), 1u);
+  EXPECT_EQ(stats.cancelled, was_cancelled ? 1u : 0u);
+  EXPECT_EQ(stats.inflight, 0);
+  EXPECT_EQ(stats.inflight_bytes, 0);
+}
+
+TEST(CompressionService, CancelVersusDispatchRaceSettlesEveryFuture) {
+  // Submit-then-immediately-cancel races the dispatcher on the same id:
+  // whatever interleaving happens, every future settles exactly once with a
+  // value or RequestCancelled, and the books balance.
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.dispatchers = 2;
+  cfg.max_queue_depth = 64;
+  cfg.max_inflight_per_client = 64;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+
+  constexpr std::uint64_t kRounds = 32;
+  std::uint64_t values = 0, cancels = 0;
+  for (std::uint64_t i = 0; i < kRounds; ++i) {
+    auto sub = svc.submit_compress(client, small_job(100 + i));
+    (void)svc.cancel(sub.id);
+    try {
+      EXPECT_FALSE(sub.get().archive.empty());
+      ++values;
+    } catch (const RequestCancelled&) {
+      ++cancels;
+    }
+  }
+  EXPECT_EQ(values + cancels, kRounds);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.accepted, kRounds);
+  EXPECT_EQ(stats.completed, values);
+  EXPECT_EQ(stats.cancelled, cancels);
+  EXPECT_EQ(stats.settled(), stats.accepted);
+  EXPECT_EQ(stats.inflight, 0);
+  EXPECT_EQ(stats.inflight_bytes, 0);
+}
+
+TEST(CompressionService, CallerHeldTokenCancelsWithoutTheRequestId) {
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+
+  svc.pause();
+  RequestOptions opts;
+  opts.cancel = CancellationToken::make();
+  auto sub = svc.submit_compress(client, small_job(35), opts);
+  opts.cancel.request_cancel();  // no RequestId needed
+  svc.resume();
+  EXPECT_THROW(sub.get(), RequestCancelled);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.settled(), stats.accepted);
+}
+
+TEST(CompressionService, ShutdownDrainsAQueueWithCancelledRequests) {
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  cfg.max_queue_depth = 16;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+
+  svc.pause();
+  std::vector<Submission<CompressResult>> subs;
+  for (int i = 0; i < 4; ++i) {
+    subs.push_back(svc.submit_compress(client, small_job(40 + i)));
+  }
+  EXPECT_EQ(svc.cancel(subs[1].id), CancelResult::Cancelled);
+  EXPECT_EQ(svc.cancel(subs[3].id), CancelResult::Cancelled);
+
+  // shutdown() resumes and drains: the two survivors complete, the two
+  // cancelled futures already hold RequestCancelled.
+  svc.shutdown();
+  EXPECT_FALSE(subs[0].get().archive.empty());
+  EXPECT_THROW(subs[1].get(), RequestCancelled);
+  EXPECT_FALSE(subs[2].get().archive.empty());
+  EXPECT_THROW(subs[3].get(), RequestCancelled);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cancelled, 2u);
+  EXPECT_EQ(stats.settled(), 4u);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.inflight, 0);
+  EXPECT_EQ(stats.inflight_bytes, 0);
+}
+
+// ---- Deadlines ------------------------------------------------------------
+
+TEST(CompressionService, SweeperExpiresQueuedPastDeadlineRequests) {
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  cfg.sweep_interval = std::chrono::microseconds(200);
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+
+  svc.pause();  // the sweeper keeps running while paused
+  RequestOptions late;
+  late.deadline = Deadline::after(std::chrono::milliseconds(2));
+  auto doomed1 = svc.submit_compress(client, small_job(50), late);
+  auto doomed2 = svc.submit_compress(client, small_job(51), late);
+  auto survivor = svc.submit_compress(client, small_job(52));
+
+  // The sweeper expires both while the service is still paused.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (svc.stats().expired < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(svc.stats().expired, 2u);
+  try {
+    doomed1.get();
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "request " + std::to_string(doomed1.id) +
+                  " deadline exceeded before execution");
+  }
+  EXPECT_THROW(doomed2.get(), DeadlineExceeded);
+
+  svc.resume();
+  EXPECT_FALSE(survivor.get().archive.empty());
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.expired, 2u);
+  EXPECT_EQ(stats.settled(), 3u);
+  EXPECT_EQ(stats.inflight, 0);
+  EXPECT_EQ(stats.inflight_bytes, 0);
+}
+
+TEST(CompressionService, DispatchRechecksDeadlineWhenSweeperIsSlow) {
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  // Sweeper effectively disabled: only the dispatch-time re-check can fire.
+  cfg.sweep_interval = std::chrono::microseconds(60'000'000);
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+
+  svc.pause();
+  RequestOptions late;
+  late.deadline = Deadline::after(std::chrono::milliseconds(1));
+  auto sub = svc.submit_compress(client, small_job(53), late);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  svc.resume();
+  EXPECT_THROW(sub.get(), DeadlineExceeded);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.settled(), stats.accepted);
+}
+
+// ---- Byte quotas ----------------------------------------------------------
+
+TEST(CompressionService, ByteQuotaAccountingIsExact) {
+  // small_job carries 2048 floats = 8192 payload bytes. Quota 20000 admits
+  // two jobs (16384) and rejects the third.
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  cfg.max_queue_depth = 8;
+  cfg.max_inflight_bytes_per_client = 20000;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+
+  svc.pause();
+  auto sub1 = svc.submit_compress(client, small_job(60));
+  auto sub2 = svc.submit_compress(client, small_job(61));
+  EXPECT_EQ(svc.stats().inflight_bytes, 16384);
+  try {
+    svc.submit_compress(client, small_job(62));
+    FAIL() << "expected ServiceBusy";
+  } catch (const ServiceBusy& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "submit: client 1 over byte quota (in flight 16384 + request "
+              "8192 > 20000; queue depth 2/8)");
+  }
+  EXPECT_EQ(svc.stats().rejected_quota, 1u);
+
+  // Cancelling a queued request releases its bytes immediately...
+  EXPECT_EQ(svc.cancel(sub2.id), CancelResult::Cancelled);
+  EXPECT_EQ(svc.stats().inflight_bytes, 8192);
+  svc.resume();
+  // ...and completion releases the rest before get() returns.
+  EXPECT_FALSE(sub1.get().archive.empty());
+  EXPECT_EQ(svc.stats().inflight_bytes, 0);
+  EXPECT_EQ(svc.stats().inflight_bytes_peak, 16384);
+
+  // The freed quota admits new work.
+  EXPECT_FALSE(svc.submit_compress(client, small_job(63)).get().archive.empty());
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.rejected_quota, 1u);
+  EXPECT_EQ(stats.inflight_bytes, 0);
+}
+
+// ---- Pinned rejection message formats -------------------------------------
+
+TEST(CompressionService, RejectionMessagesCarryQueueAndClientState) {
+  {  // per-client in-flight cap
+    ServiceConfig cfg;
+    cfg.dispatchers = 1;
+    cfg.max_queue_depth = 8;
+    cfg.max_inflight_per_client = 1;
+    CompressionService svc(cfg);
+    const ClientId client = svc.open_client();
+    svc.pause();
+    auto held = svc.submit_compress(client, small_job(70));
+    try {
+      svc.submit_compress(client, small_job(71));
+      FAIL() << "expected ServiceBusy";
+    } catch (const ServiceBusy& e) {
+      EXPECT_EQ(std::string(e.what()),
+                "submit: client 1 at in-flight cap (1/1; queue depth 1/8)");
+    }
+    svc.resume();
+    held.wait();
+  }
+  {  // queue overload with nothing sheddable (same priority everywhere)
+    ServiceConfig cfg;
+    cfg.dispatchers = 1;
+    cfg.max_queue_depth = 1;
+    cfg.max_inflight_per_client = 4;
+    CompressionService svc(cfg);
+    const ClientId client = svc.open_client();
+    svc.pause();
+    auto held = svc.submit_compress(client, small_job(72));
+    try {
+      svc.submit_compress(client, small_job(73));
+      FAIL() << "expected ServiceOverloaded";
+    } catch (const ServiceOverloaded& e) {
+      // No pops yet, so the drain-rate EWMA (and the hint) is exactly zero.
+      EXPECT_EQ(std::string(e.what()),
+                "submit: queue overloaded (depth 1/1; client 1 in-flight 1/4; "
+                "retry-after ~0.0 ms)");
+      EXPECT_EQ(e.retry_after_ns(), 0u);
+    }
+    svc.resume();
+    held.wait();
+  }
+}
+
+// ---- Priority-aware load shedding -----------------------------------------
+
+TEST(CompressionService, OverloadShedsNewestBackgroundFirst) {
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  cfg.max_queue_depth = 4;
+  cfg.max_inflight_per_client = 100;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+
+  svc.pause();
+  RequestOptions bg;
+  bg.priority = Priority::Background;
+  std::vector<Submission<CompressResult>> background;
+  for (int i = 0; i < 4; ++i) {
+    background.push_back(svc.submit_compress(client, small_job(80 + i), bg));
+  }
+
+  RequestOptions interactive;
+  interactive.priority = Priority::Interactive;
+  auto i1 = svc.submit_compress(client, small_job(90), interactive);
+  auto i2 = svc.submit_compress(client, small_job(91), interactive);
+
+  // Each interactive submit shed the NEWEST queued background request; the
+  // victim's future settled inline with the pinned verdict.
+  try {
+    background[3].get();
+    FAIL() << "expected ServiceOverloaded";
+  } catch (const ServiceOverloaded& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "request " + std::to_string(background[3].id) +
+                  " shed under overload by interactive-priority submit "
+                  "(queue depth 4/4; retry-after ~0.0 ms)");
+    EXPECT_EQ(e.retry_after_ns(), 0u);
+  }
+  EXPECT_THROW(background[2].get(), ServiceOverloaded);
+  EXPECT_EQ(svc.stats().shed, 2u);
+
+  // A further background submit finds nothing below itself: rejected.
+  EXPECT_THROW(svc.submit_compress(client, small_job(92), bg),
+               ServiceOverloaded);
+  EXPECT_EQ(svc.stats().rejected_busy, 1u);
+
+  svc.resume();
+  EXPECT_FALSE(background[0].get().archive.empty());
+  EXPECT_FALSE(background[1].get().archive.empty());
+  EXPECT_FALSE(i1.get().archive.empty());
+  EXPECT_FALSE(i2.get().archive.empty());
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.accepted, 6u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.settled(), 6u);
+  EXPECT_EQ(stats.inflight, 0);
+  EXPECT_EQ(stats.inflight_bytes, 0);
+}
+
+// ---- Reader retry totals --------------------------------------------------
+
+/// Owning fault wrapper: FaultInjectingSource borrows its inner source, so
+/// the archive bytes and the injector travel together behind one shared_ptr.
+struct FaultyArchiveSource : pipeline::ByteSource {
+  FaultyArchiveSource(std::vector<std::uint8_t> bytes,
+                      pipeline::FaultSpec spec)
+      : mem(std::move(bytes)), faults(mem, spec) {}
+  std::uint64_t size() const override { return faults.size(); }
+  void read_at(std::uint64_t offset,
+               std::span<std::uint8_t> out) const override {
+    faults.read_at(offset, out);
+  }
+  pipeline::OwningMemorySource mem;
+  pipeline::FaultInjectingSource faults;
+};
+
+TEST(CompressionService, ReaderIoRetriesSurfaceInStats) {
+  ServiceConfig cfg;
+  cfg.reader.retry.max_attempts = 4;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+  auto bytes = svc.submit_compress(client, small_job(95)).get().archive;
+
+  // rate 1.0 with max_faults 2: the first two reads fault, then the wrapper
+  // goes transparent — exactly two retries, every run.
+  pipeline::FaultSpec spec;
+  spec.seed = 7;
+  spec.transient_read_rate = 1.0;
+  spec.max_faults = 2;
+  const ArchiveHandle h = svc.open_archive(
+      client, std::make_shared<FaultyArchiveSource>(std::move(bytes), spec));
+  EXPECT_EQ(svc.submit_decompress(client, h).get().fields.size(), 1u);
+  EXPECT_EQ(svc.stats().io_retries, 2u);
+
+  // The total survives closing the reader and then the client (harvested
+  // into retired counters, not lost with the ArchiveReader).
+  svc.close_archive(client, h);
+  EXPECT_EQ(svc.stats().io_retries, 2u);
+  svc.close_client(client);
+  EXPECT_EQ(svc.stats().io_retries, 2u);
+}
+
+// ---- Lifecycle telemetry catalogue ----------------------------------------
+
+TEST(CompressionService, LifecycleCountersAppearInSnapshot) {
+  obs::ScopedTelemetry telemetry;
+  ServiceConfig cfg;
+  cfg.dispatchers = 1;
+  cfg.max_queue_depth = 2;
+  cfg.max_inflight_per_client = 100;
+  CompressionService svc(cfg);
+  const ClientId client = svc.open_client();
+
+  svc.pause();
+  RequestOptions bg;
+  bg.priority = Priority::Background;
+  auto shed_victim = svc.submit_compress(client, small_job(96), bg);
+  auto keep = svc.submit_compress(client, small_job(97));
+  RequestOptions interactive;
+  interactive.priority = Priority::Interactive;
+  auto urgent = svc.submit_compress(client, small_job(98), interactive);
+  EXPECT_THROW(shed_victim.get(), ServiceOverloaded);
+  EXPECT_EQ(svc.cancel(keep.id), CancelResult::Cancelled);
+  svc.resume();
+  EXPECT_FALSE(urgent.get().archive.empty());
+
+  const auto snap = obs::registry().snapshot();
+  ASSERT_NE(snap.counter("service.shed.count"), nullptr);
+  EXPECT_EQ(snap.counter("service.shed.count")->value, 1u);
+  ASSERT_NE(snap.counter("service.cancel.total"), nullptr);
+  EXPECT_EQ(snap.counter("service.cancel.total")->value, 1u);
+  ASSERT_NE(snap.counter("service.cancel.queued"), nullptr);
+  EXPECT_EQ(snap.counter("service.cancel.queued")->value, 1u);
+  ASSERT_NE(snap.counter("service.expired.total"), nullptr);
+  EXPECT_EQ(snap.counter("service.expired.total")->value, 0u);
+  ASSERT_NE(snap.counter("service.rejected_quota"), nullptr);
+  ASSERT_NE(snap.gauge("service.inflight_bytes"), nullptr);
+  EXPECT_EQ(snap.gauge("service.inflight_bytes")->value, 0);
+  EXPECT_GT(snap.gauge("service.inflight_bytes")->peak, 0);
+  for (const char* name :
+       {"service.queue_age.interactive_ns", "service.queue_age.batch_ns",
+        "service.queue_age.background_ns"}) {
+    EXPECT_NE(snap.gauge(name), nullptr) << name;
   }
 }
 
