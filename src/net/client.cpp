@@ -1,0 +1,559 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "net/net_metrics.hpp"
+#include "obs/metrics.hpp"
+
+namespace ohd::net {
+
+namespace {
+
+/// Wire budget of a request: the RequestOptions deadline is an ABSOLUTE
+/// steady-clock instant, the frame carries the REMAINING budget (an already
+/// expired deadline ships as 1ns, so the server still produces the
+/// DeadlineExceeded verdict the caller would have seen in-process).
+std::uint64_t relative_deadline_ns(const service::RequestOptions& opts) {
+  if (!opts.deadline.valid()) return 0;
+  const std::uint64_t now = obs::now_ns();
+  return opts.deadline.ns > now ? opts.deadline.ns - now : 1;
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(ClientConfig config) : config_(std::move(config)) {
+  std::lock_guard<std::mutex> serial(connect_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  connect_locked(lock);
+}
+
+ServiceClient::~ServiceClient() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    closing_ = true;
+    teardown_locked(lock, "client destroyed");
+  }
+  if (reader_.joinable()) reader_.join();
+  if (dead_reader_.joinable()) dead_reader_.join();
+}
+
+bool ServiceClient::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return connected_;
+}
+
+void ServiceClient::reconnect() {
+  // connect_mutex_ serializes whole connect attempts: connect_locked drops
+  // mutex_ to join the previous reader, and two racing reconnects must not
+  // both slip past the connected_ check in that window.
+  std::lock_guard<std::mutex> serial(connect_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (connected_) return;
+  connect_locked(lock);
+}
+
+void ServiceClient::disconnect() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  teardown_locked(lock, "client disconnected");
+  lock.unlock();
+  if (reader_.joinable()) reader_.join();
+}
+
+void ServiceClient::sleep_backoff(std::chrono::nanoseconds d) {
+  if (d.count() <= 0) return;
+  if (config_.sleep_fn) {
+    config_.sleep_fn(d);
+  } else {
+    std::this_thread::sleep_for(d);
+  }
+}
+
+void ServiceClient::connect_locked(std::unique_lock<std::mutex>& lock) {
+  if (closing_) throw ConnectionLost("client is closing");
+  // Join the previous generation's reader before reusing its slot (it has
+  // already observed the teardown and exited, or is about to).
+  if (reader_.joinable()) {
+    lock.unlock();
+    reader_.join();
+    lock.lock();
+  }
+  if (dead_reader_.joinable()) dead_reader_.join();
+
+  const std::size_t attempts = std::max<std::size_t>(1, config_.retry.max_attempts);
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      Socket sock = connect_to(config_.endpoint);
+      const int fd = sock.fd();
+      // Handshake runs synchronously on this thread — the demux reader only
+      // starts once the session exists, so its state machine never sees a
+      // handshake frame.
+      OpenClientBody body;
+      body.rel_error_bound = config_.rel_error_bound;
+      body.radius = config_.radius;
+      body.chunk_elems = config_.chunk_elems;
+      util::ByteWriter w;
+      write_open_client(w, body);
+      FrameHeader h;
+      h.type = FrameType::Request;
+      h.op = RequestOp::OpenClient;
+      h.priority = service::Priority::Interactive;
+      h.request_id = next_id_++;
+      send_all(fd, encode_frame(h, w.bytes()));
+      std::uint8_t head[kFrameHeaderBytes];
+      if (!recv_exact(fd, head)) {
+        throw ConnectionLost("server closed during session handshake");
+      }
+      const FrameHeader rh = parse_frame_header(head, config_.max_frame_payload);
+      std::vector<std::uint8_t> payload(rh.payload_len);
+      if (rh.payload_len != 0 && !recv_exact(fd, payload)) {
+        throw ConnectionLost("server closed during session handshake");
+      }
+      verify_payload(rh, payload);
+      if (rh.type == FrameType::Error) {
+        util::ByteReader r(payload);
+        const ErrorBody err = read_error(r);
+        expect_exhausted(r);
+        throw_wire_error(err);
+      }
+      if (rh.type != FrameType::Response || rh.request_id != h.request_id ||
+          rh.op != RequestOp::OpenClient) {
+        throw FrameError("frame: unexpected frame during session handshake");
+      }
+      // Session established: install the connection and start the demux
+      // reader for this generation.
+      {
+        std::lock_guard<std::mutex> wlock(write_mutex_);
+        sink_ = std::make_unique<pipeline::FdSink>(fd, /*owns=*/false);
+      }
+      sock_ = std::make_unique<Socket>(std::move(sock));
+      connected_ = true;
+      if (ever_connected_) {
+        ++reconnects_;
+        if (obs::enabled()) net_metrics().reconnects.add(1);
+      }
+      ever_connected_ = true;
+      const std::uint64_t generation = ++generation_;
+      reader_ = std::thread([this, generation, fd] {
+        reader_loop(generation, fd);
+      });
+      return;
+    } catch (const FrameError&) {
+      throw;  // a malformed handshake will not improve with retries
+    } catch (const std::exception&) {
+      if (attempt >= attempts) throw;
+      sleep_backoff(config_.retry.delay_before(attempt));
+    }
+  }
+}
+
+void ServiceClient::teardown_locked(std::unique_lock<std::mutex>& lock,
+                                    const std::string& reason) {
+  if (!connected_) return;
+  connected_ = false;
+  ++generation_;  // stale readers recognize themselves and exit quietly
+  if (sock_) sock_->shutdown_both();
+  std::unordered_map<std::uint64_t, PendingRequest> orphans;
+  orphans.swap(pending_);
+  lock.unlock();
+  const auto error =
+      std::make_exception_ptr(ConnectionLost("connection lost: " + reason));
+  for (auto& [id, p] : orphans) {
+    p.settle_error(error);
+  }
+  lock.lock();
+}
+
+void ServiceClient::reader_loop(std::uint64_t generation, int fd) {
+  std::string reason = "server closed the connection";
+  try {
+    for (;;) {
+      std::uint8_t head[kFrameHeaderBytes];
+      if (!recv_exact(fd, head)) break;
+      const FrameHeader h = parse_frame_header(head, config_.max_frame_payload);
+      std::vector<std::uint8_t> payload(h.payload_len);
+      if (h.payload_len != 0 && !recv_exact(fd, payload)) {
+        reason = "connection torn mid-frame";
+        break;
+      }
+      verify_payload(h, payload);
+      switch (h.type) {
+        case FrameType::Response:
+        case FrameType::Pong: {
+          PendingRequest p;
+          bool found = false;
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (generation_ != generation) return;
+            auto it = pending_.find(h.request_id);
+            if (it != pending_.end()) {
+              p = std::move(it->second);
+              pending_.erase(it);
+              found = true;
+              ++responses_received_;
+            }
+          }
+          // An id we no longer track is a response that raced a teardown or
+          // a duplicate — drop it; the frame boundary was sound.
+          if (found) p.settle_value(payload);
+          break;
+        }
+        case FrameType::Error: {
+          util::ByteReader r(payload);
+          const ErrorBody body = read_error(r);
+          expect_exhausted(r);
+          std::exception_ptr error;
+          try {
+            throw_wire_error(body);
+          } catch (...) {
+            error = std::current_exception();
+          }
+          if (h.request_id == 0) {
+            // Connection-level reject: the server is about to close on us.
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (generation_ != generation) return;
+            ++errors_received_;
+            teardown_locked(lock, body.message);
+            return;
+          }
+          PendingRequest p;
+          bool found = false;
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (generation_ != generation) return;
+            auto it = pending_.find(h.request_id);
+            if (it != pending_.end()) {
+              p = std::move(it->second);
+              pending_.erase(it);
+              found = true;
+              ++errors_received_;
+            }
+          }
+          if (found) p.settle_error(error);
+          break;
+        }
+        default:
+          // Request/Cancel/Ping arriving at a client: protocol violation.
+          reason = "unexpected frame type from server";
+          throw FrameError("frame: unexpected frame type from server");
+      }
+    }
+  } catch (const std::exception& e) {
+    reason = e.what();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (generation_ != generation) return;  // a newer connection took over
+  teardown_locked(lock, reason);
+}
+
+std::uint64_t ServiceClient::send_request(RequestOp op,
+                                          const service::RequestOptions& opts,
+                                          std::span<const std::uint8_t> payload,
+                                          PendingRequest pending) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!connected_) throw ConnectionLost("not connected");
+    id = next_id_++;
+    pending_.emplace(id, std::move(pending));
+    ++requests_sent_;
+  }
+  FrameHeader h;
+  h.type = FrameType::Request;
+  h.op = op;
+  h.priority = opts.priority;
+  h.request_id = id;
+  h.deadline_ns = relative_deadline_ns(opts);
+  const std::vector<std::uint8_t> frame = encode_frame(h, payload);
+  try {
+    std::lock_guard<std::mutex> wlock(write_mutex_);
+    if (!sink_) throw ConnectionLost("not connected");
+    sink_->write(frame);
+  } catch (const std::exception& e) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    pending_.erase(id);  // settle nothing for the caller; we throw instead
+    teardown_locked(lock, e.what());
+    throw ConnectionLost(std::string("send failed: ") + e.what());
+  }
+  return id;
+}
+
+std::vector<std::uint8_t> ServiceClient::call(
+    RequestOp op, std::span<const std::uint8_t> payload) {
+  auto promise =
+      std::make_shared<std::promise<std::vector<std::uint8_t>>>();
+  PendingRequest p;
+  p.op = op;
+  p.settle_value = [promise](std::span<const std::uint8_t> body) {
+    promise->set_value(std::vector<std::uint8_t>(body.begin(), body.end()));
+  };
+  p.settle_error = [promise](std::exception_ptr e) {
+    promise->set_exception(e);
+  };
+  auto future = promise->get_future();
+  send_request(op, {}, payload, std::move(p));
+  return future.get();
+}
+
+service::ArchiveHandle ServiceClient::open_archive(
+    std::span<const std::uint8_t> image) {
+  util::ByteWriter w;
+  w.bytes(image);
+  const std::vector<std::uint8_t> body = call(RequestOp::OpenArchive, w.bytes());
+  util::ByteReader r(body);
+  const std::uint64_t handle = r.u64();
+  expect_exhausted(r);
+  return handle;
+}
+
+void ServiceClient::close_archive(service::ArchiveHandle handle) {
+  util::ByteWriter w;
+  w.u64(handle);
+  call(RequestOp::CloseArchive, w.bytes());
+}
+
+void ServiceClient::ping() {
+  auto promise = std::make_shared<std::promise<void>>();
+  PendingRequest p;
+  p.op = RequestOp::OpenClient;  // unused for pings
+  p.settle_value = [promise](std::span<const std::uint8_t>) {
+    promise->set_value();
+  };
+  p.settle_error = [promise](std::exception_ptr e) {
+    promise->set_exception(e);
+  };
+  auto future = promise->get_future();
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!connected_) throw ConnectionLost("not connected");
+    id = next_id_++;
+    pending_.emplace(id, std::move(p));
+    ++requests_sent_;
+  }
+  FrameHeader h;
+  h.type = FrameType::Ping;
+  h.request_id = id;
+  const std::vector<std::uint8_t> frame = encode_frame(h, {});
+  try {
+    std::lock_guard<std::mutex> wlock(write_mutex_);
+    if (!sink_) throw ConnectionLost("not connected");
+    sink_->write(frame);
+  } catch (const std::exception& e) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    pending_.erase(id);
+    teardown_locked(lock, e.what());
+    throw ConnectionLost(std::string("send failed: ") + e.what());
+  }
+  future.get();
+}
+
+service::Submission<service::CompressResult> ServiceClient::submit_compress(
+    service::CompressJob job, service::RequestOptions opts) {
+  util::ByteWriter w;
+  write_compress_job(w, job);
+  auto promise = std::make_shared<std::promise<service::CompressResult>>();
+  PendingRequest p;
+  p.op = RequestOp::Compress;
+  p.settle_value = [promise](std::span<const std::uint8_t> body) {
+    try {
+      util::ByteReader r(body);
+      service::CompressResult res;
+      res.archive = r.array<std::uint8_t>();
+      expect_exhausted(r);
+      promise->set_value(std::move(res));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  };
+  p.settle_error = [promise](std::exception_ptr e) {
+    promise->set_exception(e);
+  };
+  auto future = promise->get_future();
+  const std::uint64_t id =
+      send_request(RequestOp::Compress, opts, w.bytes(), std::move(p));
+  return {id, std::move(future)};
+}
+
+service::Submission<DecompressBody> ServiceClient::submit_decompress(
+    service::ArchiveHandle archive, service::RequestOptions opts) {
+  util::ByteWriter w;
+  w.u64(archive);
+  auto promise = std::make_shared<std::promise<DecompressBody>>();
+  PendingRequest p;
+  p.op = RequestOp::Decompress;
+  p.settle_value = [promise](std::span<const std::uint8_t> body) {
+    try {
+      util::ByteReader r(body);
+      DecompressBody res = read_decompress_result(r);
+      expect_exhausted(r);
+      promise->set_value(std::move(res));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  };
+  p.settle_error = [promise](std::exception_ptr e) {
+    promise->set_exception(e);
+  };
+  auto future = promise->get_future();
+  const std::uint64_t id =
+      send_request(RequestOp::Decompress, opts, w.bytes(), std::move(p));
+  return {id, std::move(future)};
+}
+
+service::Submission<std::vector<float>> ServiceClient::submit_chunk(
+    service::ArchiveHandle archive, std::size_t field, std::size_t chunk,
+    service::RequestOptions opts) {
+  util::ByteWriter w;
+  w.u64(archive);
+  w.u64(field);
+  w.u64(chunk);
+  auto promise = std::make_shared<std::promise<std::vector<float>>>();
+  PendingRequest p;
+  p.op = RequestOp::Chunk;
+  p.settle_value = [promise](std::span<const std::uint8_t> body) {
+    try {
+      util::ByteReader r(body);
+      std::vector<float> res = read_floats(r);
+      expect_exhausted(r);
+      promise->set_value(std::move(res));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  };
+  p.settle_error = [promise](std::exception_ptr e) {
+    promise->set_exception(e);
+  };
+  auto future = promise->get_future();
+  const std::uint64_t id =
+      send_request(RequestOp::Chunk, opts, w.bytes(), std::move(p));
+  return {id, std::move(future)};
+}
+
+service::Submission<std::vector<float>> ServiceClient::submit_range(
+    service::ArchiveHandle archive, std::size_t field,
+    std::uint64_t elem_begin, std::uint64_t elem_end,
+    service::RequestOptions opts) {
+  util::ByteWriter w;
+  w.u64(archive);
+  w.u64(field);
+  w.u64(elem_begin);
+  w.u64(elem_end);
+  auto promise = std::make_shared<std::promise<std::vector<float>>>();
+  PendingRequest p;
+  p.op = RequestOp::Range;
+  p.settle_value = [promise](std::span<const std::uint8_t> body) {
+    try {
+      util::ByteReader r(body);
+      std::vector<float> res = read_floats(r);
+      expect_exhausted(r);
+      promise->set_value(std::move(res));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  };
+  p.settle_error = [promise](std::exception_ptr e) {
+    promise->set_exception(e);
+  };
+  auto future = promise->get_future();
+  const std::uint64_t id =
+      send_request(RequestOp::Range, opts, w.bytes(), std::move(p));
+  return {id, std::move(future)};
+}
+
+void ServiceClient::cancel(std::uint64_t wire_id) {
+  FrameHeader h;
+  h.type = FrameType::Cancel;
+  h.request_id = wire_id;
+  const std::vector<std::uint8_t> frame = encode_frame(h, {});
+  try {
+    std::lock_guard<std::mutex> wlock(write_mutex_);
+    if (!sink_) return;  // nothing in flight to cancel either
+    sink_->write(frame);
+  } catch (const std::exception&) {
+    // Best effort: a dead connection settles the request with
+    // ConnectionLost anyway.
+  }
+}
+
+service::CompressResult ServiceClient::compress_retrying(
+    const service::CompressJob& job, service::RequestOptions opts) {
+  const std::size_t attempts = std::max<std::size_t>(1, config_.retry.max_attempts);
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      reconnect();
+      return submit_compress(job, opts).get();
+    } catch (const service::ServiceOverloaded& e) {
+      if (attempt >= attempts) throw;
+      // Honor the server's hint: never wait LESS than retry_after_ns; the
+      // policy's jittered schedule only ever lengthens the pause.
+      const auto floor_delay = std::chrono::nanoseconds(
+          config_.retry.delay_before(attempt));
+      const auto hint = std::chrono::nanoseconds(e.retry_after_ns());
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++retries_;
+        if (hint.count() > 0) ++retry_after_waits_;
+      }
+      sleep_backoff(std::max(hint, floor_delay));
+    } catch (const service::ServiceBusy&) {
+      if (attempt >= attempts) throw;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++retries_;
+      }
+      sleep_backoff(config_.retry.delay_before(attempt));
+    } catch (const ConnectionLost&) {
+      if (attempt >= attempts) throw;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++retries_;
+      }
+      sleep_backoff(config_.retry.delay_before(attempt));
+    }
+  }
+}
+
+DecompressBody ServiceClient::decompress_retrying(
+    service::ArchiveHandle archive, service::RequestOptions opts) {
+  const std::size_t attempts = std::max<std::size_t>(1, config_.retry.max_attempts);
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return submit_decompress(archive, opts).get();
+    } catch (const service::ServiceOverloaded& e) {
+      if (attempt >= attempts) throw;
+      const auto floor_delay = std::chrono::nanoseconds(
+          config_.retry.delay_before(attempt));
+      const auto hint = std::chrono::nanoseconds(e.retry_after_ns());
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++retries_;
+        if (hint.count() > 0) ++retry_after_waits_;
+      }
+      sleep_backoff(std::max(hint, floor_delay));
+    } catch (const service::ServiceBusy&) {
+      if (attempt >= attempts) throw;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++retries_;
+      }
+      sleep_backoff(config_.retry.delay_before(attempt));
+    }
+  }
+}
+
+ClientStats ServiceClient::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ClientStats s;
+  s.requests_sent = requests_sent_;
+  s.responses_received = responses_received_;
+  s.errors_received = errors_received_;
+  s.reconnects = reconnects_;
+  s.retries = retries_;
+  s.retry_after_waits = retry_after_waits_;
+  return s;
+}
+
+}  // namespace ohd::net

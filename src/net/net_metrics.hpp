@@ -1,0 +1,38 @@
+// Registry handles of the "net.*" telemetry catalogue, shared by the server
+// and client (both ends of a loopback deployment report into one process
+// registry, so the counters aggregate across them — the same discipline as
+// "service.*"). Resolved once; recording through the references is
+// lock-free. Only touched behind obs::enabled().
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace ohd::net {
+
+struct NetMetrics {
+  obs::Counter& frames_in;
+  obs::Counter& frames_out;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Counter& decode_rejects;
+  obs::Counter& error_frames;
+  obs::Counter& reconnects;
+  obs::Gauge& connections;
+};
+
+inline NetMetrics& net_metrics() {
+  static NetMetrics* m = [] {
+    auto& r = obs::registry();
+    return new NetMetrics{r.counter("net.frames_in"),
+                          r.counter("net.frames_out"),
+                          r.counter("net.bytes_in"),
+                          r.counter("net.bytes_out"),
+                          r.counter("net.decode_rejects"),
+                          r.counter("net.error_frames"),
+                          r.counter("net.reconnects"),
+                          r.gauge("net.connections")};
+  }();
+  return *m;
+}
+
+}  // namespace ohd::net

@@ -1,0 +1,672 @@
+#include "net/server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <unordered_map>
+#include <utility>
+
+#include "net/net_metrics.hpp"
+#include "pipeline/byte_stream.hpp"
+
+namespace ohd::net {
+
+namespace {
+
+/// Rethrows body-parse failures as FrameError so the single catch-all in
+/// handle_request maps them onto BadRequest (wire_error_from_exception puts
+/// FrameError before the generic invalid_argument -> Archive bucket, which
+/// would otherwise swallow them: ContainerError from a malformed uploaded
+/// archive is ALSO an invalid_argument, and that one must stay Archive).
+template <typename Fn>
+auto parse_body(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const FrameError&) {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    throw FrameError(std::string("frame: bad request body: ") + e.what());
+  }
+}
+
+service::RequestOptions options_from_header(const FrameHeader& header) {
+  service::RequestOptions opts;
+  opts.priority = header.priority;
+  if (header.deadline_ns != 0) {
+    // The wire carries a RELATIVE budget; anchor it on this process's steady
+    // clock the moment the frame is decoded.
+    opts.deadline = service::Deadline::after(
+        std::chrono::nanoseconds(header.deadline_ns));
+  }
+  return opts;
+}
+
+}  // namespace
+
+/// One accepted connection: the socket, its two threads, and the in-flight
+/// request ledger shared between them. The reader produces Pending entries,
+/// the completer consumes them; `mutex`/`cv` guard the ledger, `write_mutex`
+/// serializes frames onto the socket (reader error frames interleave with
+/// completer responses).
+struct ServiceServer::Connection {
+  explicit Connection(Socket s)
+      : sock(std::move(s)), sink(sock.fd(), /*owns=*/false) {}
+
+  Socket sock;
+  pipeline::FdSink sink;   // the socket-backed ByteSink; under write_mutex
+  std::mutex write_mutex;
+
+  /// One admitted submission awaiting its response.
+  struct Pending {
+    std::uint64_t wire_id = 0;
+    std::function<std::future_status(std::chrono::microseconds)> wait;
+    std::function<void()> complete;  // get() + serialize + send, or error frame
+  };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Pending> pending;
+  /// wire id -> service id for every in-flight request: cancel-frame routing
+  /// and disconnect cleanup.
+  std::unordered_map<std::uint64_t, service::RequestId> live_wire;
+  service::ClientId client = 0;
+  bool client_open = false;
+  bool draining = false;  // reader done; completer exits once pending empties
+
+  std::atomic<bool> done{false};  // completer finished (threads joinable)
+  bool claimed = false;           // under conn_mutex_: a reaper owns the join
+  bool harvested = false;         // under conn_mutex_: error_frames retired
+  obs::Counter error_frames;
+
+  std::thread reader;
+  std::thread completer;
+};
+
+ServiceServer::ServiceServer(service::CompressionService& service,
+                             ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (config_.listen.empty()) {
+    config_.listen.push_back(Endpoint::tcp(0));
+  }
+  // All-or-throw: Listener's constructor throws NetError on any bind/listen
+  // failure, and the vector of already-bound listeners unwinds cleanly.
+  for (const Endpoint& ep : config_.listen) {
+    listeners_.push_back(std::make_unique<Listener>(ep));
+    endpoints_.push_back(listeners_.back()->endpoint());
+  }
+  service_.set_net_error_frames_source([this] { return error_frames(); });
+  for (auto& listener : listeners_) {
+    acceptors_.emplace_back([this, l = listener.get()] { acceptor_loop(*l); });
+  }
+}
+
+ServiceServer::ServiceServer(service::CompressionService& service)
+    : ServiceServer(service, [&] {
+        ServerConfig cfg;
+        const service::ServiceConfig& sc = service.config();
+        if (sc.listen_tcp) cfg.listen.push_back(Endpoint::tcp(sc.listen_tcp_port));
+        if (!sc.listen_unix_path.empty()) {
+          cfg.listen.push_back(Endpoint::unix_socket(sc.listen_unix_path));
+        }
+        return cfg;
+      }()) {}
+
+ServiceServer::~ServiceServer() {
+  shutdown();
+  service_.set_net_error_frames_source(nullptr);
+}
+
+void ServiceServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    stopping_ = true;
+  }
+  for (auto& listener : listeners_) listener->close();
+  for (auto& t : acceptors_) {
+    if (t.joinable()) t.join();
+  }
+  // Half-close every connection for reading: the reader sees EOF and stops
+  // taking frames, the completer drains what is in flight and flushes its
+  // responses, and only then does the connection close.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns = connections_;
+  }
+  for (auto& c : conns) c->sock.shutdown_read();
+  reap_connections(/*join_all=*/true);
+}
+
+bool ServiceServer::stopped() const {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  return stopping_;
+}
+
+ServerStats ServiceServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.value();
+  s.open_connections = open_connections_.value();
+  s.frames_in = frames_in_.value();
+  s.frames_out = frames_out_.value();
+  s.bytes_in = bytes_in_.value();
+  s.bytes_out = bytes_out_.value();
+  s.requests_submitted = requests_submitted_.value();
+  s.decode_rejects = decode_rejects_.value();
+  s.error_frames = error_frames();
+  s.cancels_relayed = cancels_relayed_.value();
+  return s;
+}
+
+std::uint64_t ServiceServer::error_frames() const {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  std::uint64_t total = retired_error_frames_;
+  for (const auto& c : connections_) {
+    if (!c->harvested) total += c->error_frames.value();
+  }
+  return total;
+}
+
+void ServiceServer::acceptor_loop(Listener& listener) {
+  for (;;) {
+    Socket sock = listener.accept();
+    if (!sock.valid()) break;  // listener closed: shutdown
+    auto conn = std::make_shared<Connection>(std::move(sock));
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      if (stopping_) break;  // late race: drop the connection (RAII closes it)
+      connections_.push_back(conn);
+    }
+    connections_accepted_.add(1);
+    open_connections_.add(1);
+    if (obs::enabled()) net_metrics().connections.add(1);
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    conn->completer = std::thread([this, conn] { completer_loop(conn); });
+    reap_connections(/*join_all=*/false);
+  }
+}
+
+void ServiceServer::reader_loop(const std::shared_ptr<Connection>& conn) {
+  Connection& c = *conn;
+  try {
+    for (;;) {
+      std::uint8_t head[kFrameHeaderBytes];
+      if (!recv_exact(c.sock.fd(), head)) break;  // clean frame-boundary EOF
+      FrameHeader header;
+      try {
+        header = parse_frame_header(head, config_.max_frame_payload);
+      } catch (const std::invalid_argument& e) {
+        // A bad HEADER desynchronizes the stream: one id-0 reject, then close.
+        decode_rejects_.add(1);
+        if (obs::enabled()) net_metrics().decode_rejects.add(1);
+        ErrorBody body;
+        body.code = WireErrorCode::BadRequest;
+        body.message = e.what();
+        try {
+          send_error(c, 0, body);
+        } catch (const ConnectionLost&) {
+        }
+        break;
+      }
+      std::vector<std::uint8_t> payload(header.payload_len);
+      if (header.payload_len != 0 && !recv_exact(c.sock.fd(), payload)) {
+        break;  // EOF where a payload was promised: torn frame, close
+      }
+      frames_in_.add(1);
+      bytes_in_.add(kFrameHeaderBytes + payload.size());
+      if (obs::enabled()) {
+        net_metrics().frames_in.add(1);
+        net_metrics().bytes_in.add(kFrameHeaderBytes + payload.size());
+      }
+      try {
+        verify_payload(header, payload);
+      } catch (const FrameError& e) {
+        // The header (and so the frame boundary) was sound — the stream is
+        // still synchronized. Reject just this request.
+        decode_rejects_.add(1);
+        if (obs::enabled()) net_metrics().decode_rejects.add(1);
+        ErrorBody body;
+        body.code = WireErrorCode::BadRequest;
+        body.message = e.what();
+        send_error(c, header.request_id, body);
+        continue;
+      }
+      switch (header.type) {
+        case FrameType::Ping: {
+          FrameHeader pong;
+          pong.type = FrameType::Pong;
+          pong.request_id = header.request_id;
+          send_frame(c, pong, {});
+          break;
+        }
+        case FrameType::Cancel: {
+          service::RequestId target = 0;
+          {
+            std::lock_guard<std::mutex> lock(c.mutex);
+            auto it = c.live_wire.find(header.request_id);
+            if (it != c.live_wire.end()) target = it->second;
+          }
+          // Unknown / already-settled ids are a harmless no-op, exactly like
+          // CompressionService::cancel itself.
+          if (target != 0) {
+            service_.cancel(target);
+            cancels_relayed_.add(1);
+          }
+          break;
+        }
+        case FrameType::Request:
+          handle_request(c, header, payload);
+          break;
+        default: {
+          // Response/Error/Pong arriving AT the server is a protocol
+          // violation; treat it like a desync.
+          decode_rejects_.add(1);
+          if (obs::enabled()) net_metrics().decode_rejects.add(1);
+          ErrorBody body;
+          body.code = WireErrorCode::BadRequest;
+          body.message = "frame: unexpected frame type from client";
+          try {
+            send_error(c, 0, body);
+          } catch (const ConnectionLost&) {
+          }
+        }
+      }
+      if (header.type != FrameType::Request &&
+          header.type != FrameType::Cancel && header.type != FrameType::Ping) {
+        break;
+      }
+    }
+  } catch (const ConnectionLost&) {
+    // Peer went away mid-frame; fall through to teardown.
+  } catch (const NetError&) {
+  }
+  // Teardown: when the CLIENT went away, nobody can read the pending
+  // responses — cancel them. Under graceful server shutdown the reader exits
+  // via the half-close EOF instead, and in-flight requests must drain.
+  bool graceful = false;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    graceful = stopping_;
+  }
+  std::vector<service::RequestId> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.draining = true;
+    if (!graceful) {
+      for (const auto& [wire_id, service_id] : c.live_wire) {
+        to_cancel.push_back(service_id);
+      }
+    }
+  }
+  for (service::RequestId id : to_cancel) service_.cancel(id);
+  c.cv.notify_all();
+}
+
+void ServiceServer::handle_request(Connection& c, const FrameHeader& header,
+                                   std::span<const std::uint8_t> payload) {
+  util::ByteReader r(payload);
+  try {
+    // Every op below OpenClient requires a negotiated session.
+    const auto session_client = [&]() -> service::ClientId {
+      std::lock_guard<std::mutex> lock(c.mutex);
+      if (!c.client_open) {
+        throw service::ClientError(
+            "connection has no client session (send OpenClient first)");
+      }
+      return c.client;
+    };
+    // Async ops: the wire id must be fresh while its predecessor is in
+    // flight (the demux key would be ambiguous otherwise).
+    const auto require_fresh_id = [&] {
+      std::lock_guard<std::mutex> lock(c.mutex);
+      if (c.live_wire.count(header.request_id) != 0) {
+        throw FrameError("frame: request id already in flight");
+      }
+    };
+
+    switch (header.op) {
+      case RequestOp::OpenClient: {
+        const OpenClientBody body = parse_body([&] {
+          auto b = read_open_client(r);
+          expect_exhausted(r);
+          return b;
+        });
+        {
+          std::lock_guard<std::mutex> lock(c.mutex);
+          if (c.client_open) {
+            throw service::ClientError(
+                "connection already negotiated a client session");
+          }
+        }
+        service::ClientOptions opts = config_.client_defaults;
+        opts.rel_error_bound = body.rel_error_bound;
+        opts.radius = body.radius;
+        opts.chunk_elems = static_cast<std::size_t>(body.chunk_elems);
+        const service::ClientId id = service_.open_client(opts);
+        {
+          std::lock_guard<std::mutex> lock(c.mutex);
+          c.client = id;
+          c.client_open = true;
+        }
+        util::ByteWriter w;
+        w.u64(id);
+        send_response(c, header.op, header.request_id, w.bytes());
+        return;
+      }
+      case RequestOp::CloseClient: {
+        parse_body([&] { expect_exhausted(r); return 0; });
+        service::ClientId id = 0;
+        {
+          std::lock_guard<std::mutex> lock(c.mutex);
+          if (!c.client_open) {
+            throw service::ClientError("connection has no client session");
+          }
+          id = c.client;
+          c.client_open = false;
+        }
+        service_.close_client(id);
+        send_response(c, header.op, header.request_id, {});
+        return;
+      }
+      case RequestOp::OpenArchive: {
+        auto image = parse_body([&] {
+          auto bytes = r.array<std::uint8_t>();
+          expect_exhausted(r);
+          return bytes;
+        });
+        const service::ClientId id = session_client();
+        auto source = std::make_shared<pipeline::OwningMemorySource>(
+            std::move(image));
+        const service::ArchiveHandle handle = service_.open_archive(id, source);
+        util::ByteWriter w;
+        w.u64(handle);
+        send_response(c, header.op, header.request_id, w.bytes());
+        return;
+      }
+      case RequestOp::CloseArchive: {
+        const std::uint64_t handle = parse_body([&] {
+          auto h = r.u64();
+          expect_exhausted(r);
+          return h;
+        });
+        service_.close_archive(session_client(),
+                               static_cast<service::ArchiveHandle>(handle));
+        send_response(c, header.op, header.request_id, {});
+        return;
+      }
+      case RequestOp::Compress: {
+        service::CompressJob job = parse_body([&] {
+          auto j = read_compress_job(r);
+          expect_exhausted(r);
+          return j;
+        });
+        const service::ClientId id = session_client();
+        require_fresh_id();
+        track(c, header,
+              service_.submit_compress(id, std::move(job),
+                                       options_from_header(header)),
+              [](service::CompressResult& v) {
+                util::ByteWriter w;
+                w.bytes(v.archive);
+                return w.take();
+              });
+        return;
+      }
+      case RequestOp::Decompress: {
+        const std::uint64_t handle = parse_body([&] {
+          auto h = r.u64();
+          expect_exhausted(r);
+          return h;
+        });
+        const service::ClientId id = session_client();
+        require_fresh_id();
+        track(c, header,
+              service_.submit_decompress(
+                  id, static_cast<service::ArchiveHandle>(handle),
+                  options_from_header(header)),
+              [](pipeline::BatchDecompressResult& v) {
+                DecompressBody body;
+                body.fields.reserve(v.fields.size());
+                for (auto& f : v.fields) {
+                  body.fields.push_back({std::move(f.name),
+                                         std::move(f.decode.data)});
+                }
+                util::ByteWriter w;
+                write_decompress_result(w, body);
+                return w.take();
+              });
+        return;
+      }
+      case RequestOp::Chunk: {
+        const auto [handle, field, chunk] = parse_body([&] {
+          auto h = r.u64();
+          auto f = r.u64();
+          auto k = r.u64();
+          expect_exhausted(r);
+          return std::tuple(h, f, k);
+        });
+        const service::ClientId id = session_client();
+        require_fresh_id();
+        track(c, header,
+              service_.submit_chunk(id,
+                                    static_cast<service::ArchiveHandle>(handle),
+                                    static_cast<std::size_t>(field),
+                                    static_cast<std::size_t>(chunk),
+                                    options_from_header(header)),
+              [](std::vector<float>& v) {
+                util::ByteWriter w;
+                write_floats(w, v);
+                return w.take();
+              });
+        return;
+      }
+      case RequestOp::Range: {
+        const auto [handle, field, begin, end] = parse_body([&] {
+          auto h = r.u64();
+          auto f = r.u64();
+          auto b = r.u64();
+          auto e = r.u64();
+          expect_exhausted(r);
+          return std::tuple(h, f, b, e);
+        });
+        const service::ClientId id = session_client();
+        require_fresh_id();
+        track(c, header,
+              service_.submit_range(id,
+                                    static_cast<service::ArchiveHandle>(handle),
+                                    static_cast<std::size_t>(field), begin, end,
+                                    options_from_header(header)),
+              [](std::vector<float>& v) {
+                util::ByteWriter w;
+                write_floats(w, v);
+                return w.take();
+              });
+        return;
+      }
+    }
+    throw FrameError("frame: unhandled request op");
+  } catch (const ConnectionLost&) {
+    throw;  // the send path failed, not the request: let the reader close
+  } catch (...) {
+    const ErrorBody body = wire_error_from_exception(std::current_exception());
+    if (body.code == WireErrorCode::BadRequest) {
+      decode_rejects_.add(1);
+      if (obs::enabled()) net_metrics().decode_rejects.add(1);
+    }
+    send_error(c, header.request_id, body);
+  }
+}
+
+template <typename T, typename SerializeFn>
+void ServiceServer::track(Connection& c, const FrameHeader& header,
+                          service::Submission<T> submission,
+                          SerializeFn serialize) {
+  auto future = std::make_shared<std::future<T>>(std::move(submission.future));
+  Connection::Pending p;
+  p.wire_id = header.request_id;
+  p.wait = [future](std::chrono::microseconds timeout) {
+    return future->wait_for(timeout);
+  };
+  p.complete = [this, &c, future, serialize, op = header.op,
+                wire_id = header.request_id]() mutable {
+    try {
+      T value = future->get();
+      const std::vector<std::uint8_t> payload = serialize(value);
+      send_response(c, op, wire_id, payload);
+    } catch (const ConnectionLost&) {
+      // Peer already gone; the reader teardown owns cleanup.
+    } catch (...) {
+      const ErrorBody body =
+          wire_error_from_exception(std::current_exception());
+      try {
+        send_error(c, wire_id, body);
+      } catch (const ConnectionLost&) {
+      }
+    }
+  };
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.live_wire.emplace(header.request_id, submission.id);
+    c.pending.push_back(std::move(p));
+  }
+  requests_submitted_.add(1);
+  c.cv.notify_all();
+}
+
+void ServiceServer::completer_loop(const std::shared_ptr<Connection>& conn) {
+  Connection& c = *conn;
+  {
+    std::unique_lock<std::mutex> lock(c.mutex);
+    for (;;) {
+      if (!c.pending.empty()) {
+        bool completed_one = false;
+        for (auto it = c.pending.begin(); it != c.pending.end(); ++it) {
+          if (it->wait(std::chrono::microseconds(0)) ==
+              std::future_status::ready) {
+            Connection::Pending p = std::move(*it);
+            c.pending.erase(it);
+            c.live_wire.erase(p.wire_id);
+            lock.unlock();
+            p.complete();
+            lock.lock();
+            completed_one = true;
+            break;
+          }
+        }
+        if (completed_one) continue;
+        // Nothing settled: bounded wait on the OLDEST submission, so a
+        // response that lands on any other future waits at most
+        // completion_poll before the next scan picks it up.
+        auto wait = c.pending.front().wait;
+        lock.unlock();
+        wait(config_.completion_poll);
+        lock.lock();
+        continue;
+      }
+      if (c.draining) break;
+      c.cv.wait(lock, [&c] { return c.draining || !c.pending.empty(); });
+    }
+  }
+  // Session teardown, exactly once, after the last response flushed: close
+  // the connection's service client (releases its archive handles), then
+  // retire this connection's error-frame count into the lifetime total.
+  service::ClientId client = 0;
+  bool open = false;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    open = c.client_open;
+    client = c.client;
+    c.client_open = false;
+  }
+  if (open) {
+    try {
+      service_.close_client(client);
+    } catch (const std::exception&) {
+      // The service may already be stopping; the session is gone either way.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (!c.harvested) {
+      retired_error_frames_ += c.error_frames.value();
+      c.harvested = true;
+    }
+  }
+  open_connections_.sub(1);
+  if (obs::enabled()) net_metrics().connections.sub(1);
+  c.sock.shutdown_both();  // wake a reader still blocked in recv, if any
+  c.done.store(true);
+}
+
+void ServiceServer::send_frame(Connection& c, const FrameHeader& header,
+                               std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(header, payload);
+  {
+    std::lock_guard<std::mutex> lock(c.write_mutex);
+    try {
+      c.sink.write(frame);
+    } catch (const pipeline::ArchiveError& e) {
+      throw ConnectionLost(e.what());
+    }
+  }
+  frames_out_.add(1);
+  bytes_out_.add(frame.size());
+  if (obs::enabled()) {
+    net_metrics().frames_out.add(1);
+    net_metrics().bytes_out.add(frame.size());
+  }
+}
+
+void ServiceServer::send_response(Connection& c, RequestOp op,
+                                  std::uint64_t request_id,
+                                  std::span<const std::uint8_t> payload) {
+  FrameHeader h;
+  h.type = FrameType::Response;
+  h.op = op;
+  h.request_id = request_id;
+  send_frame(c, h, payload);
+}
+
+void ServiceServer::send_error(Connection& c, std::uint64_t request_id,
+                               const ErrorBody& body) {
+  util::ByteWriter w;
+  write_error(w, body);
+  FrameHeader h;
+  h.type = FrameType::Error;
+  h.request_id = request_id;
+  c.error_frames.add(1);
+  if (obs::enabled()) net_metrics().error_frames.add(1);
+  send_frame(c, h, w.bytes());
+}
+
+void ServiceServer::reap_connections(bool join_all) {
+  std::vector<std::shared_ptr<Connection>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& c : connections_) {
+      if (c->claimed) continue;
+      if (join_all || c->done.load()) {
+        c->claimed = true;
+        doomed.push_back(c);
+      }
+    }
+  }
+  for (auto& c : doomed) {
+    if (c->reader.joinable()) c->reader.join();
+    if (c->completer.joinable()) c->completer.join();
+  }
+  // Forget them only AFTER the join: a joined completer has harvested its
+  // error frames, so the lifetime total never dips.
+  if (!doomed.empty()) {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    std::erase_if(connections_, [&](const std::shared_ptr<Connection>& c) {
+      for (const auto& d : doomed) {
+        if (d == c) return true;
+      }
+      return false;
+    });
+  }
+}
+
+}  // namespace ohd::net

@@ -1,0 +1,176 @@
+// ServiceServer: the network edge of the CompressionService. Owns one or
+// more listening sockets (TCP loopback and/or Unix domain), accepts
+// connections on an acceptor thread per listener, and runs two threads per
+// connection:
+//
+//   acceptor ──▶ Connection
+//                 reader thread:   recv frame ─▶ parse/validate ─▶
+//                                  sync ops (open/close client/archive)
+//                                  answered inline; submit_* mapped onto
+//                                  CompressionService with the frame
+//                                  header's priority/deadline; cancel
+//                                  frames routed to service.cancel()
+//                 completer thread: polls the pending submissions' futures
+//                                  and streams each response back the
+//                                  moment it settles — COMPLETION order,
+//                                  tagged by the request id the client
+//                                  chose, never submission order
+//
+// Every failure a request can produce maps onto a typed error frame with a
+// pinned wire code (net/frame.hpp WireErrorCode; docs/wire_protocol.md owns
+// the table), including ServiceOverloaded's retry_after_ns hint. A
+// malformed frame HEADER desynchronizes the byte stream, so the connection
+// sends one id-0 BadRequest error frame and closes; a malformed request
+// BODY inside a sound frame is answered with a typed error on that id and
+// the connection lives on.
+//
+// Sessions: each connection owns at most one service client (negotiated by
+// the OpenClient op) plus that client's archive handles — all
+// connection-scoped. When a connection dies with requests in flight, the
+// server cancels them (nobody can read the responses); graceful shutdown()
+// instead drains every in-flight request, flushes its response, then closes.
+//
+// Telemetry: per-server always-on counters behind stats(); while
+// obs::enabled() the process registry aggregates the same values under
+// "net.*" (frames/bytes in+out, decode rejects, error frames, connection
+// gauge). Lifetime error-frame totals are additionally harvested into the
+// owning CompressionService's ServiceStats::net_error_frames (exactly-once
+// per connection, the io_retries discipline).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "service/compression_service.hpp"
+
+namespace ohd::net {
+
+struct ServerConfig {
+  /// Endpoints to listen on; empty defaults to one ephemeral TCP loopback
+  /// listener (endpoints() names the bound port).
+  std::vector<Endpoint> listen;
+  /// Per-frame payload ceiling; frames declaring more are rejected before
+  /// the payload is read or allocated.
+  std::uint64_t max_frame_payload = kDefaultMaxPayload;
+  /// Completer poll slice: the bound on how long a settled response can wait
+  /// while the completer is blocked on a different future.
+  std::chrono::microseconds completion_poll{200};
+  /// Base ClientOptions of every wire session; OpenClient's negotiated
+  /// fields (rel_error_bound, radius, chunk_elems) override onto this, the
+  /// rest (decoder, planning, method) apply as-is.
+  service::ClientOptions client_defaults;
+};
+
+/// Always-on accounting snapshot of one server.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::int64_t open_connections = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t requests_submitted = 0;  // submit_* calls that were admitted
+  std::uint64_t decode_rejects = 0;      // malformed frames/bodies rejected
+  std::uint64_t error_frames = 0;        // typed error frames sent (lifetime)
+  std::uint64_t cancels_relayed = 0;     // cancel frames routed to cancel()
+};
+
+class ServiceServer {
+ public:
+  /// Binds every configured endpoint and starts accepting immediately.
+  /// Throws NetError when a bind/listen fails (nothing half-started: all
+  /// listeners succeed or the constructor throws). Attaches the
+  /// error-frame source to `service` stats.
+  ServiceServer(service::CompressionService& service, ServerConfig config);
+
+  /// Convenience: listens where service.config() says (listen_tcp /
+  /// listen_tcp_port / listen_unix_path); with neither set, one ephemeral
+  /// TCP loopback listener.
+  explicit ServiceServer(service::CompressionService& service);
+
+  /// shutdown(), then detaches from the service.
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// The bound endpoints, with ephemeral TCP ports resolved.
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+
+  /// Graceful drain: stops accepting, half-closes every connection for
+  /// reading (no new frames), waits for every in-flight request to settle
+  /// and its response to flush, then closes the connections and joins all
+  /// threads. Idempotent. The owning CompressionService keeps running.
+  void shutdown();
+  bool stopped() const;
+
+  ServerStats stats() const;
+
+  /// Lifetime error-frame total: live connections plus harvested closed
+  /// ones — the value surfaced through ServiceStats::net_error_frames.
+  std::uint64_t error_frames() const;
+
+ private:
+  struct Connection;
+
+  void acceptor_loop(Listener& listener);
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void completer_loop(const std::shared_ptr<Connection>& conn);
+
+  /// Handles one well-framed request frame on the reader thread; any
+  /// invalid_argument from body parsing becomes a BadRequest error frame on
+  /// the request's id (connection survives).
+  void handle_request(Connection& conn, const FrameHeader& header,
+                      std::span<const std::uint8_t> payload);
+
+  /// Registers an admitted submission with the connection's completer:
+  /// `serialize` turns the settled value into the response payload on the
+  /// completer thread; failures become typed error frames on the wire id.
+  template <typename T, typename SerializeFn>
+  void track(Connection& conn, const FrameHeader& header,
+             service::Submission<T> submission, SerializeFn serialize);
+
+  void send_frame(Connection& conn, const FrameHeader& header,
+                  std::span<const std::uint8_t> payload);
+  void send_response(Connection& conn, RequestOp op, std::uint64_t request_id,
+                     std::span<const std::uint8_t> payload);
+  void send_error(Connection& conn, std::uint64_t request_id,
+                  const ErrorBody& body);
+
+  /// Joins and forgets connections whose threads have finished; called from
+  /// accept iterations and shutdown.
+  void reap_connections(bool join_all);
+
+  service::CompressionService& service_;
+  ServerConfig config_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::unique_ptr<Listener>> listeners_;
+  std::vector<std::thread> acceptors_;
+
+  mutable std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::uint64_t retired_error_frames_ = 0;  // harvested at connection close
+  bool stopping_ = false;
+
+  // Always-on instruments behind stats(); mirrored under "net.*" while
+  // obs::enabled().
+  obs::Counter connections_accepted_;
+  obs::Gauge open_connections_;
+  obs::Counter frames_in_;
+  obs::Counter frames_out_;
+  obs::Counter bytes_in_;
+  obs::Counter bytes_out_;
+  obs::Counter requests_submitted_;
+  obs::Counter decode_rejects_;
+  obs::Counter cancels_relayed_;
+};
+
+}  // namespace ohd::net

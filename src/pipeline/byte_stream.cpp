@@ -1,6 +1,7 @@
 #include "pipeline/byte_stream.hpp"
 
 #include <fcntl.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -257,6 +258,86 @@ void TrackingSource::read_at(std::uint64_t offset,
   ++reads_;
   bytes_read_ += out.size();
   max_read_ = std::max<std::uint64_t>(max_read_, out.size());
+}
+
+FdSink::FdSink(int fd, bool owns) : fd_(fd), owns_(owns) {
+  if (fd_ < 0) {
+    throw ArchiveError("FdSink: invalid file descriptor");
+  }
+  int type = 0;
+  socklen_t len = sizeof(type);
+  socket_ = ::getsockopt(fd_, SOL_SOCKET, SO_TYPE, &type, &len) == 0;
+}
+
+FdSink::~FdSink() {
+  if (owns_ && fd_ >= 0) (void)::close(fd_);
+}
+
+void FdSink::write(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        socket_ ? ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL)
+                : ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      written_ += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // A partially accepted buffer is a torn append: not retryable, exactly
+    // like the FaultInjectingSink crash model.
+    throw ArchiveError(errno_detail(
+        sent == 0 ? "fd write" : "fd write (torn append)",
+        "fd " + std::to_string(fd_), errno));
+  }
+}
+
+FdSource::FdSource(int fd, bool owns) : fd_(fd), owns_(owns) {
+  if (fd_ < 0) {
+    throw ArchiveError("FdSource: invalid file descriptor");
+  }
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    const int err = errno;
+    if (owns_) (void)::close(fd_);
+    fd_ = -1;
+    throw ArchiveError(errno_detail("fd size probe (lseek)",
+                                    "fd " + std::to_string(fd), err));
+  }
+  size_ = static_cast<std::uint64_t>(end);
+}
+
+FdSource::~FdSource() {
+  if (owns_ && fd_ >= 0) (void)::close(fd_);
+}
+
+void FdSource::read_at(std::uint64_t offset,
+                       std::span<std::uint8_t> out) const {
+  if (offset + out.size() > size_) {
+    throw ArchiveError("fd read past end: offset " + std::to_string(offset) +
+                       " + " + std::to_string(out.size()) + " > size " +
+                       std::to_string(size_));
+  }
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + got, out.size() - got,
+                              static_cast<off_t>(offset + got));
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      // The file shrank under us: nothing usable was delivered for this
+      // call's contract, and a retry may see a stable file again.
+      throw TransientIoError("fd read: unexpected EOF at offset " +
+                             std::to_string(offset + got));
+    }
+    throw ArchiveError(errno_detail("fd read (pread)",
+                                    "fd " + std::to_string(fd_), errno));
+  }
 }
 
 }  // namespace ohd::pipeline

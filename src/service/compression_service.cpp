@@ -684,8 +684,24 @@ bool CompressionService::stopped() const {
   return stopping_;
 }
 
+void CompressionService::set_net_error_frames_source(
+    std::function<std::uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(net_stats_mutex_);
+  net_error_frames_fn_ = std::move(fn);
+}
+
 ServiceStats CompressionService::stats() const {
   ServiceStats s;
+  {
+    // Copy under the lock, call outside it: the provider reads the server's
+    // own connection bookkeeping and must not nest inside service locks.
+    std::function<std::uint64_t()> fn;
+    {
+      std::lock_guard<std::mutex> lock(net_stats_mutex_);
+      fn = net_error_frames_fn_;
+    }
+    if (fn) s.net_error_frames = fn();
+  }
   s.accepted = accepted_.value();
   s.rejected_busy = rejected_busy_.value();
   s.rejected_client_cap = rejected_client_cap_.value();

@@ -194,6 +194,14 @@ class CompressionService {
 
   /// Exact always-on accounting (independent of the telemetry flag).
   ServiceStats stats() const;
+
+  /// Attaches the network front end's error-frame accounting to stats():
+  /// `fn` must return the server's LIFETIME error-frame total (live
+  /// connections plus counts harvested exactly once at connection close —
+  /// the io_retries discipline, so the total never decreases). nullptr
+  /// detaches; net::ServiceServer attaches in its constructor and detaches
+  /// in its destructor.
+  void set_net_error_frames_source(std::function<std::uint64_t()> fn);
   std::size_t queue_depth() const;
   const ServiceConfig& config() const { return config_; }
   /// The shared pool, exposed for tests pinning residency ceilings.
@@ -269,6 +277,11 @@ class CompressionService {
   /// Observed queue drain rate: EWMA of dispatcher inter-pop times (ns).
   double drain_ewma_ns_ = 0.0;
   std::uint64_t last_pop_ns_ = 0;
+
+  /// Attached network front end's lifetime error-frame total (its own lock
+  /// because stats() deliberately avoids mutex_).
+  mutable std::mutex net_stats_mutex_;
+  std::function<std::uint64_t()> net_error_frames_fn_;
 
   /// Always-on embedded instruments behind stats(); the registry mirrors
   /// them under "service.*" while obs::enabled().

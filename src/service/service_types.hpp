@@ -229,6 +229,18 @@ struct ServiceConfig {
   /// deadline too, so an expired request never starts even if the sweeper
   /// has not run yet).
   std::chrono::microseconds sweep_interval = std::chrono::microseconds(1000);
+
+  // ---- network front end defaults (consumed by net::ServiceServer) ----
+  // The service itself never opens sockets; these live here so one config
+  // sizes a whole deployment. net::ServiceServer(service) reads them;
+  // constructing a server with an explicit net::ServerConfig ignores them.
+
+  /// Listen on TCP loopback (127.0.0.1). Port 0 binds an ephemeral port,
+  /// resolved in the server's endpoints().
+  bool listen_tcp = false;
+  std::uint16_t listen_tcp_port = 0;
+  /// When nonempty, additionally listen on this Unix domain socket path.
+  std::string listen_unix_path;
 };
 
 /// One field of a compress request. The service owns the floats for the
@@ -269,6 +281,12 @@ struct ServiceStats {
   /// its whole lifetime (closed/evicted readers keep counting): operator
   /// visibility into fault pressure without a telemetry snapshot.
   std::uint64_t io_retries = 0;
+  /// Typed error frames the attached network front end has sent, over its
+  /// whole lifetime: live connections' counts plus totals harvested exactly
+  /// once when a connection closes (the io_retries discipline). 0 when no
+  /// net::ServiceServer is attached — server-side rejects are visible here
+  /// without scraping logs.
+  std::uint64_t net_error_frames = 0;
   std::int64_t queue_depth = 0;           // pending requests right now
   std::int64_t queue_depth_peak = 0;
   std::int64_t inflight = 0;              // pending + executing right now

@@ -1,0 +1,175 @@
+// Frame-parser fuzz suite (runs sanitizer-clean under ASan/UBSan in CI):
+//
+//  * every-byte TRUNCATION sweep — for a corpus of valid frames, every
+//    proper prefix must be rejected with a typed FrameError, never accepted,
+//    never crash;
+//  * random BIT-FLIP trials — seeded, reproducible; every single-bit flip
+//    anywhere in a frame must be rejected (CRC-32 over both the header and
+//    the payload detects all single-bit errors, so the acceptance count is
+//    exactly zero, not merely "almost always"), and seeded multi-bit flips
+//    plus pure-garbage buffers must reject without crashing;
+//  * body-level fuzz — random bytes through every body reader: typed
+//    std::invalid_argument rejects only.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace ohd::net {
+namespace {
+
+/// A corpus spanning every frame type and a mix of payload sizes.
+std::vector<std::vector<std::uint8_t>> frame_corpus() {
+  std::vector<std::vector<std::uint8_t>> corpus;
+
+  FrameHeader req;
+  req.type = FrameType::Request;
+  req.op = RequestOp::Compress;
+  req.priority = service::Priority::Batch;
+  req.request_id = 11;
+  req.deadline_ns = 2'000'000;
+  util::ByteWriter job;
+  service::CompressJob j;
+  j.fields.push_back({"f", {1.f, 2.f, 3.f, 4.f}, sz::Dims::d1(4)});
+  write_compress_job(job, j);
+  corpus.push_back(encode_frame(req, job.bytes()));
+
+  FrameHeader resp;
+  resp.type = FrameType::Response;
+  resp.op = RequestOp::Chunk;
+  resp.request_id = 12;
+  util::ByteWriter floats;
+  write_floats(floats, std::vector<float>{9.f, 8.f, 7.f});
+  corpus.push_back(encode_frame(resp, floats.bytes()));
+
+  FrameHeader err;
+  err.type = FrameType::Error;
+  err.request_id = 13;
+  util::ByteWriter body;
+  write_error(body, {WireErrorCode::Overloaded, 5'000'000, "busy"});
+  corpus.push_back(encode_frame(err, body.bytes()));
+
+  FrameHeader cancel;
+  cancel.type = FrameType::Cancel;
+  cancel.request_id = 14;
+  corpus.push_back(encode_frame(cancel, {}));
+
+  FrameHeader ping;
+  ping.type = FrameType::Ping;
+  corpus.push_back(encode_frame(ping, {}));
+
+  // An empty-payload request too: header-only frames are the truncation
+  // sweep's hardest case (every cut is inside the header).
+  FrameHeader tiny;
+  tiny.type = FrameType::Request;
+  tiny.op = RequestOp::CloseClient;
+  tiny.request_id = 15;
+  corpus.push_back(encode_frame(tiny, {}));
+
+  return corpus;
+}
+
+TEST(FrameFuzz, EveryByteTruncationSweepRejectsCleanly) {
+  for (const auto& frame : frame_corpus()) {
+    ASSERT_NO_THROW(parse_frame(frame));  // the intact frame is sound
+    for (std::size_t n = 0; n < frame.size(); ++n) {
+      const std::span<const std::uint8_t> prefix(frame.data(), n);
+      bool rejected = false;
+      try {
+        parse_frame(prefix);
+      } catch (const std::invalid_argument&) {
+        rejected = true;  // FrameError or a body-level reject: both typed
+      }
+      EXPECT_TRUE(rejected) << "accepted a " << n << "-byte prefix of a "
+                            << frame.size() << "-byte frame";
+    }
+  }
+}
+
+TEST(FrameFuzz, EverySingleBitFlipIsRejected) {
+  std::uint64_t accepted = 0;
+  for (const auto& frame : frame_corpus()) {
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto mutated = frame;
+        mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        try {
+          parse_frame(mutated);
+          ++accepted;
+          ADD_FAILURE() << "accepted a corrupt frame (byte " << byte
+                        << ", bit " << bit << ")";
+        } catch (const std::invalid_argument&) {
+          // typed reject: the only acceptable outcome
+        }
+      }
+    }
+  }
+  EXPECT_EQ(accepted, 0u);
+}
+
+TEST(FrameFuzz, SeededMultiBitFlipTrialsNeverCrash) {
+  util::Xoshiro256 rng(0xfade'0001);
+  const auto corpus = frame_corpus();
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto mutated = corpus[rng.bounded(corpus.size())];
+    const std::size_t flips = 2 + rng.bounded(6);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t byte = rng.bounded(mutated.size());
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.bounded(8));
+    }
+    try {
+      const Frame parsed = parse_frame(mutated);
+      // A multi-bit flip CAN cancel itself out (flip the same bit twice);
+      // then the frame must decode identically to some corpus member —
+      // verify by re-encoding. Anything else is a miss.
+      const auto reencoded = encode_frame(parsed.header, parsed.payload);
+      EXPECT_EQ(reencoded, mutated)
+          << "accepted a frame that does not re-encode to itself";
+    } catch (const std::invalid_argument&) {
+      // typed reject
+    }
+  }
+}
+
+TEST(FrameFuzz, GarbageBuffersRejectWithoutCrashing) {
+  util::Xoshiro256 rng(0xfade'0002);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.bounded(4 * kFrameHeaderBytes));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    EXPECT_THROW(parse_frame(junk), std::invalid_argument);
+  }
+}
+
+TEST(FrameFuzz, BodyReadersRejectRandomBytesTyped) {
+  util::Xoshiro256 rng(0xfade'0003);
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::vector<std::uint8_t> junk(rng.bounded(96));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    const int which = static_cast<int>(rng.bounded(5));
+    try {
+      util::ByteReader r(junk);
+      switch (which) {
+        case 0: read_open_client(r); break;
+        case 1: read_error(r); break;
+        case 2: read_compress_job(r); break;
+        case 3: read_decompress_result(r); break;
+        default: read_floats(r); break;
+      }
+      // Random bytes occasionally form a structurally valid tiny body
+      // (e.g. a zero-length float array) — acceptable; the reader just must
+      // not crash or over-read.
+    } catch (const std::invalid_argument&) {
+      // typed reject
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ohd::net
